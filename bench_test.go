@@ -1,0 +1,395 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per figure
+// panel), wall-clock counterparts on the real runtime at reduced scale, and
+// ablation benches for the design decisions called out in DESIGN.md.
+//
+// Figure benches report the simulated makespan of the headline
+// configuration as a custom metric (sim-seconds), so `go test -bench .`
+// regenerates the paper's numbers alongside the usual ns/op.
+package snet_test
+
+import (
+	"testing"
+
+	"snet"
+	"snet/internal/dist"
+	"snet/internal/geom"
+	"snet/internal/mpiray"
+	"snet/internal/raytrace"
+	"snet/internal/sched"
+	"snet/internal/simnet"
+	"snet/internal/snetray"
+)
+
+// --- Figure 5: runtime vs token count on the simulated 8-node testbed ----
+
+func benchFig5(b *testing.B, factoring bool) {
+	profile := simnet.PaperRowProfile(3000)
+	var pts []simnet.Fig5Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = simnet.Fig5(profile, factoring,
+			simnet.PaperTaskTokenCounts, simnet.PaperTaskTokenCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline metrics: the paper's sweet spot (48 tasks, 16 tokens) and
+	// the degenerate diagonal (48 tasks, 48 tokens).
+	for _, pt := range pts {
+		if pt.Tasks == 48 && pt.Tokens == 16 {
+			b.ReportMetric(pt.Runtime, "simsec-48tasks-16tokens")
+		}
+		if pt.Tasks == 48 && pt.Tokens == 48 {
+			b.ReportMetric(pt.Runtime, "simsec-48tasks-48tokens")
+		}
+	}
+}
+
+// BenchmarkFig5Factoring regenerates Fig. 5 (left): 8 nodes, simple
+// factoring scheduling.
+func BenchmarkFig5Factoring(b *testing.B) { benchFig5(b, true) }
+
+// BenchmarkFig5Block regenerates Fig. 5 (right): 8 nodes, block scheduling.
+func BenchmarkFig5Block(b *testing.B) { benchFig5(b, false) }
+
+// --- Figure 6: absolute runtimes and speed-ups on 1–8 nodes --------------
+
+// BenchmarkFig6Runtimes regenerates Fig. 6 (left): the five variants on
+// 1–8 nodes.
+func BenchmarkFig6Runtimes(b *testing.B) {
+	profile := simnet.PaperRowProfile(3000)
+	var rows []simnet.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = simnet.Fig6(profile, simnet.PaperNodeCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.MPI, "simsec-mpi-8n")
+	b.ReportMetric(last.MPI2, "simsec-mpi2-8n")
+	b.ReportMetric(last.SNetStatic, "simsec-static-8n")
+	b.ReportMetric(last.SNetStatic2, "simsec-static2-8n")
+	b.ReportMetric(last.BestDynamic, "simsec-dynamic-8n")
+}
+
+// BenchmarkFig6Speedup regenerates Fig. 6 (right): speed-up versus MPI with
+// two processes per node.
+func BenchmarkFig6Speedup(b *testing.B) {
+	profile := simnet.PaperRowProfile(3000)
+	var sp []simnet.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		rows, err := simnet.Fig6(profile, simnet.PaperNodeCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = simnet.Fig6Speedup(rows)
+	}
+	b.ReportMetric(sp[len(sp)-1].BestDynamic, "speedup-dynamic-8n")
+	b.ReportMetric(sp[len(sp)-1].Static2CPU, "speedup-static2-8n")
+}
+
+// --- Live counterparts: the real runtime at reduced scale ----------------
+
+const (
+	liveW, liveH = 128, 96
+	liveObjects  = 100
+	liveSeed     = 2010
+)
+
+func liveScene() *raytrace.Scene {
+	return raytrace.UnbalancedScene(liveObjects, liveSeed)
+}
+
+// BenchmarkLiveSequential is the single-threaded reference kernel.
+func BenchmarkLiveSequential(b *testing.B) {
+	scene := liveScene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raytrace.Render(scene, liveW, liveH)
+	}
+}
+
+func benchLiveSNet(b *testing.B, mode snetray.Mode, tasks, tokens int, policy snetray.Policy) {
+	scene := liveScene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := snetray.Render(snetray.Config{
+			Scene: scene, W: liveW, H: liveH,
+			Nodes: 4, CPUs: 2, Tasks: tasks, Tokens: tokens,
+			Mode: mode, Policy: policy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveSNetStatic runs the Fig. 2 network end to end (parse,
+// compile, render, merge) on a 4-node cluster platform.
+func BenchmarkLiveSNetStatic(b *testing.B) {
+	benchLiveSNet(b, snetray.Static, 4, 0, snetray.BlockPolicy)
+}
+
+// BenchmarkLiveSNetStatic2CPU runs the Section V two-solvers-per-node
+// variant.
+func BenchmarkLiveSNetStatic2CPU(b *testing.B) {
+	benchLiveSNet(b, snetray.Static2CPU, 8, 0, snetray.BlockPolicy)
+}
+
+// BenchmarkLiveSNetDynamicBlock runs the Fig. 4 network with block
+// scheduling.
+func BenchmarkLiveSNetDynamicBlock(b *testing.B) {
+	benchLiveSNet(b, snetray.Dynamic, 16, 8, snetray.BlockPolicy)
+}
+
+// BenchmarkLiveSNetDynamicFactoring runs the Fig. 4 network with the
+// paper's simple factoring.
+func BenchmarkLiveSNetDynamicFactoring(b *testing.B) {
+	benchLiveSNet(b, snetray.Dynamic, 16, 8, snetray.FactoringPolicy)
+}
+
+// BenchmarkLiveMPIStatic runs the paper's message-passing baseline on the
+// same cluster platform.
+func BenchmarkLiveMPIStatic(b *testing.B) {
+	scene := liveScene()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cluster := dist.NewCluster(4, 2)
+		_, _, err := mpiray.RenderStatic(scene, liveW, liveH,
+			mpiray.Options{Procs: 8, Cluster: cluster})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveMPIMasterWorker runs the dynamic message-passing ablation
+// baseline.
+func BenchmarkLiveMPIMasterWorker(b *testing.B) {
+	scene := liveScene()
+	spans := sched.Block(liveH, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cluster := dist.NewCluster(4, 2)
+		_, _, err := mpiray.RenderMasterWorker(scene, liveW, liveH, spans,
+			mpiray.Options{Procs: 9, Cluster: cluster})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkRecordThroughput measures the pure coordination overhead per
+// record: a pipeline of 8 identity-like boxes with no payload work — the
+// cost the paper attributes to "the overhead the S-Net runtime system adds
+// to the application".
+func BenchmarkRecordThroughput(b *testing.B) {
+	sig := snet.MustSig([]snet.Label{snet.F("x")}, []snet.Label{snet.F("x")})
+	box := func(name string) *snet.Entity {
+		return snet.NewBox(name, sig, func(c *snet.BoxCall) error {
+			c.Emit(snet.NewRecord().SetField("x", c.Field("x")))
+			return nil
+		})
+	}
+	pipe := snet.SerialAll(box("b0"), box("b1"), box("b2"), box("b3"),
+		box("b4"), box("b5"), box("b6"), box("b7"))
+	net := snet.NewNetwork(pipe, snet.Options{})
+	const records = 1000
+	ins := make([]*snet.Record, records)
+	for i := range ins {
+		ins[i] = snet.NewRecord().SetField("x", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := net.Run(ins...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != records {
+			b.Fatalf("lost records: %d", len(outs))
+		}
+	}
+	b.ReportMetric(float64(records*8), "boxcalls/op")
+}
+
+// starBench builds the counter used by both star ablation benches.
+func starCounter() (*snet.Entity, *snet.Pattern) {
+	sig := snet.MustSig([]snet.Label{snet.T("n")}, []snet.Label{snet.T("n")})
+	inc := snet.NewBox("inc", sig, func(c *snet.BoxCall) error {
+		c.Emit(snet.NewRecord().SetTag("n", c.Tag("n")+1))
+		return nil
+	})
+	exit := snet.NewPattern(snet.NewVariant(snet.T("n"))).WithGuard(
+		func(r *snet.Record) bool { v, _ := r.Tag("n"); return v >= 64 },
+		"<n> >= 64")
+	return inc, exit
+}
+
+// BenchmarkStarUnroll measures the paper-faithful unrolling star: 64
+// replicas are instantiated per record batch.
+func BenchmarkStarUnroll(b *testing.B) {
+	inc, exit := starCounter()
+	net := snet.NewNetwork(snet.Star(inc, exit), snet.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs, err := net.Run(
+			snet.NewRecord().SetTag("n", 0),
+			snet.NewRecord().SetTag("n", 32))
+		if err != nil || len(outs) != 2 {
+			b.Fatalf("outs=%d err=%v", len(outs), err)
+		}
+	}
+}
+
+// BenchmarkStarFeedback measures the feedback alternative (constant
+// goroutine count, unbounded internal queue) against unrolling.
+func BenchmarkStarFeedback(b *testing.B) {
+	inc, exit := starCounter()
+	net := snet.NewNetwork(snet.FeedbackStar(inc, exit), snet.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs, err := net.Run(
+			snet.NewRecord().SetTag("n", 0),
+			snet.NewRecord().SetTag("n", 32))
+		if err != nil || len(outs) != 2 {
+			b.Fatalf("outs=%d err=%v", len(outs), err)
+		}
+	}
+}
+
+// BenchmarkSynchrocellMerger drives the paper's Fig. 3 merger with n
+// chunks: n synchrocell joins and n-1 merge boxes through star unrolling.
+func BenchmarkSynchrocellMerger(b *testing.B) {
+	reg := snet.NewRegistry()
+	reg.RegisterBox("init", func(c *snet.BoxCall) error {
+		c.Emit(snet.NewRecord().SetField("pic", c.Field("chunk")))
+		return nil
+	})
+	reg.RegisterBox("merge", func(c *snet.BoxCall) error {
+		c.Emit(snet.NewRecord().SetField("pic", c.Field("pic")))
+		return nil
+	})
+	res, err := snet.CompileSource(snetray.MergerSource, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	merger, _ := res.Net("merger")
+	net := snet.NewNetwork(merger, snet.Options{})
+	const chunks = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins := make([]*snet.Record, chunks)
+		for j := 0; j < chunks; j++ {
+			r := snet.BuildRecord().F("chunk", j).T("tasks", chunks).Rec()
+			if j == 0 {
+				r.SetTag("fst", 1)
+			}
+			ins[j] = r
+		}
+		outs, err := net.Run(ins...)
+		if err != nil || len(outs) != 1 {
+			b.Fatalf("outs=%d err=%v", len(outs), err)
+		}
+	}
+}
+
+// BenchmarkParseFig3 measures the language front end on the paper's most
+// intricate program text.
+func BenchmarkParseFig3(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := snet.Parse(snetray.MergerSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileFig2 measures parse+compile of the full static network.
+func BenchmarkCompileFig2(b *testing.B) {
+	reg := snet.NewRegistry()
+	for _, name := range []string{"splitter", "solver", "init", "merge", "genImg"} {
+		reg.RegisterBox(name, func(c *snet.BoxCall) error { return nil })
+	}
+	mres, err := snet.CompileSource(snetray.MergerSource, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := mres.Net("merger")
+	reg.RegisterNet("merger", m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snet.CompileSource(snetray.StaticSource, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBVHInsert measures Goldsmith–Salmon incremental construction.
+func BenchmarkBVHInsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		spheres := make([]*raytrace.Sphere, 512)
+		for j := range spheres {
+			f := float64(j)
+			spheres[j] = &raytrace.Sphere{
+				Center: geom.V(f*0.37-90, f*0.11-30, f*0.23),
+				Radius: 0.3,
+			}
+		}
+		bvh := &raytrace.BVH{}
+		b.StartTimer()
+		for _, s := range spheres {
+			bvh.Insert(s)
+		}
+	}
+}
+
+// BenchmarkBVHIntersect measures hierarchy traversal against brute force
+// cost (the reason the paper uses a BVH at all).
+func BenchmarkBVHIntersect(b *testing.B) {
+	bvh := &raytrace.BVH{}
+	for j := 0; j < 512; j++ {
+		f := float64(j)
+		bvh.Insert(&raytrace.Sphere{
+			Center: geom.V(f*0.37-90, f*0.11-30, f*0.23+5),
+			Radius: 0.3,
+		})
+	}
+	ray := geom.NewRay(geom.V(0, 0, -10), geom.V(0.1, 0.05, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bvh.Intersect(ray, 1e-6, 1e18, nil)
+	}
+}
+
+// BenchmarkRenderSection measures the solver box payload.
+func BenchmarkRenderSection(b *testing.B) {
+	scene := liveScene()
+	sec := raytrace.Section{W: liveW, H: liveH, Y0: 0, Y1: liveH / 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raytrace.RenderSection(scene, sec)
+	}
+}
+
+// BenchmarkSimnetDynamic measures the simulator itself (one dynamic run
+// with 72 tasks).
+func BenchmarkSimnetDynamic(b *testing.B) {
+	profile := simnet.PaperRowProfile(3000)
+	tb := simnet.PaperTestbed(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := simnet.SNetDynamic(tb, profile, 72, 16, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulated testbed — 8 nodes × 2 Pentium III
+// CPUs, 100 Mbit Ethernet, a 3000×3000 scene:
+//
+//	experiments -fig 5f   Fig. 5 (left):  runtime vs tokens, factoring
+//	experiments -fig 5b   Fig. 5 (right): runtime vs tokens, block
+//	experiments -fig 6    Fig. 6 (left):  absolute runtimes, 1–8 nodes
+//	experiments -fig 6s   Fig. 6 (right): speed-up vs MPI 2 proc/node
+//	experiments -fig all  everything
+//
+// Each table prints the simulated value next to the paper's published
+// value where one exists. With -live, a reduced-size wall-clock run of the
+// real runtime is executed as well (shape only; the host is not the
+// paper's cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"snet/internal/raytrace"
+	"snet/internal/simnet"
+	"snet/internal/snetray"
+)
+
+// paperFig6 holds the published Fig. 6 (left) values, in seconds.
+var paperFig6 = map[int]map[string]float64{
+	1: {"S-Net Static": 941.87, "S-Net Static 2CPU": 829.74, "MPI": 650.99, "MPI 2 Proc/Node": 401.80, "S-Net Best Dynamic": 953.18},
+	2: {"S-Net Static": 402.75, "S-Net Static 2CPU": 329.14, "MPI": 405.95, "MPI 2 Proc/Node": 211.77, "S-Net Best Dynamic": 228.52},
+	4: {"S-Net Static": 217.97, "S-Net Static 2CPU": 204.23, "MPI": 213.43, "MPI 2 Proc/Node": 139.00, "S-Net Best Dynamic": 119.77},
+	6: {"S-Net Static": 158.58, "S-Net Static 2CPU": 143.33, "MPI": 163.83, "MPI 2 Proc/Node": 105.61, "S-Net Best Dynamic": 76.39},
+	8: {"S-Net Static": 132.66, "S-Net Static 2CPU": 121.99, "MPI": 136.23, "MPI 2 Proc/Node": 87.01, "S-Net Best Dynamic": 61.84},
+}
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "5f|5b|6|6s|all")
+		live = flag.Bool("live", false, "also run reduced-size wall-clock variants on the real runtime")
+		h    = flag.Int("rows", 3000, "simulated image height")
+	)
+	flag.Parse()
+
+	profile := simnet.PaperRowProfile(*h)
+
+	switch *fig {
+	case "5f":
+		fig5(profile, true)
+	case "5b":
+		fig5(profile, false)
+	case "6":
+		fig6(profile)
+	case "6s":
+		fig6speedup(profile)
+	case "all":
+		fig5(profile, true)
+		fmt.Println()
+		fig5(profile, false)
+		fmt.Println()
+		fig6(profile)
+		fmt.Println()
+		fig6speedup(profile)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -fig; want 5f|5b|6|6s|all")
+		os.Exit(2)
+	}
+
+	if *live {
+		fmt.Println()
+		liveRuns()
+	}
+}
+
+func fig5(profile []float64, factoring bool) {
+	name := "Fig. 5 (right): 8 Nodes, Block Scheduling"
+	if factoring {
+		name = "Fig. 5 (left): 8 Nodes, Simple Factoring Scheduling"
+	}
+	fmt.Println(name)
+	fmt.Println("runtime in seconds; rows = tasks, columns = tokens")
+	fmt.Printf("%9s", "")
+	for _, tok := range simnet.PaperTaskTokenCounts {
+		fmt.Printf(" %8d", tok)
+	}
+	fmt.Println()
+	pts, err := simnet.Fig5(profile, factoring, simnet.PaperTaskTokenCounts, simnet.PaperTaskTokenCounts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := 0
+	for _, tasks := range simnet.PaperTaskTokenCounts {
+		fmt.Printf("%2d tasks ", tasks)
+		for range simnet.PaperTaskTokenCounts {
+			fmt.Printf(" %8.2f", pts[i].Runtime)
+			i++
+		}
+		fmt.Println()
+	}
+}
+
+func fig6(profile []float64) {
+	fmt.Println("Fig. 6 (left): Absolute Runtimes on 1 - 8 Nodes (seconds, simulated vs paper)")
+	rows, err := simnet.Fig6(profile, simnet.PaperNodeCounts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants := []string{"S-Net Static", "S-Net Static 2CPU", "MPI", "MPI 2 Proc/Node", "S-Net Best Dynamic"}
+	fmt.Printf("%-20s", "")
+	for _, n := range simnet.PaperNodeCounts {
+		fmt.Printf(" %7d Node", n)
+	}
+	fmt.Println()
+	value := func(r simnet.Fig6Row, v string) float64 {
+		switch v {
+		case "S-Net Static":
+			return r.SNetStatic
+		case "S-Net Static 2CPU":
+			return r.SNetStatic2
+		case "MPI":
+			return r.MPI
+		case "MPI 2 Proc/Node":
+			return r.MPI2
+		default:
+			return r.BestDynamic
+		}
+	}
+	for _, v := range variants {
+		fmt.Printf("%-20s", v)
+		for _, r := range rows {
+			fmt.Printf(" %12.2f", value(r, v))
+		}
+		fmt.Println()
+		fmt.Printf("%-20s", "  (paper)")
+		for _, r := range rows {
+			fmt.Printf(" %12.2f", paperFig6[r.Nodes][v])
+		}
+		fmt.Println()
+	}
+}
+
+func fig6speedup(profile []float64) {
+	fmt.Println("Fig. 6 (right): Speed-Up vs. MPI 2 Processes/Node (simulated, paper in parens)")
+	rows, err := simnet.Fig6(profile, simnet.PaperNodeCounts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := simnet.Fig6Speedup(rows)
+	paper := map[int][2]float64{ // static2, dynamic — derived from paper Fig. 6 left
+		1: {401.80 / 829.74, 401.80 / 953.18},
+		2: {211.77 / 329.14, 211.77 / 228.52},
+		4: {139.00 / 204.23, 139.00 / 119.77},
+		6: {105.61 / 143.33, 105.61 / 76.39},
+		8: {87.01 / 121.99, 87.01 / 61.84},
+	}
+	fmt.Printf("%6s %24s %26s\n", "nodes", "S-Net Static 2CPU", "S-Net Best Dynamic")
+	for _, s := range sp {
+		p := paper[s.Nodes]
+		fmt.Printf("%6d %12.2f (%.2f) %18.2f (%.2f)\n",
+			s.Nodes, s.Static2CPU, p[0], s.BestDynamic, p[1])
+	}
+}
+
+// liveRuns executes the real runtime variants at reduced scale for a
+// wall-clock sanity check of the coordination code paths.
+func liveRuns() {
+	const w, hh = 192, 144
+	scene := raytrace.UnbalancedScene(150, 2010)
+	fmt.Printf("live runs (real runtime, %dx%d, 4 nodes x 2 CPUs, host has %d core(s)):\n",
+		w, hh, runtime.NumCPU())
+	run := func(label string, cfg snetray.Config) {
+		start := time.Now()
+		if _, err := snetray.Render(cfg); err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("  %-22s %v\n", label, time.Since(start).Round(time.Millisecond))
+	}
+	base := snetray.Config{Scene: scene, W: w, H: hh, Nodes: 4, CPUs: 2}
+	s := base
+	s.Mode, s.Tasks = snetray.Static, 4
+	run("S-Net Static", s)
+	s2 := base
+	s2.Mode, s2.Tasks = snetray.Static2CPU, 8
+	run("S-Net Static 2CPU", s2)
+	d := base
+	d.Mode, d.Tasks, d.Tokens = snetray.Dynamic, 32, 8
+	run("S-Net Dynamic", d)
+}

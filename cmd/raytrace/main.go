@@ -1,0 +1,126 @@
+// Command raytrace renders a procedural scene with any of the paper's
+// implementation variants and reports timing and traffic statistics:
+//
+//	-engine seq           sequential reference renderer
+//	-engine mpi           the paper's MPI baseline (block distribution)
+//	-engine mpi-mw        MPI master/worker (dynamic ablation baseline)
+//	-engine snet-static   Fig. 2 static fork–join S-Net
+//	-engine snet-static2  Section V (solver!<cpu>)!@<node> variant
+//	-engine snet-dynamic  Fig. 4 token-based dynamic S-Net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"snet/internal/dist"
+	"snet/internal/mpi"
+	"snet/internal/mpiray"
+	"snet/internal/raytrace"
+	"snet/internal/sched"
+	"snet/internal/snetray"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "snet-static", "seq|mpi|mpi-mw|snet-static|snet-static2|snet-dynamic")
+		w       = flag.Int("w", 320, "image width")
+		h       = flag.Int("h", 240, "image height")
+		nodes   = flag.Int("nodes", 4, "cluster nodes")
+		cpus    = flag.Int("cpus", 2, "CPU slots per node")
+		tasks   = flag.Int("tasks", 16, "sections")
+		tokens  = flag.Int("tokens", 8, "node tokens (snet-dynamic)")
+		pol     = flag.String("policy", "block", "block|factoring (snet-dynamic, mpi-mw)")
+		nobj    = flag.Int("objects", 150, "spheres in the scene")
+		seed    = flag.Int64("seed", 2010, "scene seed")
+		unbal   = flag.Bool("unbalanced", true, "use the unbalanced scene")
+		outFile = flag.String("o", "", "output image (.png or .ppm)")
+	)
+	flag.Parse()
+
+	var scene *raytrace.Scene
+	if *unbal {
+		scene = raytrace.UnbalancedScene(*nobj, *seed)
+	} else {
+		scene = raytrace.BalancedScene(*nobj, *seed)
+	}
+
+	spans := func() []sched.Span {
+		if *pol == "factoring" {
+			s, err := sched.PaperFactoring(*h, *tasks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}
+		return sched.Block(*h, *tasks)
+	}
+
+	start := time.Now()
+	var img *raytrace.Image
+	switch *engine {
+	case "seq":
+		img, _ = raytrace.Render(scene, *w, *h)
+
+	case "mpi":
+		cluster := dist.NewCluster(*nodes, *cpus)
+		var err error
+		var mstats mpi.Stats
+		img, mstats, err = mpiray.RenderStatic(scene, *w, *h,
+			mpiray.Options{Procs: *nodes * *cpus, Cluster: cluster})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fmt.Printf("mpi traffic: %d messages, %.1f KiB\n",
+			mstats.Messages, float64(mstats.Bytes)/1024)
+
+	case "mpi-mw":
+		cluster := dist.NewCluster(*nodes, *cpus)
+		var err error
+		img, _, err = mpiray.RenderMasterWorker(scene, *w, *h, spans(),
+			mpiray.Options{Procs: *nodes**cpus + 1, Cluster: cluster})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+	case "snet-static", "snet-static2", "snet-dynamic":
+		cfg := snetray.Config{
+			Scene: scene, W: *w, H: *h,
+			Nodes: *nodes, CPUs: *cpus, Tasks: *tasks, Tokens: *tokens,
+		}
+		switch *engine {
+		case "snet-static":
+			cfg.Mode = snetray.Static
+			cfg.Tasks = *nodes
+		case "snet-static2":
+			cfg.Mode = snetray.Static2CPU
+			cfg.Tasks = *nodes * *cpus
+		default:
+			cfg.Mode = snetray.Dynamic
+			if *pol == "factoring" {
+				cfg.Policy = snetray.FactoringPolicy
+			}
+		}
+		res, err := snetray.Render(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img = res.Image
+		defer fmt.Printf("cluster: %d transfers, %.1f KiB, execs/node %v\n",
+			res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs)
+
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s: %dx%d in %v\n", *engine, *w, *h, elapsed.Round(time.Millisecond))
+	if *outFile != "" {
+		if err := img.SaveFile(*outFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *outFile)
+	}
+}

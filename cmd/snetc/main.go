@@ -1,0 +1,122 @@
+// Command snetc is the S-Net front-end driver: it parses S-Net source,
+// reports syntax errors with positions, infers and prints network type
+// signatures, and renders the compiled network structure. Box
+// implementations are stubbed, so snetc checks coordination code without
+// the box bodies — the separation of concerns the paper advocates.
+//
+// Usage:
+//
+//	snetc file.snet            parse, check and describe every net
+//	snetc -expr 'a .. (b|[])'  parse a bare connect expression
+//	snetc -ast file.snet       additionally pretty-print the parsed AST
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snet"
+	"snet/internal/lang"
+)
+
+func main() {
+	var (
+		exprSrc = flag.String("expr", "", "parse a standalone connect expression instead of a file")
+		showAST = flag.Bool("ast", false, "pretty-print the parsed declarations")
+	)
+	flag.Parse()
+
+	if *exprSrc != "" {
+		e, err := snet.ParseExpr(*exprSrc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(e)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: snetc [-ast] file.snet | snetc -expr 'a .. b'")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := snet.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *showAST {
+		for _, def := range prog.Defs {
+			fmt.Println(def)
+		}
+		fmt.Println()
+	}
+
+	// Compile with stub boxes: every declared box gets a no-op body, so
+	// the coordination layer can be checked without application code.
+	reg := snet.NewRegistry()
+	registerStubs(prog, reg)
+	res, err := snet.CompileProgram(prog, reg)
+	if err != nil {
+		fail(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+	for _, def := range prog.Defs {
+		nd, ok := def.(*lang.NetDecl)
+		if !ok {
+			continue
+		}
+		ent, ok := res.Net(nd.Name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("net %s :: %s\n", nd.Name, ent.Signature())
+		fmt.Print(ent.Describe())
+	}
+}
+
+// registerStubs walks all declarations (including nested ones) and
+// registers a no-op implementation for every declared box, plus identity
+// networks for signature-only net declarations that are not defined in the
+// same file.
+func registerStubs(prog *snet.Program, reg *snet.Registry) {
+	defined := map[string]bool{}
+	var collectDefined func(defs []lang.Def)
+	collectDefined = func(defs []lang.Def) {
+		for _, def := range defs {
+			if nd, ok := def.(*lang.NetDecl); ok {
+				if len(nd.SigOnly) == 0 {
+					defined[nd.Name] = true
+					collectDefined(nd.Decls)
+				}
+			}
+		}
+	}
+	collectDefined(prog.Defs)
+
+	var walk func(defs []lang.Def)
+	walk = func(defs []lang.Def) {
+		for _, def := range defs {
+			switch d := def.(type) {
+			case *lang.BoxDecl:
+				reg.RegisterBox(d.Name, func(c *snet.BoxCall) error { return nil })
+			case *lang.NetDecl:
+				if len(d.SigOnly) > 0 && !defined[d.Name] {
+					reg.RegisterNet(d.Name, snet.Identity())
+				}
+				walk(d.Decls)
+			}
+		}
+	}
+	walk(prog.Defs)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "snetc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,501 @@
+// Package compile translates parsed S-Net programs (package lang) into
+// runnable networks (package core). Box names are resolved against a
+// Registry of Go box functions; net forward declarations resolve against
+// previously compiled or registered networks. The compiler also infers
+// type signatures bottom-up and emits best-effort type-flow warnings.
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"snet/internal/core"
+	"snet/internal/lang"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// Registry binds external names: box implementations (Go functions) and
+// pre-built networks available to forward declarations.
+type Registry struct {
+	boxes map[string]core.BoxFunc
+	nets  map[string]*core.Entity
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		boxes: make(map[string]core.BoxFunc),
+		nets:  make(map[string]*core.Entity),
+	}
+}
+
+// RegisterBox binds a box name to its Go implementation. The box's type
+// signature comes from the S-Net `box` declaration, not from Go.
+func (r *Registry) RegisterBox(name string, fn core.BoxFunc) {
+	r.boxes[name] = fn
+}
+
+// RegisterNet binds a network name, making it available to `net name
+// (sig);` forward declarations and to bare name references.
+func (r *Registry) RegisterNet(name string, e *core.Entity) {
+	r.nets[name] = e
+}
+
+// Result is the outcome of compiling a program.
+type Result struct {
+	// Nets maps every toplevel net name to its compiled entity.
+	Nets map[string]*core.Entity
+	// Warnings are non-fatal findings (potential type-flow problems,
+	// approximated combinators).
+	Warnings []string
+}
+
+// Net returns a compiled toplevel net by name.
+func (r *Result) Net(name string) (*core.Entity, bool) {
+	e, ok := r.Nets[name]
+	return e, ok
+}
+
+type compiler struct {
+	reg      *Registry
+	warnings []string
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]*core.Entity
+}
+
+func (s *scope) lookup(name string) (*core.Entity, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if e, ok := sc.names[name]; ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) child() *scope {
+	return &scope{parent: s, names: make(map[string]*core.Entity)}
+}
+
+// Program compiles a parsed program. Every toplevel definition is compiled
+// in order; later definitions may reference earlier ones.
+func Program(prog *lang.Program, reg *Registry) (*Result, error) {
+	c := &compiler{reg: reg}
+	top := &scope{names: make(map[string]*core.Entity)}
+	res := &Result{Nets: make(map[string]*core.Entity)}
+	for _, def := range prog.Defs {
+		e, err := c.compileDef(def, top)
+		if err != nil {
+			return nil, err
+		}
+		top.names[def.DeclName()] = e
+		if nd, ok := def.(*lang.NetDecl); ok {
+			res.Nets[nd.Name] = e
+		}
+	}
+	res.Warnings = c.warnings
+	return res, nil
+}
+
+// Source parses and compiles S-Net source text in one step.
+func Source(src string, reg *Registry) (*Result, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Program(prog, reg)
+}
+
+// Expr compiles a standalone connect expression; names resolve against the
+// registry only.
+func Expr(e lang.Expr, reg *Registry) (*core.Entity, []string, error) {
+	c := &compiler{reg: reg}
+	top := &scope{names: make(map[string]*core.Entity)}
+	ent, err := c.compileExpr(e, top)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ent, c.warnings, nil
+}
+
+func (c *compiler) warnf(format string, args ...any) {
+	c.warnings = append(c.warnings, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) compileDef(def lang.Def, sc *scope) (*core.Entity, error) {
+	switch d := def.(type) {
+	case *lang.BoxDecl:
+		fn, ok := c.reg.boxes[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("%s: box %q has no registered implementation", d.Pos, d.Name)
+		}
+		return core.NewBox(d.Name, mappingToSig(d.Sig), fn), nil
+
+	case *lang.NetDecl:
+		if len(d.SigOnly) > 0 {
+			ent, ok := sc.lookup(d.Name)
+			if !ok {
+				ent, ok = c.reg.nets[d.Name]
+			}
+			if !ok {
+				return nil, fmt.Errorf("%s: net %q is declared by signature only but no definition or registered net exists", d.Pos, d.Name)
+			}
+			c.checkForwardSig(d, ent)
+			return ent, nil
+		}
+		inner := sc.child()
+		for _, nd := range d.Decls {
+			e, err := c.compileDef(nd, inner)
+			if err != nil {
+				return nil, err
+			}
+			inner.names[nd.DeclName()] = e
+		}
+		ent, err := c.compileExpr(d.Connect, inner)
+		if err != nil {
+			return nil, fmt.Errorf("net %q: %w", d.Name, err)
+		}
+		return ent, nil
+
+	default:
+		return nil, fmt.Errorf("unknown declaration %T", def)
+	}
+}
+
+// checkForwardSig warns when a forward declaration's signature is not
+// honoured by the resolved entity (inputs declared must be acceptable).
+func (c *compiler) checkForwardSig(d *lang.NetDecl, ent *core.Entity) {
+	declIn := rtype.NewType()
+	for _, m := range d.SigOnly {
+		declIn.AddVariant(itemsToVariant(m.In))
+	}
+	for _, v := range declIn.Variants() {
+		matched := false
+		for _, w := range ent.Signature().In.Variants() {
+			if w.SubsetOf(v) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			c.warnf("net %s: declared input variant %s is not covered by resolved net's input type %s",
+				d.Name, v, ent.Signature().In)
+		}
+	}
+}
+
+func (c *compiler) compileExpr(e lang.Expr, sc *scope) (*core.Entity, error) {
+	switch x := e.(type) {
+	case *lang.NameRef:
+		if ent, ok := sc.lookup(x.Name); ok {
+			return ent, nil
+		}
+		if ent, ok := c.reg.nets[x.Name]; ok {
+			return ent, nil
+		}
+		if _, ok := c.reg.boxes[x.Name]; ok {
+			return nil, fmt.Errorf("%s: box %q is registered but not declared — add a `box %s (...)` declaration with its signature", x.Pos, x.Name, x.Name)
+		}
+		return nil, fmt.Errorf("%s: unknown name %q", x.Pos, x.Name)
+
+	case *lang.SerialExpr:
+		l, err := c.compileExpr(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		c.checkSerialFlow(l, r)
+		return core.Serial(l, r), nil
+
+	case *lang.ChoiceExpr:
+		l, err := c.compileExpr(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Det {
+			return core.DetChoice(l, r), nil
+		}
+		return core.Choice(l, r), nil
+
+	case *lang.StarExpr:
+		op, err := c.compileExpr(x.Operand, sc)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := compilePattern(x.Exit)
+		if err != nil {
+			return nil, err
+		}
+		return core.Star(op, pat), nil
+
+	case *lang.SplitExpr:
+		op, err := c.compileExpr(x.Operand, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Placed {
+			return core.SplitAt(op, x.Tag), nil
+		}
+		if x.Det {
+			return core.DetSplit(op, x.Tag), nil
+		}
+		return core.Split(op, x.Tag), nil
+
+	case *lang.AtExpr:
+		op, err := c.compileExpr(x.Operand, sc)
+		if err != nil {
+			return nil, err
+		}
+		return core.At(op, x.Node), nil
+
+	case *lang.FilterExpr:
+		if x.Rule == nil {
+			return core.Identity(), nil
+		}
+		rule, err := compileFilterRule(x.Rule)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilter("", rule), nil
+
+	case *lang.SyncExpr:
+		pats := make([]*rtype.Pattern, len(x.Patterns))
+		for i, p := range x.Patterns {
+			cp, err := compilePattern(p)
+			if err != nil {
+				return nil, err
+			}
+			pats[i] = cp
+		}
+		if len(pats) < 2 {
+			return nil, fmt.Errorf("%s: synchrocell needs at least two patterns", x.Pos)
+		}
+		return core.NewSync(pats...), nil
+
+	default:
+		return nil, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+// checkSerialFlow warns when an output variant of l cannot match any input
+// variant of r even before flow inheritance is considered.
+func (c *compiler) checkSerialFlow(l, r *core.Entity) {
+	for _, v := range l.Signature().Out.Variants() {
+		ok := false
+		for _, w := range r.Signature().In.Variants() {
+			if w.SubsetOf(v) || v.Size() == 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			c.warnf("serial %s..%s: output variant %s of %s matches no input variant of %s (%s); records may still match via flow-inherited labels",
+				l.Name(), r.Name(), v, l.Name(), r.Name(), r.Signature().In)
+		}
+	}
+}
+
+// mappingToSig converts a box/net signature mapping to an rtype.Signature.
+func mappingToSig(m lang.Mapping) rtype.Signature {
+	in := rtype.NewType(itemsToVariant(m.In))
+	out := rtype.NewType()
+	for _, o := range m.Outs {
+		out.AddVariant(itemsToVariant(o))
+	}
+	return rtype.NewSignature(in, out)
+}
+
+func itemsToVariant(items []lang.LabelItem) *rtype.Variant {
+	v := rtype.NewVariant()
+	for _, it := range items {
+		v.Add(itemToLabel(it))
+	}
+	return v
+}
+
+func itemToLabel(it lang.LabelItem) rtype.Label {
+	switch {
+	case it.BTag:
+		return rtype.BT(it.Name)
+	case it.Tag:
+		return rtype.T(it.Name)
+	default:
+		return rtype.F(it.Name)
+	}
+}
+
+// compilePattern turns a pattern AST into a runtime pattern. Tags referenced
+// in angled form inside guards are added to the pattern's required labels —
+// {<tasks> == <cnt>} requires both tags, as in the paper.
+func compilePattern(p *lang.PatternAST) (*rtype.Pattern, error) {
+	v := itemsToVariant(p.Labels)
+	var guardSrc string
+	var guards []core.TagExpr
+	for i, g := range p.Guards {
+		if !lang.IsComparison(g) {
+			return nil, fmt.Errorf("%s: pattern guard %s is not a comparison", p.Pos, g)
+		}
+		for _, name := range angledRefs(g) {
+			v.Add(rtype.T(name))
+		}
+		guards = append(guards, compileTagExpr(g))
+		if i > 0 {
+			guardSrc += ", "
+		}
+		guardSrc += g.String()
+	}
+	pat := rtype.NewPattern(v)
+	if len(guards) > 0 {
+		pat.WithGuard(func(r *record.Record) bool {
+			for _, g := range guards {
+				if g(r) == 0 {
+					return false
+				}
+			}
+			return true
+		}, guardSrc)
+	}
+	return pat, nil
+}
+
+// angledRefs collects tag names referenced in angled form within an
+// expression.
+func angledRefs(e lang.TagExprAST) []string {
+	var names []string
+	var walk func(lang.TagExprAST)
+	walk = func(e lang.TagExprAST) {
+		switch x := e.(type) {
+		case *lang.TagRef:
+			if x.Angled {
+				names = append(names, x.Name)
+			}
+		case *lang.BinExpr:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(e)
+	return names
+}
+
+// compileFilterRule lowers a filter rule AST to the runtime representation.
+func compileFilterRule(rule *lang.FilterRuleAST) (core.FilterRule, error) {
+	pat, err := compilePattern(rule.Pattern)
+	if err != nil {
+		return core.FilterRule{}, err
+	}
+	out := core.FilterRule{Pattern: pat}
+	for _, tmpl := range rule.Outputs {
+		var fo core.FilterOutput
+		for _, it := range tmpl.Items {
+			switch it.Kind {
+			case lang.OutCopyField:
+				fo.CopyFields = append(fo.CopyFields, it.Name)
+			case lang.OutCopyTag:
+				fo.CopyTags = append(fo.CopyTags, it.Name)
+			case lang.OutRenameField:
+				fo.RenameFields = append(fo.RenameFields, core.Rename{From: it.From, To: it.Name})
+			case lang.OutAssignTag:
+				expr := compileTagExpr(it.Expr)
+				name := it.Name
+				var full core.TagExpr
+				switch it.AddOp {
+				case lang.PlusEq:
+					full = func(r *record.Record) int {
+						v, _ := r.Tag(name)
+						return v + expr(r)
+					}
+				case lang.MinusEq:
+					full = func(r *record.Record) int {
+						v, _ := r.Tag(name)
+						return v - expr(r)
+					}
+				default:
+					full = expr
+				}
+				fo.SetTags = append(fo.SetTags, core.TagAssign{
+					Name: name, Expr: full,
+					Src: strings.Trim(it.String(), "<>"),
+				})
+			}
+		}
+		out.Outputs = append(out.Outputs, fo)
+	}
+	return out, nil
+}
+
+// compileTagExpr lowers a tag expression to a closure. Missing tags
+// evaluate to 0; division and modulo by zero evaluate to 0 (reported
+// behaviour, documented — S-Net leaves this undefined).
+func compileTagExpr(e lang.TagExprAST) core.TagExpr {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		v := x.Val
+		return func(*record.Record) int { return v }
+	case *lang.TagRef:
+		name := x.Name
+		return func(r *record.Record) int {
+			v, _ := r.Tag(name)
+			return v
+		}
+	case *lang.BinExpr:
+		l := compileTagExpr(x.L)
+		r := compileTagExpr(x.R)
+		switch x.Op {
+		case lang.Plus:
+			return func(rec *record.Record) int { return l(rec) + r(rec) }
+		case lang.Minus:
+			return func(rec *record.Record) int { return l(rec) - r(rec) }
+		case lang.Star:
+			return func(rec *record.Record) int { return l(rec) * r(rec) }
+		case lang.Slash:
+			return func(rec *record.Record) int {
+				d := r(rec)
+				if d == 0 {
+					return 0
+				}
+				return l(rec) / d
+			}
+		case lang.Percent:
+			return func(rec *record.Record) int {
+				d := r(rec)
+				if d == 0 {
+					return 0
+				}
+				return l(rec) % d
+			}
+		case lang.EqEq:
+			return boolExpr(func(a, b int) bool { return a == b }, l, r)
+		case lang.Neq:
+			return boolExpr(func(a, b int) bool { return a != b }, l, r)
+		case lang.Lt:
+			return boolExpr(func(a, b int) bool { return a < b }, l, r)
+		case lang.Gt:
+			return boolExpr(func(a, b int) bool { return a > b }, l, r)
+		case lang.Le:
+			return boolExpr(func(a, b int) bool { return a <= b }, l, r)
+		case lang.Ge:
+			return boolExpr(func(a, b int) bool { return a >= b }, l, r)
+		}
+	}
+	return func(*record.Record) int { return 0 }
+}
+
+func boolExpr(cmp func(a, b int) bool, l, r core.TagExpr) core.TagExpr {
+	return func(rec *record.Record) int {
+		if cmp(l(rec), r(rec)) {
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// BoxCall is the context handed to a box function for one triggering record.
+// It gives typed access to the input record and an emitter for output
+// records. Flow inheritance is applied by the runtime: labels of the input
+// record that were not part of the matched input variant are transferred to
+// every emitted record (unless the box emitted an identically labelled
+// item, which overrides).
+type BoxCall struct {
+	// In is the triggering input record. Boxes must treat it as
+	// read-only.
+	In *record.Record
+	// Matched is the input variant the record was matched against.
+	Matched *rtype.Variant
+
+	env      *Env
+	box      *boxImpl
+	out      chan<- *record.Record
+	consumeF map[string]bool
+	consumeT map[string]bool
+	emitted  int
+}
+
+// Field returns the input field value; it panics when absent (the runtime
+// has already verified the matched variant's labels are present).
+func (c *BoxCall) Field(name string) any { return c.In.MustField(name) }
+
+// Tag returns the input tag value; it panics when absent.
+func (c *BoxCall) Tag(name string) int { return c.In.MustTag(name) }
+
+// HasTag reports whether the input record carries the tag (useful for
+// optional, flow-inherited tags).
+func (c *BoxCall) HasTag(name string) bool { return c.In.HasTag(name) }
+
+// HasField reports whether the input record carries the field.
+func (c *BoxCall) HasField(name string) bool { return c.In.HasField(name) }
+
+// Node returns the abstract compute node this box execution runs on.
+func (c *BoxCall) Node() int { return c.env.node }
+
+// Emit sends an output record. The runtime applies flow inheritance from
+// the input record and, when type checking is enabled, verifies the record
+// against the box's declared output type before inheritance.
+func (c *BoxCall) Emit(r *record.Record) {
+	if c.env.opts.CheckTypes && !c.box.sig.Out.Accepts(r) {
+		c.env.report(entityError(c.box.name, fmt.Errorf(
+			"emitted record %s does not match output type %s", r, c.box.sig.Out)))
+	}
+	r.InheritFromExcept(c.In, c.consumeF, c.consumeT)
+	c.emitted++
+	c.out <- r
+}
+
+// Emitted returns how many records this call has emitted so far.
+func (c *BoxCall) Emitted() int { return c.emitted }
+
+// BoxFunc is the body of a box: a pure function of the triggering record
+// that emits zero or more output records through the BoxCall. Box functions
+// must not retain state between invocations — the S-Net contract that makes
+// boxes relocatable and replicable.
+type BoxFunc func(c *BoxCall) error
+
+type boxImpl struct {
+	name string
+	sig  rtype.Signature
+	fn   BoxFunc
+}
+
+// NewBox creates a box entity from a name, a type signature and a body.
+// Operationally the box is triggered by each arriving record: the record is
+// matched against the box's input type, the body runs as a single box
+// execution on the current platform node, and the box is only then ready
+// for the next record (boxes are sequential per instance, as in S-Net;
+// concurrency comes from replication and pipelining).
+func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
+	b := &boxImpl{name: name, sig: sig, fn: fn}
+	return &Entity{
+		name: name,
+		sig:  sig,
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			go func() {
+				defer close(out)
+				for r := range in {
+					if !r.IsData() {
+						out <- r
+						continue
+					}
+					b.invoke(env, r, out)
+				}
+			}()
+		},
+	}
+}
+
+// invoke runs one box execution for record r.
+func (b *boxImpl) invoke(env *Env, r *record.Record, out chan<- *record.Record) {
+	v, score := b.sig.In.BestMatch(r)
+	if score < 0 {
+		env.report(entityError(b.name, fmt.Errorf(
+			"record %s does not match input type %s", r, b.sig.In)))
+		return
+	}
+	call := &BoxCall{
+		In:       r,
+		Matched:  v,
+		env:      env,
+		box:      b,
+		out:      out,
+		consumeF: setOf(v.Fields()),
+		consumeT: setOf(v.Tags()),
+	}
+	env.exec(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
+			}
+		}()
+		if err := b.fn(call); err != nil {
+			env.report(entityError(b.name, err))
+		}
+	})
+}
+
+func setOf(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// MustSig is a convenience for building a single-input-variant signature:
+// MustSig(inLabels, outVariants...) ≡ {in...} -> v1 | v2 | ....
+func MustSig(in []rtype.Label, outs ...[]rtype.Label) rtype.Signature {
+	inT := rtype.NewType(rtype.NewVariant(in...))
+	outT := rtype.NewType()
+	for _, o := range outs {
+		outT.AddVariant(rtype.NewVariant(o...))
+	}
+	return rtype.NewSignature(inT, outT)
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// Serial builds the serial composition A..B: the output stream of a becomes
+// the input stream of b, so the two operate in pipeline mode.
+func Serial(a, b *Entity) *Entity {
+	return &Entity{
+		name: fmt.Sprintf("(%s..%s)", a.name, b.name),
+		sig:  rtype.NewSignature(a.sig.In, b.sig.Out),
+		kids: []*Entity{a, b},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			mid := env.newChan()
+			a.spawn(env, in, mid)
+			b.spawn(env, mid, out)
+		},
+	}
+}
+
+// SerialAll folds Serial over two or more entities left to right.
+func SerialAll(first *Entity, rest ...*Entity) *Entity {
+	e := first
+	for _, n := range rest {
+		e = Serial(e, n)
+	}
+	return e
+}
+
+// Choice builds the parallel composition A|B|...: each incoming record is
+// dispatched to the branch whose input type matches it best (the most
+// specific matched variant wins). Ties are broken round-robin among the
+// tied branches; since the branches run asynchronously the overall output
+// stream is a nondeterministic order-of-arrival merge, exactly as in the
+// paper. A record matching no branch is reported as a runtime type error
+// and dropped.
+func Choice(branches ...*Entity) *Entity {
+	if len(branches) == 0 {
+		panic("core.Choice: no branches")
+	}
+	if len(branches) == 1 {
+		return branches[0]
+	}
+	name := "("
+	inT := rtype.NewType()
+	outT := rtype.NewType()
+	for i, b := range branches {
+		if i > 0 {
+			name += "|"
+		}
+		name += b.name
+		inT = inT.Union(b.sig.In)
+		outT = outT.Union(b.sig.Out)
+	}
+	name += ")"
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, outT),
+		kids: branches,
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			ins := make([]chan *record.Record, len(branches))
+			coll := newCollector(out, len(branches))
+			for i, b := range branches {
+				ins[i] = env.newChan()
+				bo := env.newChan()
+				b.spawn(env, ins[i], bo)
+				go coll.drainInto(bo)
+			}
+			go func() {
+				rr := 0 // round-robin cursor for tie-breaking
+				for r := range in {
+					if !r.IsData() {
+						ins[0] <- r
+						continue
+					}
+					best, bestScore, ties := -1, -1, 0
+					for i, b := range branches {
+						if _, s := b.sig.In.BestMatch(r); s > bestScore {
+							best, bestScore, ties = i, s, 1
+						} else if s == bestScore && s >= 0 {
+							ties++
+						}
+					}
+					if best < 0 {
+						env.report(entityError(name, fmt.Errorf(
+							"record %s matches no branch input type", r)))
+						continue
+					}
+					if ties > 1 {
+						// pick the (rr mod ties)-th among the tied branches
+						k := rr % ties
+						rr++
+						for i, b := range branches {
+							if _, s := b.sig.In.BestMatch(r); s == bestScore {
+								if k == 0 {
+									best = i
+									break
+								}
+								k--
+							}
+						}
+					}
+					ins[best] <- r
+				}
+				for _, c := range ins {
+					close(c)
+				}
+			}()
+		},
+	}
+}
+
+// Star builds the serial replication A*exit, conceptually an infinite chain
+// A..A..A..… tapped before every replica: a record matching the exit
+// pattern leaves the network at the tap; any other record enters the next
+// replica. Replicas are instantiated lazily, and — as the paper stresses —
+// the star never feeds records back; it unrolls.
+func Star(a *Entity, exit *rtype.Pattern) *Entity {
+	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
+	return &Entity{
+		name: fmt.Sprintf("(%s*%s)", a.name, exit),
+		sig:  rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			coll := newCollector(out, 1)
+			go starStage(env, a, exit, in, coll)
+		},
+	}
+}
+
+// starStage is one unfolding of a star: the tap in front of replica k. It
+// emits exit-matching records to the shared collector and lazily creates
+// replica k plus the next stage when the first non-exit record arrives.
+func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Record, coll *collector) {
+	defer coll.done()
+	var instIn chan *record.Record
+	for r := range in {
+		if !r.IsData() || exit.Matches(r) {
+			coll.send(r)
+			continue
+		}
+		if instIn == nil {
+			instIn = env.newChan()
+			instOut := env.newChan()
+			a.spawn(env, instIn, instOut)
+			coll.add(1)
+			go starStage(env, a, exit, instOut, coll)
+		}
+		instIn <- r
+	}
+	if instIn != nil {
+		close(instIn)
+	}
+}
+
+// Split builds the indexed parallel replication A!<tag>: one replica of A
+// per distinct value of the tag, instantiated on demand; every incoming
+// record must carry the tag and is routed to the replica selected by its
+// value. Outputs merge nondeterministically.
+func Split(a *Entity, tag string) *Entity {
+	return splitImpl(a, tag, fmt.Sprintf("(%s!<%s>)", a.name, tag), nil)
+}
+
+// SplitAt builds the indexed dynamic placement A!@<tag> from Distributed
+// S-Net: like Split, but each replica is instantiated on the compute node
+// identified by the tag value (mapped modulo the platform's node count),
+// and records are accounted as transferred to that node on entry and back
+// on exit.
+func SplitAt(a *Entity, tag string) *Entity {
+	return splitImpl(a, tag, fmt.Sprintf("(%s!@<%s>)", a.name, tag),
+		func(env *Env, v int) int {
+			n := env.Nodes()
+			if n <= 0 {
+				return 0
+			}
+			return ((v % n) + n) % n
+		})
+}
+
+// splitImpl implements both Split and SplitAt; nodeFor is nil for the
+// non-placing variant.
+func splitImpl(a *Entity, tag, name string, nodeFor func(*Env, int) int) *Entity {
+	// The input type is A's input type with the index tag added to every
+	// variant (every incoming record must carry the tag).
+	inT := rtype.NewType()
+	for _, v := range a.sig.In.Variants() {
+		inT.AddVariant(v.Copy().Add(rtype.T(tag)))
+	}
+	if inT.NumVariants() == 0 {
+		inT.AddVariant(rtype.NewVariant(rtype.T(tag)))
+	}
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, a.sig.Out),
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			coll := newCollector(out, 1)
+			go func() {
+				defer coll.done()
+				instances := make(map[int]chan *record.Record)
+				for r := range in {
+					if !r.IsData() {
+						coll.send(r)
+						continue
+					}
+					v, ok := r.Tag(tag)
+					if !ok {
+						env.report(entityError(name, fmt.Errorf(
+							"record %s lacks index tag <%s>", r, tag)))
+						continue
+					}
+					instIn, ok := instances[v]
+					if !ok {
+						instIn = env.newChan()
+						instances[v] = instIn
+						instEnv := env
+						if nodeFor != nil {
+							instEnv = env.At(nodeFor(env, v))
+						}
+						instOut := env.newChan()
+						a.spawn(instEnv, instIn, instOut)
+						coll.add(1)
+						if nodeFor != nil {
+							// Account the return path: records leaving the
+							// replica travel back to the split's node.
+							back := instEnv
+							go func() {
+								defer coll.done()
+								for o := range instOut {
+									env.transfer(back.node, env.node, o)
+									coll.send(o)
+								}
+							}()
+						} else {
+							go coll.drainInto(instOut)
+						}
+					}
+					if nodeFor != nil {
+						env.transfer(env.node, nodeFor(env, v), r)
+					}
+					instIn <- r
+				}
+				for _, c := range instances {
+					close(c)
+				}
+			}()
+		},
+	}
+}
+
+// At builds the static placement A@node from Distributed S-Net: the operand
+// executes on the given compute node; records are accounted as transferred
+// to that node on entry and back on exit.
+func At(a *Entity, node int) *Entity {
+	return &Entity{
+		name: fmt.Sprintf("(%s@%d)", a.name, node),
+		sig:  a.sig,
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			target := node
+			if n := env.Nodes(); n > 0 {
+				target = ((node % n) + n) % n
+			}
+			innerIn := env.newChan()
+			innerOut := env.newChan()
+			go func() {
+				for r := range in {
+					env.transfer(env.node, target, r)
+					innerIn <- r
+				}
+				close(innerIn)
+			}()
+			a.spawn(env.At(target), innerIn, innerOut)
+			go func() {
+				for r := range innerOut {
+					env.transfer(target, env.node, r)
+					out <- r
+				}
+				close(out)
+			}()
+		},
+	}
+}
+
+// FeedbackStar is an extension beyond the paper's star: a bounded feedback
+// variant in which non-exit output records of the operand are fed back to
+// the operand's input instead of unrolling a new replica. It exists for the
+// ablation benchmark comparing unrolling against feedback (DESIGN.md); the
+// compiler never emits it. Deadlock-freedom is ensured by an unbounded
+// internal queue.
+func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
+	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
+	return &Entity{
+		name: fmt.Sprintf("(%s*fb%s)", a.name, exit),
+		sig:  rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			instIn := env.newChan()
+			instOut := env.newChan()
+			a.spawn(env, instIn, instOut)
+
+			var mu sync.Mutex
+			var queue []*record.Record // unbounded feedback queue
+			pending := 0               // records inside the operand or queued
+			inClosed := false
+			kick := make(chan struct{}, 1)
+
+			poke := func() {
+				select {
+				case kick <- struct{}{}:
+				default:
+				}
+			}
+			// Feeder: moves records from the queue into the operand.
+			go func() {
+				for range kick {
+					for {
+						mu.Lock()
+						if len(queue) == 0 {
+							done := inClosed && pending == 0
+							mu.Unlock()
+							if done {
+								close(instIn)
+								return
+							}
+							break
+						}
+						r := queue[0]
+						queue = queue[1:]
+						mu.Unlock()
+						instIn <- r
+					}
+				}
+			}()
+			// Intake: external records join the queue.
+			go func() {
+				for r := range in {
+					if !r.IsData() || exit.Matches(r) {
+						out <- r
+						continue
+					}
+					mu.Lock()
+					queue = append(queue, r)
+					pending++
+					mu.Unlock()
+					poke()
+				}
+				mu.Lock()
+				inClosed = true
+				mu.Unlock()
+				poke()
+			}()
+			// Outlet: operand outputs either exit or feed back.
+			go func() {
+				for r := range instOut {
+					if r.IsData() && !exit.Matches(r) {
+						mu.Lock()
+						queue = append(queue, r)
+						mu.Unlock()
+						poke()
+						continue
+					}
+					mu.Lock()
+					pending--
+					mu.Unlock()
+					out <- r
+					poke()
+				}
+				close(out)
+			}()
+		},
+	}
+}

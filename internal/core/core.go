@@ -1,0 +1,255 @@
+// Package core implements the S-Net streaming runtime: stateless boxes made
+// into asynchronous stream components, the four SISO network combinators
+// (serial ".." and parallel "|" composition, serial replication "*" and
+// indexed parallel replication "!"), filters, synchrocells, and the
+// Distributed S-Net placement combinators "@" and "!@".
+//
+// Every network entity — box or combinator — is a SISO stream transformer:
+// it consumes records from one input channel and produces records on one
+// output channel. Entities are descriptions; Spawn instantiates them as
+// goroutines. An entity owns its output channel and closes it once its input
+// is drained and all in-flight work has finished, so network shutdown
+// cascades naturally from closing the toplevel input.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// Platform abstracts the compute substrate underneath a network: where box
+// functions execute and what happens when a record crosses between abstract
+// compute nodes. The default LocalPlatform runs everything inline on one
+// node; package dist provides a multi-node platform with bounded per-node
+// CPU slots and transfer accounting.
+type Platform interface {
+	// Nodes returns the number of abstract compute nodes.
+	Nodes() int
+	// Exec runs a box function on the given node. Exec blocks until fn
+	// has finished; implementations typically gate fn on a per-node CPU
+	// slot.
+	Exec(node int, fn func())
+	// Transfer is called when a record moves from node `from` to node
+	// `to`. Implementations may account for or delay the transfer. It is
+	// never called with from == to.
+	Transfer(from, to int, r *record.Record)
+}
+
+// LocalPlatform is the trivial single-node platform.
+type LocalPlatform struct{}
+
+// Nodes returns 1.
+func (LocalPlatform) Nodes() int { return 1 }
+
+// Exec runs fn inline.
+func (LocalPlatform) Exec(node int, fn func()) { fn() }
+
+// Transfer does nothing.
+func (LocalPlatform) Transfer(from, to int, r *record.Record) {}
+
+// Options configure a network instantiation.
+type Options struct {
+	// BufferSize is the capacity of every stream channel. Zero selects
+	// DefaultBufferSize; a negative value makes every stream fully
+	// synchronous (unbuffered).
+	BufferSize int
+	// Platform is the compute substrate; nil means LocalPlatform.
+	Platform Platform
+	// CheckTypes enables runtime verification that every record emitted
+	// by a box matches one of the box's declared output variants (before
+	// flow inheritance). Violations are reported as errors.
+	CheckTypes bool
+	// FlushSyncOnClose makes synchrocells emit their partially matched
+	// contents when their input stream closes. The default (false)
+	// matches the reference runtime: partial matches are discarded at
+	// network termination. Flushing must not be combined with networks
+	// that re-circulate synchrocell output through a star (such as the
+	// paper's Fig. 4 solver segment), where flushed tokens would unroll
+	// new star stages indefinitely during shutdown.
+	FlushSyncOnClose bool
+}
+
+// DefaultBufferSize is used when Options.BufferSize is zero-valued via
+// NewNetwork's option normalization.
+const DefaultBufferSize = 32
+
+// Env is the per-network runtime context threaded through entity spawning.
+// It carries the platform, the current placement node, the shared error
+// sink and the options.
+type Env struct {
+	platform Platform
+	node     int
+	opts     Options
+	errs     *errSink
+}
+
+// newEnv builds the root environment.
+func newEnv(opts Options) *Env {
+	if opts.Platform == nil {
+		opts.Platform = LocalPlatform{}
+	}
+	return &Env{
+		platform: opts.Platform,
+		node:     0,
+		opts:     opts,
+		errs:     &errSink{},
+	}
+}
+
+// At returns a copy of the environment placed on the given node.
+func (e *Env) At(node int) *Env {
+	c := *e
+	c.node = node
+	return &c
+}
+
+// Node returns the abstract compute node the current entity is placed on.
+func (e *Env) Node() int { return e.node }
+
+// Nodes returns the platform's node count.
+func (e *Env) Nodes() int { return e.platform.Nodes() }
+
+// exec runs fn as a box execution on the environment's node.
+func (e *Env) exec(fn func()) { e.platform.Exec(e.node, fn) }
+
+// transfer accounts a record moving between nodes.
+func (e *Env) transfer(from, to int, r *record.Record) {
+	if from != to {
+		e.platform.Transfer(from, to, r)
+	}
+}
+
+// newChan allocates a stream channel with the configured buffering.
+func (e *Env) newChan() chan *record.Record {
+	if e.opts.BufferSize < 0 {
+		return make(chan *record.Record)
+	}
+	return make(chan *record.Record, e.opts.BufferSize)
+}
+
+// report records a runtime error.
+func (e *Env) report(err error) { e.errs.add(err) }
+
+// errSink accumulates runtime errors from concurrently executing entities.
+type errSink struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (s *errSink) add(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+func (s *errSink) all() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// SpawnFunc instantiates an entity: it must start whatever goroutines the
+// entity needs, consume `in` until it is closed, and close `out` once all
+// output has been produced.
+type SpawnFunc func(env *Env, in <-chan *record.Record, out chan<- *record.Record)
+
+// Entity is a SISO network component: a box, filter, synchrocell, or a
+// network built from combinators. Entities are immutable descriptions and
+// may be instantiated any number of times.
+type Entity struct {
+	name  string
+	sig   rtype.Signature
+	kids  []*Entity
+	spawn SpawnFunc
+}
+
+// Name returns the entity's diagnostic name.
+func (e *Entity) Name() string { return e.name }
+
+// Signature returns the entity's (declared or inferred) type signature.
+func (e *Entity) Signature() rtype.Signature { return e.sig }
+
+// Spawn instantiates the entity in the given environment.
+func (e *Entity) Spawn(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn(env, in, out)
+}
+
+// Describe renders the entity tree with names and signatures, one entity
+// per line, indented by depth. It is used by the snetc command.
+func (e *Entity) Describe() string {
+	var b []byte
+	var walk func(ent *Entity, depth int)
+	walk = func(ent *Entity, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, ent.name...)
+		b = append(b, "  :: "...)
+		b = append(b, ent.sig.String()...)
+		b = append(b, '\n')
+		for _, k := range ent.kids {
+			walk(k, depth+1)
+		}
+	}
+	walk(e, 0)
+	return string(b)
+}
+
+// collector lets a dynamic set of producers (star unfoldings, split
+// instances, parallel branches) share one output channel. The channel is
+// closed once every registered producer has finished.
+type collector struct {
+	out chan<- *record.Record
+	wg  sync.WaitGroup
+}
+
+// newCollector registers `initial` producers and starts the closer.
+func newCollector(out chan<- *record.Record, initial int) *collector {
+	c := &collector{out: out}
+	c.wg.Add(initial)
+	go func() {
+		c.wg.Wait()
+		close(out)
+	}()
+	return c
+}
+
+// add registers additional producers. It must be called from a goroutine
+// that is itself a registered producer (so the count cannot reach zero
+// concurrently).
+func (c *collector) add(n int) { c.wg.Add(n) }
+
+// done signs off one producer.
+func (c *collector) done() { c.wg.Done() }
+
+// send forwards a record to the shared output.
+func (c *collector) send(r *record.Record) { c.out <- r }
+
+// drainInto forwards everything from src to the collector, then signs off.
+func (c *collector) drainInto(src <-chan *record.Record) {
+	defer c.done()
+	for r := range src {
+		c.out <- r
+	}
+}
+
+// pump copies src to dst and closes dst when src is exhausted.
+func pump(src <-chan *record.Record, dst chan<- *record.Record) {
+	for r := range src {
+		dst <- r
+	}
+	close(dst)
+}
+
+// entityError annotates a runtime error with the entity that raised it.
+func entityError(name string, err error) error {
+	return fmt.Errorf("snet: entity %s: %w", name, err)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// seqTag is the reserved tag used by deterministic combinators to track
+// which input record an output descends from. It rides through branches via
+// flow inheritance (no branch entity ever matches it) and is stripped
+// before records leave the combinator. User networks must not use this
+// label.
+const seqTag = "__snet_seq"
+
+// DetChoice builds the deterministic parallel composition A||B||...:
+// records are dispatched exactly like Choice, but the output stream
+// preserves the input order — all outputs descending from input record i
+// are emitted before any output descending from record i+1, matching the
+// semantics of S-Net's deterministic combinator variants.
+//
+// The implementation stamps each dispatched record with a hidden sequence
+// tag (inherited through the branch) and reorders at the merge: outputs of
+// the oldest outstanding input flow through immediately; later outputs are
+// buffered until every older input is known to be finished, which is
+// learned from each branch's FIFO progress (a branch emitting an output of
+// a younger input completes all its older inputs) and from branch
+// termination.
+func DetChoice(branches ...*Entity) *Entity {
+	if len(branches) == 0 {
+		panic("core.DetChoice: no branches")
+	}
+	if len(branches) == 1 {
+		return branches[0]
+	}
+	name := "("
+	inT := rtype.NewType()
+	outT := rtype.NewType()
+	for i, b := range branches {
+		if i > 0 {
+			name += "||"
+		}
+		name += b.name
+		inT = inT.Union(b.sig.In)
+		outT = outT.Union(b.sig.Out)
+	}
+	name += ")"
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, outT),
+		kids: branches,
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			events := make(chan detEvent, max(0, env.opts.BufferSize)+len(branches))
+			ins := make([]chan *record.Record, len(branches))
+			for i, b := range branches {
+				ins[i] = env.newChan()
+				bo := env.newChan()
+				b.spawn(env, ins[i], bo)
+				go detPump(i, bo, events)
+			}
+			go runDetMerger(events, out)
+			go func() {
+				rr := 0
+				seq := 0
+				for r := range in {
+					if !r.IsData() {
+						// Control records take a sequence slot of their
+						// own and complete immediately.
+						events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
+						events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+						seq++
+						continue
+					}
+					best, bestScore, ties := -1, -1, 0
+					for i, b := range branches {
+						if _, s := b.sig.In.BestMatch(r); s > bestScore {
+							best, bestScore, ties = i, s, 1
+						} else if s == bestScore && s >= 0 {
+							ties++
+						}
+					}
+					if best < 0 {
+						env.report(entityError(name, fmt.Errorf(
+							"record %s matches no branch input type", r)))
+						continue
+					}
+					if ties > 1 {
+						k := rr % ties
+						rr++
+						for i, b := range branches {
+							if _, s := b.sig.In.BestMatch(r); s == bestScore {
+								if k == 0 {
+									best = i
+									break
+								}
+								k--
+							}
+						}
+					}
+					r.SetTag(seqTag, seq)
+					events <- detEvent{kind: evAssign, key: best, seq: seq}
+					seq++
+					ins[best] <- r
+				}
+				for _, c := range ins {
+					close(c)
+				}
+				events <- detEvent{kind: evNoMoreKeys, seq: len(branches)}
+			}()
+		},
+	}
+}
+
+// DetSplit builds the deterministic indexed parallel replication A!!<tag>:
+// like Split, one replica of A per distinct tag value, but the output
+// stream preserves the input order across replicas, using the same
+// sequence-and-reorder machinery as DetChoice.
+func DetSplit(a *Entity, tag string) *Entity {
+	inT := rtype.NewType()
+	for _, v := range a.sig.In.Variants() {
+		inT.AddVariant(v.Copy().Add(rtype.T(tag)))
+	}
+	if inT.NumVariants() == 0 {
+		inT.AddVariant(rtype.NewVariant(rtype.T(tag)))
+	}
+	name := fmt.Sprintf("(%s!!<%s>)", a.name, tag)
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, a.sig.Out),
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			events := make(chan detEvent, max(0, env.opts.BufferSize)+4)
+			go runDetMerger(events, out)
+			go func() {
+				instances := make(map[int]chan *record.Record)
+				// Dense instance ids keep merger keys distinct from the
+				// reserved control key even for negative tag values.
+				ids := make(map[int]int)
+				seq := 0
+				for r := range in {
+					if !r.IsData() {
+						events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
+						events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+						seq++
+						continue
+					}
+					v, ok := r.Tag(tag)
+					if !ok {
+						env.report(entityError(name, fmt.Errorf(
+							"record %s lacks index tag <%s>", r, tag)))
+						continue
+					}
+					instIn, ok := instances[v]
+					if !ok {
+						instIn = env.newChan()
+						instances[v] = instIn
+						ids[v] = len(ids)
+						instOut := env.newChan()
+						a.spawn(env, instIn, instOut)
+						go detPump(ids[v], instOut, events)
+					}
+					r.SetTag(seqTag, seq)
+					events <- detEvent{kind: evAssign, key: ids[v], seq: seq}
+					seq++
+					instIn <- r
+				}
+				for _, c := range instances {
+					close(c)
+				}
+				events <- detEvent{kind: evNoMoreKeys, seq: len(instances)}
+			}()
+		},
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// slowEcho returns a box that copies x after an artificial delay, so a
+// nondeterministic merge would reorder.
+func slowEcho(name string, matchTag string, delay time.Duration) *Entity {
+	in := []rtype.Label{rtype.F("x")}
+	if matchTag != "" {
+		in = append(in, rtype.T(matchTag))
+	}
+	sig := MustSig(in, []rtype.Label{rtype.F("x")})
+	return NewBox(name, sig, func(c *BoxCall) error {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		c.Emit(record.New().SetField("x", c.Field("x")))
+		return nil
+	})
+}
+
+func TestDetChoicePreservesInputOrder(t *testing.T) {
+	e := DetChoice(
+		slowEcho("slow", "slow", 2*time.Millisecond),
+		slowEcho("fast", "", 0),
+	)
+	var ins []*record.Record
+	for i := 0; i < 20; i++ {
+		r := record.New().SetField("x", i)
+		if i%4 == 0 {
+			r.SetTag("slow", 1)
+		}
+		ins = append(ins, r)
+	}
+	outs := runEntity(t, e, ins...)
+	if len(outs) != 20 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if v, _ := o.Field("x"); v != i {
+			t.Fatalf("output %d = %v, order violated", i, v)
+		}
+		if o.HasTag("__snet_seq") {
+			t.Fatal("internal sequence tag leaked")
+		}
+	}
+}
+
+func TestDetChoiceMultiOutputGrouping(t *testing.T) {
+	// The fan box emits <n> copies; all copies of record i must precede
+	// every output of record i+1 even when a later record finishes first.
+	sigFan := MustSig([]rtype.Label{rtype.T("n"), rtype.T("fan")}, []rtype.Label{rtype.T("i")})
+	fan := NewBox("fan", sigFan, func(c *BoxCall) error {
+		time.Sleep(2 * time.Millisecond)
+		for i := 0; i < c.Tag("n"); i++ {
+			c.Emit(record.New().SetTag("i", i))
+		}
+		return nil
+	})
+	sigOne := MustSig([]rtype.Label{rtype.T("n")}, []rtype.Label{rtype.T("i")})
+	one := NewBox("one", sigOne, func(c *BoxCall) error {
+		c.Emit(record.New().SetTag("i", 99))
+		return nil
+	})
+	e := DetChoice(fan, one)
+	outs := runEntity(t, e,
+		record.Build().T("n", 3).T("fan", 1).T("id", 0).Rec(),
+		record.Build().T("n", 1).T("id", 1).Rec(),
+		record.Build().T("n", 2).T("fan", 1).T("id", 2).Rec())
+	if len(outs) != 6 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	wantIDs := []int{0, 0, 0, 1, 2, 2}
+	for i, o := range outs {
+		id, _ := o.Tag("id")
+		if id != wantIDs[i] {
+			var got []int
+			for _, oo := range outs {
+				v, _ := oo.Tag("id")
+				got = append(got, v)
+			}
+			t.Fatalf("grouping violated: ids = %v", got)
+		}
+	}
+}
+
+func TestDetChoiceZeroOutputRecords(t *testing.T) {
+	// A record that produces no outputs must not stall younger records.
+	sigDrop := MustSig([]rtype.Label{rtype.F("x"), rtype.T("drop")}, []rtype.Label{rtype.F("x")})
+	drop := NewBox("drop", sigDrop, func(c *BoxCall) error { return nil })
+	e := DetChoice(drop, slowEcho("echo", "", 0))
+	var ins []*record.Record
+	for i := 0; i < 10; i++ {
+		r := record.New().SetField("x", i)
+		if i%2 == 0 {
+			r.SetTag("drop", 1)
+		}
+		ins = append(ins, r)
+	}
+	done := make(chan []*record.Record, 1)
+	go func() {
+		outs, err := NewNetwork(e, Options{}).Run(ins...)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- outs
+	}()
+	select {
+	case outs := <-done:
+		if len(outs) != 5 {
+			t.Fatalf("got %d outputs, want 5", len(outs))
+		}
+		for i, o := range outs {
+			if v, _ := o.Field("x"); v != 2*i+1 {
+				t.Fatalf("output %d = %v", i, v)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deterministic merge stalled on zero-output record")
+	}
+}
+
+func TestDetChoiceSingleBranchIsOperand(t *testing.T) {
+	a := slowEcho("a", "", 0)
+	if DetChoice(a) != a {
+		t.Fatal("DetChoice of one branch should return the operand")
+	}
+}
+
+func TestDetChoiceNoMatchReported(t *testing.T) {
+	e := DetChoice(slowEcho("a", "need", 0), slowEcho("b", "need", 0))
+	_, err := NewNetwork(e, Options{}).Run(record.New().SetField("y", 1))
+	if err == nil {
+		t.Fatal("expected no-match error")
+	}
+}
+
+func TestDetChoiceNestedEntities(t *testing.T) {
+	// Branches can be whole subnetworks: seq tags must survive filters
+	// and serial composition via flow inheritance.
+	inc := incBox("inc", 1)
+	addTag := NewFilter("",
+		FilterRule{
+			Pattern: rtype.NewPattern(rtype.NewVariant()),
+			Outputs: []FilterOutput{{SetTags: []TagAssign{{
+				Name: "seen", Expr: func(*record.Record) int { return 1 }, Src: "seen=1",
+			}}}},
+		})
+	branch := Serial(inc, addTag)
+	e := DetChoice(Serial(branch, incBox("inc2", 10)), slowEcho("never", "never", 0))
+	var ins []*record.Record
+	for i := 0; i < 8; i++ {
+		ins = append(ins, record.New().SetField("x", i))
+	}
+	outs := runEntity(t, e, ins...)
+	for i, o := range outs {
+		if v, _ := o.Field("x"); v != i+11 {
+			t.Fatalf("output %d = %v", i, v)
+		}
+		if o.HasTag("__snet_seq") {
+			t.Fatal("sequence tag leaked through nested entities")
+		}
+	}
+}
+
+func TestDetChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DetChoice() did not panic")
+		}
+	}()
+	DetChoice()
+}
+
+func TestPropDetChoiceIsPermutationFreeIdentity(t *testing.T) {
+	// For echo-only branches, DetChoice must be the identity on the
+	// input sequence, regardless of which branch each record takes and
+	// how the scheduler interleaves.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := DetChoice(
+			slowEcho("a", "ta", time.Duration(rng.Intn(2))*time.Millisecond),
+			slowEcho("b", "tb", 0),
+			slowEcho("c", "", 0),
+		)
+		n := 1 + rng.Intn(24)
+		var ins []*record.Record
+		for i := 0; i < n; i++ {
+			r := record.New().SetField("x", i)
+			switch rng.Intn(3) {
+			case 0:
+				r.SetTag("ta", 1)
+			case 1:
+				r.SetTag("tb", 1)
+			}
+			ins = append(ins, r)
+		}
+		outs, err := NewNetwork(e, Options{BufferSize: 1 + rng.Intn(4)}).Run(ins...)
+		if err != nil || len(outs) != n {
+			return false
+		}
+		for i, o := range outs {
+			if v, _ := o.Field("x"); v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetChoiceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	e := DetChoice(
+		slowEcho("a", "ta", 0),
+		slowEcho("b", "", 0),
+	)
+	const n = 2000
+	var ins []*record.Record
+	for i := 0; i < n; i++ {
+		r := record.New().SetField("x", i)
+		if i%7 == 0 {
+			r.SetTag("ta", 1)
+		}
+		ins = append(ins, r)
+	}
+	outs, err := NewNetwork(e, Options{BufferSize: 8}).Run(ins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != n {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if v, _ := o.Field("x"); v != i {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+	_ = fmt.Sprint() // keep fmt import if assertions change
+}
+
+func TestDetSplitPreservesInputOrder(t *testing.T) {
+	// Per-instance delays differ, so a nondeterministic split would let
+	// fast instances overtake; DetSplit must restore input order.
+	sig := MustSig([]rtype.Label{rtype.F("x"), rtype.T("k")}, []rtype.Label{rtype.F("x")})
+	work := NewBox("work", sig, func(c *BoxCall) error {
+		if c.Tag("k") == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		c.Emit(record.New().SetField("x", c.Field("x")))
+		return nil
+	})
+	e := DetSplit(work, "k")
+	var ins []*record.Record
+	for i := 0; i < 24; i++ {
+		ins = append(ins, record.Build().F("x", i).T("k", i%3).Rec())
+	}
+	outs := runEntity(t, e, ins...)
+	if len(outs) != 24 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if v, _ := o.Field("x"); v != i {
+			t.Fatalf("order violated at %d: %v", i, v)
+		}
+		if o.HasTag("__snet_seq") {
+			t.Fatal("sequence tag leaked")
+		}
+	}
+}
+
+func TestDetSplitNegativeTagValues(t *testing.T) {
+	sig := MustSig([]rtype.Label{rtype.F("x"), rtype.T("k")}, []rtype.Label{rtype.F("x")})
+	echo := NewBox("echo", sig, func(c *BoxCall) error {
+		c.Emit(record.New().SetField("x", c.Field("x")))
+		return nil
+	})
+	e := DetSplit(echo, "k")
+	var ins []*record.Record
+	for i := 0; i < 9; i++ {
+		ins = append(ins, record.Build().F("x", i).T("k", -(i%3)).Rec())
+	}
+	outs := runEntity(t, e, ins...)
+	if len(outs) != 9 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if v, _ := o.Field("x"); v != i {
+			t.Fatalf("order violated at %d: %v", i, v)
+		}
+	}
+}
+
+func TestDetSplitMissingTagReported(t *testing.T) {
+	sig := MustSig([]rtype.Label{rtype.F("x"), rtype.T("k")}, []rtype.Label{rtype.F("x")})
+	echo := NewBox("echo", sig, func(c *BoxCall) error { return nil })
+	_, err := NewNetwork(DetSplit(echo, "k"), Options{}).Run(record.New().SetField("x", 1))
+	if err == nil || !strings.Contains(err.Error(), "lacks index tag") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetSplitSignature(t *testing.T) {
+	sig := MustSig([]rtype.Label{rtype.F("x")}, []rtype.Label{rtype.F("y")})
+	e := DetSplit(NewBox("b", sig, func(c *BoxCall) error { return nil }), "k")
+	if !e.Signature().In.Accepts(record.Build().F("x", 1).T("k", 0).Rec()) {
+		t.Fatal("DetSplit input type must accept tagged records")
+	}
+	if e.Signature().In.Accepts(record.New().SetField("x", 1)) {
+		t.Fatal("DetSplit input type must require the index tag")
+	}
+}

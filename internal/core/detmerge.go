@@ -1,0 +1,162 @@
+package core
+
+import "snet/internal/record"
+
+// detEvent is one message into the deterministic reordering merger shared
+// by DetChoice and DetSplit.
+type detEvent struct {
+	kind detEventKind
+	key  int // branch index (choice) or instance tag value (split)
+	seq  int // sequence number; for evNoMoreKeys: total number of keys
+	rec  *record.Record
+}
+
+type detEventKind uint8
+
+const (
+	evAssign     detEventKind = iota // input seq dispatched to key
+	evOutput                         // key produced an output record
+	evClose                          // key's output stream closed
+	evNoMoreKeys                     // dispatcher done; seq carries the key count
+)
+
+// ctrlKey marks control-record pseudo-assignments that complete instantly.
+const ctrlKey = -1
+
+// detMerger restores input order on the output of a deterministic
+// combinator. It must be driven from a single goroutine via handle, which
+// returns true when the merge is finished (every expected key has closed
+// and the dispatcher is done) and the output may be closed.
+//
+// Ordering contract: for each key, evAssign(seq) precedes every
+// evOutput(seq) (dispatchers send the assign event to the FIFO event
+// channel before handing the record to the branch), and a key's outputs
+// arrive in its input order (branches are FIFO).
+type detMerger struct {
+	out       chan<- *record.Record
+	nextSeq   int
+	buffered  map[int][]*record.Record
+	completed map[int]bool
+	ctrlDone  map[int]bool
+	pending   map[int][]int // key -> FIFO of open seqs
+	closes    int
+	expected  int // -1 until evNoMoreKeys announces the key count
+}
+
+func newDetMerger(out chan<- *record.Record) *detMerger {
+	return &detMerger{
+		out:       out,
+		buffered:  map[int][]*record.Record{},
+		completed: map[int]bool{},
+		ctrlDone:  map[int]bool{},
+		pending:   map[int][]int{},
+		expected:  -1,
+	}
+}
+
+// handle processes one event and reports whether the merge is complete.
+func (m *detMerger) handle(ev detEvent) bool {
+	switch ev.kind {
+	case evAssign:
+		if ev.key != ctrlKey {
+			m.pending[ev.key] = append(m.pending[ev.key], ev.seq)
+		}
+	case evOutput:
+		if ev.key == ctrlKey {
+			m.ctrlDone[ev.seq] = true
+		} else {
+			m.completeThrough(ev.key, ev.seq)
+		}
+		switch {
+		case ev.seq < 0:
+			// untagged output (sequence tag lost inside the branch):
+			// ordering responsibility is void, emit immediately.
+			m.out <- ev.rec
+		case ev.seq == m.nextSeq:
+			m.flushBuffer(m.nextSeq)
+			m.out <- ev.rec
+		default:
+			m.buffered[ev.seq] = append(m.buffered[ev.seq], ev.rec)
+		}
+		m.advance()
+	case evClose:
+		for _, s := range m.pending[ev.key] {
+			m.completed[s] = true
+		}
+		delete(m.pending, ev.key)
+		m.closes++
+		m.advance()
+	case evNoMoreKeys:
+		m.expected = ev.seq
+	}
+	if m.expected >= 0 && m.closes == m.expected {
+		for s := range m.buffered {
+			m.completed[s] = true
+		}
+		m.advance()
+		return true
+	}
+	return false
+}
+
+// completeThrough applies a key's FIFO progress: an output of seq completes
+// every older seq assigned to the same key.
+func (m *detMerger) completeThrough(key, seq int) {
+	q := m.pending[key]
+	for len(q) > 0 && q[0] != seq {
+		m.completed[q[0]] = true
+		q = q[1:]
+	}
+	m.pending[key] = q
+}
+
+func (m *detMerger) flushBuffer(seq int) {
+	if rs, ok := m.buffered[seq]; ok {
+		for _, r := range rs {
+			m.out <- r
+		}
+		delete(m.buffered, seq)
+	}
+}
+
+// advance emits buffered outputs of completed sequence numbers in order.
+func (m *detMerger) advance() {
+	for {
+		m.flushBuffer(m.nextSeq)
+		if m.completed[m.nextSeq] || m.ctrlDone[m.nextSeq] {
+			delete(m.completed, m.nextSeq)
+			delete(m.ctrlDone, m.nextSeq)
+			m.nextSeq++
+			continue
+		}
+		return
+	}
+}
+
+// runDetMerger drains the event channel into a merger and closes out when
+// the merge completes.
+func runDetMerger(events <-chan detEvent, out chan<- *record.Record) {
+	m := newDetMerger(out)
+	for ev := range events {
+		if m.handle(ev) {
+			break
+		}
+	}
+	close(out)
+}
+
+// detPump forwards a branch's outputs as events, stripping the hidden
+// sequence tag.
+func detPump(key int, bo <-chan *record.Record, events chan<- detEvent) {
+	for r := range bo {
+		seq := -1
+		if r.IsData() {
+			if s, ok := r.Tag(seqTag); ok {
+				seq = s
+				r.DeleteTag(seqTag)
+			}
+		}
+		events <- detEvent{kind: evOutput, key: key, seq: seq, rec: r}
+	}
+	events <- detEvent{kind: evClose, key: key}
+}

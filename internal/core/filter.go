@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// TagExpr computes an integer from a record's tag values; it is the runtime
+// form of filter tag expressions such as <cnt+=1>.
+type TagExpr func(r *record.Record) int
+
+// FilterOutput is one output template of a filter rule. For each input
+// record, the template produces one output record containing:
+//
+//   - CopyFields: fields copied from the input record;
+//   - CopyTags: tags copied verbatim from the input record;
+//   - SetTags: tags computed from the input record's tag values;
+//   - RenameFields: fields copied under a new name (old -> new).
+//
+// Labels of the input record NOT matched by the rule's pattern are
+// additionally attached to the output by flow inheritance; pattern-matched
+// labels that the template does not mention are consumed (dropped).
+type FilterOutput struct {
+	CopyFields   []string
+	CopyTags     []string
+	SetTags      []TagAssign
+	RenameFields []Rename
+}
+
+// TagAssign sets tag Name to the value of Expr; Src is the textual form for
+// diagnostics.
+type TagAssign struct {
+	Name string
+	Expr TagExpr
+	Src  string
+}
+
+// Rename copies field From under label To.
+type Rename struct {
+	From, To string
+}
+
+// FilterRule couples a match pattern with one or more output templates
+// (separated by ';' in the concrete syntax: one input record yields one
+// output record per template).
+type FilterRule struct {
+	Pattern *rtype.Pattern
+	Outputs []FilterOutput
+}
+
+// NewFilter builds a filter entity from match rules. A record is processed
+// by the first rule whose pattern it matches; a record matching no rule is
+// a runtime type error. The identity filter [] is Identity.
+func NewFilter(name string, rules ...FilterRule) *Entity {
+	if name == "" {
+		name = describeFilter(rules)
+	}
+	inT := rtype.NewType()
+	outT := rtype.NewType()
+	for _, rule := range rules {
+		inT.AddVariant(rule.Pattern.Variant)
+		for _, o := range rule.Outputs {
+			v := rtype.NewVariant()
+			for _, f := range o.CopyFields {
+				v.Add(rtype.F(f))
+			}
+			for _, t := range o.CopyTags {
+				v.Add(rtype.T(t))
+			}
+			for _, a := range o.SetTags {
+				v.Add(rtype.T(a.Name))
+			}
+			for _, rn := range o.RenameFields {
+				v.Add(rtype.F(rn.To))
+			}
+			outT.AddVariant(v)
+		}
+	}
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, outT),
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			go func() {
+				defer close(out)
+				for r := range in {
+					if !r.IsData() {
+						out <- r
+						continue
+					}
+					applyFilter(env, name, rules, r, out)
+				}
+			}()
+		},
+	}
+}
+
+// applyFilter processes one record through the first matching rule.
+func applyFilter(env *Env, name string, rules []FilterRule, r *record.Record, out chan<- *record.Record) {
+	for _, rule := range rules {
+		if !rule.Pattern.Matches(r) {
+			continue
+		}
+		consumedF := setOf(rule.Pattern.Variant.Fields())
+		consumedT := setOf(rule.Pattern.Variant.Tags())
+		for _, o := range rule.Outputs {
+			nr := record.New()
+			for _, f := range o.CopyFields {
+				if v, ok := r.Field(f); ok {
+					nr.SetField(f, v)
+				}
+			}
+			for _, rn := range o.RenameFields {
+				if v, ok := r.Field(rn.From); ok {
+					nr.SetField(rn.To, v)
+				}
+			}
+			for _, t := range o.CopyTags {
+				if v, ok := r.Tag(t); ok {
+					nr.SetTag(t, v)
+				}
+			}
+			for _, a := range o.SetTags {
+				nr.SetTag(a.Name, a.Expr(r))
+			}
+			nr.InheritFromExcept(r, consumedF, consumedT)
+			out <- nr
+		}
+		return
+	}
+	env.report(entityError(name, fmt.Errorf(
+		"record %s matches no filter rule", r)))
+}
+
+// Identity builds the identity filter [], which passes every record through
+// unchanged. Its input type is the empty variant (accepts everything with
+// match score 0), which is what makes it usable as the bypass branch in the
+// paper's merger and solver networks.
+func Identity() *Entity {
+	empty := rtype.NewType(rtype.NewVariant())
+	return &Entity{
+		name: "[]",
+		sig:  rtype.NewSignature(empty, empty),
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			go pump(in, out)
+		},
+	}
+}
+
+// describeFilter renders rules in S-Net-ish syntax for diagnostics.
+func describeFilter(rules []FilterRule) string {
+	var parts []string
+	for _, rule := range rules {
+		var outs []string
+		for _, o := range rule.Outputs {
+			var items []string
+			items = append(items, o.CopyFields...)
+			for _, rn := range o.RenameFields {
+				items = append(items, rn.From+"->"+rn.To)
+			}
+			for _, t := range o.CopyTags {
+				items = append(items, "<"+t+">")
+			}
+			for _, a := range o.SetTags {
+				src := a.Src
+				if src == "" {
+					src = a.Name + "=…"
+				}
+				items = append(items, "<"+src+">")
+			}
+			outs = append(outs, "{"+strings.Join(items, ",")+"}")
+		}
+		parts = append(parts, rule.Pattern.String()+" -> "+strings.Join(outs, "; "))
+	}
+	return "[" + strings.Join(parts, " | ") + "]"
+}

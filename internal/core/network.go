@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+
+	"snet/internal/record"
+)
+
+// Network is an instantiable S-Net: a toplevel entity plus runtime options.
+// A Network may be instantiated many times; each Start/Run creates a fresh
+// set of goroutines and channels.
+type Network struct {
+	entity *Entity
+	opts   Options
+}
+
+// NewNetwork wraps an entity into a runnable network. A zero Options value
+// selects the LocalPlatform and DefaultBufferSize.
+func NewNetwork(e *Entity, opts Options) *Network {
+	if opts.BufferSize == 0 {
+		opts.BufferSize = DefaultBufferSize
+	}
+	return &Network{entity: e, opts: opts}
+}
+
+// Entity returns the underlying toplevel entity.
+func (n *Network) Entity() *Entity { return n.entity }
+
+// Instance is one running instantiation of a Network.
+type Instance struct {
+	// In is the network's global input stream. Close it to initiate
+	// orderly shutdown.
+	In chan<- *record.Record
+	// Out is the network's global output stream. It is closed after the
+	// network has fully drained.
+	Out <-chan *record.Record
+
+	env *Env
+}
+
+// Start instantiates the network and returns its global input and output
+// streams.
+func (n *Network) Start() *Instance {
+	env := newEnv(n.opts)
+	in := env.newChan()
+	out := env.newChan()
+	n.entity.Spawn(env, in, out)
+	return &Instance{In: in, Out: out, env: env}
+}
+
+// Err returns all runtime errors reported so far, joined, or nil.
+func (i *Instance) Err() error {
+	return errors.Join(i.env.errs.all()...)
+}
+
+// Run feeds the input records into a fresh instantiation of the network,
+// closes the input, and collects the complete output. It returns the
+// outputs in arrival order together with any runtime errors.
+func (n *Network) Run(inputs ...*record.Record) ([]*record.Record, error) {
+	inst := n.Start()
+	go func() {
+		for _, r := range inputs {
+			inst.In <- r
+		}
+		close(inst.In)
+	}()
+	var outs []*record.Record
+	for r := range inst.Out {
+		outs = append(outs, r)
+	}
+	return outs, inst.Err()
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"snet/internal/record"
+)
+
+// ObserveDirection tells an observer callback whether a record was entering
+// or leaving the observed entity.
+type ObserveDirection uint8
+
+// Observation directions.
+const (
+	// ObserveIn reports a record entering the observed entity.
+	ObserveIn ObserveDirection = iota
+	// ObserveOut reports a record leaving the observed entity.
+	ObserveOut
+)
+
+// String names the direction.
+func (d ObserveDirection) String() string {
+	if d == ObserveIn {
+		return "in"
+	}
+	return "out"
+}
+
+// Observe wraps an entity with a transparent observer, the S-Net tooling
+// facility for inspecting record traffic without touching the network's
+// semantics: fn is invoked for every record entering and leaving the
+// operand, in stream order per direction. The callback must treat the
+// record as read-only and must not retain it. Observation does not change
+// routing, typing or ordering.
+func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity {
+	return &Entity{
+		name: fmt.Sprintf("observe(%s)", a.name),
+		sig:  a.sig,
+		kids: []*Entity{a},
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			innerIn := env.newChan()
+			innerOut := env.newChan()
+			go func() {
+				for r := range in {
+					fn(ObserveIn, r)
+					innerIn <- r
+				}
+				close(innerIn)
+			}()
+			a.spawn(env, innerIn, innerOut)
+			go func() {
+				for r := range innerOut {
+					fn(ObserveOut, r)
+					out <- r
+				}
+				close(out)
+			}()
+		},
+	}
+}
+
+// Counter is a ready-made observer callback that counts records entering
+// and leaving an entity; its methods are safe for concurrent use.
+type Counter struct {
+	in, out atomic.Int64
+}
+
+// Observe is the callback to pass to Observe.
+func (c *Counter) Observe(dir ObserveDirection, r *record.Record) {
+	if dir == ObserveIn {
+		c.in.Add(1)
+	} else {
+		c.out.Add(1)
+	}
+}
+
+// In returns the number of records observed entering.
+func (c *Counter) In() int64 { return c.in.Load() }
+
+// Out returns the number of records observed leaving.
+func (c *Counter) Out() int64 { return c.out.Load() }

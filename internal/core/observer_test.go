@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+func TestObserveTransparent(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	obs := Observe(incBox("inc", 1), func(dir ObserveDirection, r *record.Record) {
+		mu.Lock()
+		seen = append(seen, dir.String()+":"+r.String())
+		mu.Unlock()
+	})
+	outs := runEntity(t, obs, record.New().SetField("x", 1), record.New().SetField("x", 2))
+	if len(outs) != 2 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 4 {
+		t.Fatalf("observed %d events, want 4: %v", len(seen), seen)
+	}
+	ins, outsN := 0, 0
+	for _, s := range seen {
+		if strings.HasPrefix(s, "in:") {
+			ins++
+		} else {
+			outsN++
+		}
+	}
+	if ins != 2 || outsN != 2 {
+		t.Fatalf("ins=%d outs=%d", ins, outsN)
+	}
+}
+
+func TestObserveSignatureUnchanged(t *testing.T) {
+	a := incBox("inc", 1)
+	obs := Observe(a, func(ObserveDirection, *record.Record) {})
+	if obs.Signature().String() != a.Signature().String() {
+		t.Fatal("observer changed the signature")
+	}
+	if !strings.Contains(obs.Name(), "observe(inc)") {
+		t.Fatalf("name = %q", obs.Name())
+	}
+}
+
+func TestCounterObserver(t *testing.T) {
+	var c Counter
+	// fan box: 1 record in, <n> out
+	sig := MustSig([]rtype.Label{rtype.T("n")}, []rtype.Label{rtype.T("i")})
+	fan := NewBox("fan", sig, func(bc *BoxCall) error {
+		for i := 0; i < bc.Tag("n"); i++ {
+			bc.Emit(record.New().SetTag("i", i))
+		}
+		return nil
+	})
+	obs := Observe(fan, c.Observe)
+	outs := runEntity(t, obs, record.New().SetTag("n", 3))
+	if len(outs) != 3 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	if c.In() != 1 || c.Out() != 3 {
+		t.Fatalf("counter in=%d out=%d", c.In(), c.Out())
+	}
+}
+
+func TestObserveDirectionString(t *testing.T) {
+	if ObserveIn.String() != "in" || ObserveOut.String() != "out" {
+		t.Fatal("direction strings wrong")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// NewSync builds a synchrocell [| p1, p2, ... |] — the only stateful entity
+// in S-Net. The cell holds the first record matching each pattern; once
+// every pattern has been matched, the stored records are merged into a
+// single record (labels of records matched against earlier patterns take
+// priority on overlap) which is released to the output stream. After
+// firing, the cell becomes the identity: all further records pass through
+// unchanged. Records that match no unfilled pattern also pass through
+// unchanged.
+//
+// If the input stream ends before the cell has fired, the stored records
+// are discarded (the reference runtime's behaviour at network termination)
+// unless Options.FlushSyncOnClose is set, in which case they are flushed to
+// the output in storage order.
+func NewSync(patterns ...*rtype.Pattern) *Entity {
+	if len(patterns) < 2 {
+		panic("core.NewSync: a synchrocell needs at least two patterns")
+	}
+	inT := rtype.NewType()
+	merged := rtype.NewVariant()
+	for _, p := range patterns {
+		inT.AddVariant(p.Variant)
+		merged = merged.Union(p.Variant)
+	}
+	outT := inT.Union(rtype.NewType(merged))
+	name := syncName(patterns)
+	return &Entity{
+		name: name,
+		sig:  rtype.NewSignature(inT, outT),
+		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+			go func() {
+				defer close(out)
+				stored := make([]*record.Record, len(patterns))
+				filled := 0
+				fired := false
+				for r := range in {
+					if !r.IsData() {
+						out <- r
+						continue
+					}
+					if fired {
+						out <- r
+						continue
+					}
+					idx := -1
+					for i, p := range patterns {
+						if stored[i] == nil && p.Matches(r) {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						out <- r
+						continue
+					}
+					stored[idx] = r
+					filled++
+					if filled == len(patterns) {
+						m := stored[0].Copy()
+						for _, s := range stored[1:] {
+							m.Merge(s)
+						}
+						fired = true
+						out <- m
+					}
+				}
+				if !fired && env.opts.FlushSyncOnClose {
+					for _, s := range stored {
+						if s != nil {
+							out <- s
+						}
+					}
+				}
+			}()
+		},
+	}
+}
+
+func syncName(patterns []*rtype.Pattern) string {
+	parts := make([]string, len(patterns))
+	for i, p := range patterns {
+		parts[i] = p.String()
+	}
+	return "[|" + strings.Join(parts, ", ") + "|]"
+}

@@ -1,0 +1,203 @@
+// Package geom provides the vector and geometric primitives underneath the
+// ray tracer: 3-vectors, rays and axis-aligned bounding boxes.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector of float64.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a vector.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns the component-wise product v ⊙ w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns |v|.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns |v|².
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Normalize returns v/|v|; the zero vector normalizes to itself.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Reflect returns the reflection of v about the unit normal n.
+func (v Vec3) Reflect(n Vec3) Vec3 {
+	return v.Sub(n.Scale(2 * v.Dot(n)))
+}
+
+// Refract returns the refraction of unit vector v entering a surface with
+// unit normal n and relative refractive index ratio eta (n1/n2). The second
+// result is false on total internal reflection.
+func (v Vec3) Refract(n Vec3, eta float64) (Vec3, bool) {
+	cosI := -v.Dot(n)
+	sin2T := eta * eta * (1 - cosI*cosI)
+	if sin2T > 1 {
+		return Vec3{}, false
+	}
+	cosT := math.Sqrt(1 - sin2T)
+	return v.Scale(eta).Add(n.Scale(eta*cosI - cosT)), true
+}
+
+// Lerp returns v + t·(w − v).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// Min returns the component-wise minimum.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// MaxComponent returns the largest component.
+func (v Vec3) MaxComponent() float64 { return math.Max(v.X, math.Max(v.Y, v.Z)) }
+
+// Clamp01 clamps every component into [0, 1].
+func (v Vec3) Clamp01() Vec3 {
+	c := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return Vec3{c(v.X), c(v.Y), c(v.Z)}
+}
+
+// String renders the vector.
+func (v Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z) }
+
+// Ray is a half-line: origin plus direction (not necessarily unit-length;
+// intersection code normalizes where required).
+type Ray struct {
+	Origin, Dir Vec3
+}
+
+// NewRay builds a ray with a normalized direction.
+func NewRay(origin, dir Vec3) Ray {
+	return Ray{Origin: origin, Dir: dir.Normalize()}
+}
+
+// At returns the point origin + t·dir.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns the inverted box that unions as the identity.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: V(inf, inf, inf), Max: V(-inf, -inf, -inf)}
+}
+
+// Union returns the smallest box containing both operands.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{Min: b.Min.Min(o.Min), Max: b.Max.Max(o.Max)}
+}
+
+// Extend returns the smallest box containing b and the point p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Contains reports whether p lies inside the (closed) box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b AABB) ContainsBox(o AABB) bool {
+	return b.Contains(o.Min) && b.Contains(o.Max)
+}
+
+// Center returns the box's center point.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// SurfaceArea returns the total surface area, the cost measure of the
+// Goldsmith–Salmon BVH construction. An empty (inverted) box has area 0.
+func (b AABB) SurfaceArea() float64 {
+	d := b.Max.Sub(b.Min)
+	if d.X < 0 || d.Y < 0 || d.Z < 0 {
+		return 0
+	}
+	return 2 * (d.X*d.Y + d.Y*d.Z + d.Z*d.X)
+}
+
+// Hit reports whether the ray intersects the box within (tMin, tMax), using
+// the slab method.
+func (b AABB) Hit(r Ray, tMin, tMax float64) bool {
+	for axis := 0; axis < 3; axis++ {
+		var lo, hi, o, d float64
+		switch axis {
+		case 0:
+			lo, hi, o, d = b.Min.X, b.Max.X, r.Origin.X, r.Dir.X
+		case 1:
+			lo, hi, o, d = b.Min.Y, b.Max.Y, r.Origin.Y, r.Dir.Y
+		default:
+			lo, hi, o, d = b.Min.Z, b.Max.Z, r.Origin.Z, r.Dir.Z
+		}
+		inv := 1 / d
+		t0 := (lo - o) * inv
+		t1 := (hi - o) * inv
+		if inv < 0 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tMin {
+			tMin = t0
+		}
+		if t1 < tMax {
+			tMax = t1
+		}
+		if tMax < tMin {
+			return false
+		}
+	}
+	return true
+}

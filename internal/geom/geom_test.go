@@ -1,0 +1,228 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func vecAlmost(a, b Vec3) bool {
+	return almost(a.X, b.X) && almost(a.Y, b.Y) && almost(a.Z, b.Z)
+}
+
+func TestVecArithmetic(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, 5, 6)
+	if a.Add(b) != V(5, 7, 9) {
+		t.Fatal("Add")
+	}
+	if b.Sub(a) != V(3, 3, 3) {
+		t.Fatal("Sub")
+	}
+	if a.Mul(b) != V(4, 10, 18) {
+		t.Fatal("Mul")
+	}
+	if a.Scale(2) != V(2, 4, 6) {
+		t.Fatal("Scale")
+	}
+	if a.Neg() != V(-1, -2, -3) {
+		t.Fatal("Neg")
+	}
+	if a.Dot(b) != 32 {
+		t.Fatal("Dot")
+	}
+	if a.Cross(b) != V(-3, 6, -3) {
+		t.Fatal("Cross")
+	}
+}
+
+func TestVecLenNormalize(t *testing.T) {
+	v := V(3, 4, 0)
+	if !almost(v.Len(), 5) || !almost(v.Len2(), 25) {
+		t.Fatal("Len")
+	}
+	n := v.Normalize()
+	if !almost(n.Len(), 1) {
+		t.Fatal("Normalize length")
+	}
+	if !vecAlmost(V(0, 0, 0).Normalize(), V(0, 0, 0)) {
+		t.Fatal("zero normalize")
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// 45° incidence on the XZ plane.
+	in := V(1, -1, 0).Normalize()
+	out := in.Reflect(V(0, 1, 0))
+	if !vecAlmost(out, V(1, 1, 0).Normalize()) {
+		t.Fatalf("Reflect = %v", out)
+	}
+}
+
+func TestRefractStraightThrough(t *testing.T) {
+	// Normal incidence: direction unchanged regardless of eta.
+	in := V(0, -1, 0)
+	out, ok := in.Refract(V(0, 1, 0), 1.5)
+	if !ok || !vecAlmost(out, V(0, -1, 0)) {
+		t.Fatalf("Refract = %v ok=%v", out, ok)
+	}
+}
+
+func TestRefractTotalInternalReflection(t *testing.T) {
+	// Shallow angle from dense to thin medium: TIR.
+	in := V(1, -0.1, 0).Normalize()
+	if _, ok := in.Refract(V(0, 1, 0), 1.8); ok {
+		t.Fatal("expected total internal reflection")
+	}
+}
+
+func TestRefractSnell(t *testing.T) {
+	// 45° into glass (eta = 1/1.5): check Snell's law.
+	in := V(1, -1, 0).Normalize()
+	n := V(0, 1, 0)
+	out, ok := in.Refract(n, 1/1.5)
+	if !ok {
+		t.Fatal("unexpected TIR")
+	}
+	sinI := math.Sqrt(1 - math.Pow(-in.Dot(n), 2))
+	sinT := math.Sqrt(1 - math.Pow(-out.Dot(n.Neg()), 2))
+	if !almost(sinI/sinT, 1.5) {
+		t.Fatalf("Snell violated: sinI/sinT = %g", sinI/sinT)
+	}
+}
+
+func TestLerpMinMaxClamp(t *testing.T) {
+	if !vecAlmost(V(0, 0, 0).Lerp(V(2, 4, 6), 0.5), V(1, 2, 3)) {
+		t.Fatal("Lerp")
+	}
+	if V(1, 5, 3).Min(V(2, 4, 6)) != V(1, 4, 3) {
+		t.Fatal("Min")
+	}
+	if V(1, 5, 3).Max(V(2, 4, 6)) != V(2, 5, 6) {
+		t.Fatal("Max")
+	}
+	if V(-1, 0.5, 2).Clamp01() != V(0, 0.5, 1) {
+		t.Fatal("Clamp01")
+	}
+	if V(1, 5, 3).MaxComponent() != 5 {
+		t.Fatal("MaxComponent")
+	}
+}
+
+func TestRayAt(t *testing.T) {
+	r := NewRay(V(1, 0, 0), V(0, 2, 0))
+	if !vecAlmost(r.Dir, V(0, 1, 0)) {
+		t.Fatal("NewRay must normalize")
+	}
+	if !vecAlmost(r.At(3), V(1, 3, 0)) {
+		t.Fatal("At")
+	}
+}
+
+func TestAABBUnionContains(t *testing.T) {
+	b := EmptyAABB().Extend(V(0, 0, 0)).Extend(V(1, 2, 3))
+	if !b.Contains(V(0.5, 1, 1.5)) || b.Contains(V(2, 0, 0)) {
+		t.Fatal("Contains")
+	}
+	u := b.Union(AABB{Min: V(-1, 0, 0), Max: V(0, 1, 1)})
+	if u.Min != V(-1, 0, 0) || u.Max != V(1, 2, 3) {
+		t.Fatalf("Union = %v", u)
+	}
+	if !u.ContainsBox(b) {
+		t.Fatal("ContainsBox")
+	}
+	if got := b.Center(); !vecAlmost(got, V(0.5, 1, 1.5)) {
+		t.Fatal("Center")
+	}
+}
+
+func TestAABBSurfaceArea(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(1, 2, 3)}
+	if !almost(b.SurfaceArea(), 2*(2+6+3)) {
+		t.Fatalf("SA = %g", b.SurfaceArea())
+	}
+	if EmptyAABB().SurfaceArea() != 0 {
+		t.Fatal("empty box SA must be 0")
+	}
+}
+
+func TestAABBHit(t *testing.T) {
+	b := AABB{Min: V(-1, -1, -1), Max: V(1, 1, 1)}
+	if !b.Hit(NewRay(V(0, 0, -5), V(0, 0, 1)), 0, math.Inf(1)) {
+		t.Fatal("ray through center must hit")
+	}
+	if b.Hit(NewRay(V(0, 0, -5), V(0, 0, -1)), 0, math.Inf(1)) {
+		t.Fatal("ray away from box must miss")
+	}
+	if b.Hit(NewRay(V(5, 5, -5), V(0, 0, 1)), 0, math.Inf(1)) {
+		t.Fatal("offset ray must miss")
+	}
+	// tMax clipping: box is beyond the allowed range
+	if b.Hit(NewRay(V(0, 0, -5), V(0, 0, 1)), 0, 1) {
+		t.Fatal("hit beyond tMax must be rejected")
+	}
+	// ray starting inside
+	if !b.Hit(NewRay(V(0, 0, 0), V(1, 0, 0)), 0, math.Inf(1)) {
+		t.Fatal("ray from inside must hit")
+	}
+}
+
+func randomVec(rng *rand.Rand) Vec3 {
+	return V(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10)
+}
+
+func TestPropReflectPreservesLength(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVec(rng)
+		n := randomVec(rng).Normalize()
+		if n.Len() == 0 {
+			return true
+		}
+		return almost(v.Reflect(n).Len(), v.Len())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := EmptyAABB().Extend(randomVec(rng)).Extend(randomVec(rng))
+		b := EmptyAABB().Extend(randomVec(rng)).Extend(randomVec(rng))
+		u := a.Union(b)
+		return u.ContainsBox(a) && u.ContainsBox(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSurfaceAreaMonotoneUnderUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := EmptyAABB().Extend(randomVec(rng)).Extend(randomVec(rng))
+		b := EmptyAABB().Extend(randomVec(rng)).Extend(randomVec(rng))
+		u := a.Union(b)
+		return u.SurfaceArea() >= a.SurfaceArea()-1e-12 &&
+			u.SurfaceArea() >= b.SurfaceArea()-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDotCrossOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomVec(rng), randomVec(rng)
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6 && math.Abs(c.Dot(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,467 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's Fig. 2 program, verbatim (modulo whitespace).
+const fig2Src = `
+net raytracing_stat
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <node>, <tasks>, <fst>)
+                   | (scene, sect, <node>, <tasks> ));
+    box solver ( (scene, sect) -> (chunk));
+    net merger ( (chunk, <fst>) -> (pic),
+                 (chunk) -> (pic));
+    box genImg ( (pic) -> ());
+} connect
+    splitter .. solver!@<node> .. merger .. genImg
+`
+
+// The paper's Fig. 3 merger network, verbatim.
+const fig3Src = `
+net merger
+{
+    box init  ( (chunk, <fst>) -> (pic));
+    box merge ( (chunk, pic) -> (pic));
+} connect
+    ( ( init .. [ {} -> {<cnt=1>} ] )
+      | []
+    )
+    .. ( [| {pic}, {chunk} |]
+         .. ( ( merge
+                .. [ {<cnt>} -> {<cnt+=1>}]
+              )
+              | []
+            )
+       )*{<tasks> == <cnt>} ;
+`
+
+// The paper's Fig. 4 solver segment, verbatim (expression form).
+const fig4Src = `
+( ( ( solve .. [ {chunk, <node>}
+                 -> {chunk}; {<node>} ]
+    )!@<node>
+    | []
+  )
+  .. ( [] | [| {sect}, {<node>} |] )
+) * {chunk}
+`
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("box net connect a1 42 ( ) { } [ ] [| |] .. | || * ** ! !! !@ @ -> ; , < > <= >= == != = + - += -= / % #")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		KwBox, KwNet, KwConnect, IDENT, INT,
+		LParen, RParen, LBrace, RBrace, LBrack, RBrack, LSync, RSync,
+		DotDot, Pipe, PipePipe, Star, StarStar, Bang, BangBang, BangAt,
+		AtSign, Arrow, Semi, Comma, Lt, Gt, Le, Ge, EqEq, Neq, Assign,
+		Plus, Minus, PlusEq, MinusEq, Slash, Percent, Hash, EOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a // line comment\n /* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Fatalf("positions = %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{".", "$", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexIntValue(t *testing.T) {
+	toks, err := Lex("12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 12345 {
+		t.Fatalf("Val = %d", toks[0].Val)
+	}
+}
+
+func TestParseFig2(t *testing.T) {
+	prog, err := Parse(fig2Src)
+	if err != nil {
+		t.Fatalf("Fig. 2 failed to parse: %v", err)
+	}
+	if len(prog.Defs) != 1 {
+		t.Fatalf("got %d toplevel defs", len(prog.Defs))
+	}
+	net, ok := prog.Defs[0].(*NetDecl)
+	if !ok || net.Name != "raytracing_stat" {
+		t.Fatalf("toplevel = %#v", prog.Defs[0])
+	}
+	if len(net.Decls) != 4 {
+		t.Fatalf("nested decls = %d, want 4", len(net.Decls))
+	}
+	// splitter box with two output variants
+	splitter := net.Decls[0].(*BoxDecl)
+	if splitter.Name != "splitter" || len(splitter.Sig.Outs) != 2 {
+		t.Fatalf("splitter = %s", splitter)
+	}
+	if len(splitter.Sig.In) != 3 || !splitter.Sig.In[1].Tag {
+		t.Fatalf("splitter input = %v", splitter.Sig.In)
+	}
+	// merger forward declaration with two mappings
+	merger := net.Decls[2].(*NetDecl)
+	if len(merger.SigOnly) != 2 {
+		t.Fatalf("merger sig-only mappings = %d", len(merger.SigOnly))
+	}
+	// genImg with empty output
+	genImg := net.Decls[3].(*BoxDecl)
+	if len(genImg.Sig.Outs) != 1 || len(genImg.Sig.Outs[0]) != 0 {
+		t.Fatalf("genImg outs = %v", genImg.Sig.Outs)
+	}
+	// connect: splitter .. solver!@<node> .. merger .. genImg
+	s, ok := net.Connect.(*SerialExpr)
+	if !ok {
+		t.Fatalf("connect = %T", net.Connect)
+	}
+	// left-assoc: ((splitter .. split) .. merger) .. genImg
+	if ref, ok := s.R.(*NameRef); !ok || ref.Name != "genImg" {
+		t.Fatalf("last stage = %v", s.R)
+	}
+	inner := s.L.(*SerialExpr).L.(*SerialExpr)
+	split, ok := inner.R.(*SplitExpr)
+	if !ok || !split.Placed || split.Tag != "node" {
+		t.Fatalf("solver placement = %#v", inner.R)
+	}
+}
+
+func TestParseFig3(t *testing.T) {
+	prog, err := Parse(fig3Src)
+	if err != nil {
+		t.Fatalf("Fig. 3 failed to parse: %v", err)
+	}
+	net := prog.Defs[0].(*NetDecl)
+	if net.Name != "merger" || len(net.Decls) != 2 {
+		t.Fatalf("net = %s", net.Name)
+	}
+	// The connect is (init-path | bypass) .. star.
+	top, ok := net.Connect.(*SerialExpr)
+	if !ok {
+		t.Fatalf("connect = %T", net.Connect)
+	}
+	star, ok := top.R.(*StarExpr)
+	if !ok {
+		t.Fatalf("right of serial = %T, want star", top.R)
+	}
+	if len(star.Exit.Guards) != 1 || len(star.Exit.Labels) != 0 {
+		t.Fatalf("star exit = %s", star.Exit)
+	}
+	guard := star.Exit.Guards[0].(*BinExpr)
+	if guard.Op != EqEq {
+		t.Fatalf("guard op = %v", guard.Op)
+	}
+	l := guard.L.(*TagRef)
+	r := guard.R.(*TagRef)
+	if l.Name != "tasks" || r.Name != "cnt" || !l.Angled || !r.Angled {
+		t.Fatalf("guard operands = %v %v", l, r)
+	}
+	// star operand: sync .. (merge-path | bypass)
+	inner, ok := star.Operand.(*SerialExpr)
+	if !ok {
+		t.Fatalf("star operand = %T", star.Operand)
+	}
+	sync, ok := inner.L.(*SyncExpr)
+	if !ok || len(sync.Patterns) != 2 {
+		t.Fatalf("sync = %#v", inner.L)
+	}
+	if sync.Patterns[0].Labels[0].Name != "pic" || sync.Patterns[1].Labels[0].Name != "chunk" {
+		t.Fatalf("sync patterns = %s %s", sync.Patterns[0], sync.Patterns[1])
+	}
+	// the init path filter adds <cnt=1>
+	choice := top.L.(*ChoiceExpr)
+	initPath := choice.L.(*SerialExpr)
+	filt := initPath.R.(*FilterExpr)
+	item := filt.Rule.Outputs[0].Items[0]
+	if item.Kind != OutAssignTag || item.Name != "cnt" || item.AddOp != Assign {
+		t.Fatalf("init filter item = %#v", item)
+	}
+	if lit, ok := item.Expr.(*IntLit); !ok || lit.Val != 1 {
+		t.Fatalf("init filter expr = %v", item.Expr)
+	}
+	// bypass is identity
+	if id, ok := choice.R.(*FilterExpr); !ok || id.Rule != nil {
+		t.Fatalf("bypass = %#v", choice.R)
+	}
+}
+
+func TestParseFig3IncrementSugar(t *testing.T) {
+	prog, err := Parse(fig3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dig out the <cnt+=1> filter
+	net := prog.Defs[0].(*NetDecl)
+	star := net.Connect.(*SerialExpr).R.(*StarExpr)
+	mergePath := star.Operand.(*SerialExpr).R.(*ChoiceExpr).L.(*SerialExpr)
+	filt := mergePath.R.(*FilterExpr)
+	item := filt.Rule.Outputs[0].Items[0]
+	if item.AddOp != PlusEq || item.Name != "cnt" {
+		t.Fatalf("increment item = %#v", item)
+	}
+}
+
+func TestParseFig4(t *testing.T) {
+	e, err := ParseExpr(fig4Src)
+	if err != nil {
+		t.Fatalf("Fig. 4 failed to parse: %v", err)
+	}
+	star, ok := e.(*StarExpr)
+	if !ok {
+		t.Fatalf("top = %T, want star", e)
+	}
+	if len(star.Exit.Labels) != 1 || star.Exit.Labels[0].Name != "chunk" || star.Exit.Labels[0].Tag {
+		t.Fatalf("exit = %s", star.Exit)
+	}
+	serial := star.Operand.(*SerialExpr)
+	// left: (placed-solve | []); right: ([] | sync)
+	left := serial.L.(*ChoiceExpr)
+	placed, ok := left.L.(*SplitExpr)
+	if !ok || !placed.Placed || placed.Tag != "node" {
+		t.Fatalf("placed solver = %#v", left.L)
+	}
+	solvePath := placed.Operand.(*SerialExpr)
+	filt := solvePath.R.(*FilterExpr)
+	if len(filt.Rule.Outputs) != 2 {
+		t.Fatalf("solve filter outputs = %d, want 2", len(filt.Rule.Outputs))
+	}
+	if filt.Rule.Outputs[0].Items[0].Kind != OutCopyField ||
+		filt.Rule.Outputs[1].Items[0].Kind != OutCopyTag {
+		t.Fatalf("filter templates wrong: %s", filt)
+	}
+	right := serial.R.(*ChoiceExpr)
+	sync, ok := right.R.(*SyncExpr)
+	if !ok || len(sync.Patterns) != 2 {
+		t.Fatalf("right sync = %#v", right.R)
+	}
+	if sync.Patterns[1].Labels[0].Name != "node" || !sync.Patterns[1].Labels[0].Tag {
+		t.Fatalf("sync pattern 2 = %s", sync.Patterns[1])
+	}
+}
+
+func TestParseDeterministicVariants(t *testing.T) {
+	e, err := ParseExpr("a || b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := e.(*ChoiceExpr); !ok || !c.Det {
+		t.Fatalf("e = %#v", e)
+	}
+	e, err = ParseExpr("a**{done}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := e.(*StarExpr); !ok || !s.Det {
+		t.Fatalf("e = %#v", e)
+	}
+	e, err = ParseExpr("a!!<k>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := e.(*SplitExpr); !ok || !s.Det {
+		t.Fatalf("e = %#v", e)
+	}
+}
+
+func TestParsePrecedenceSerialOverChoice(t *testing.T) {
+	e, err := ParseExpr("a .. b | c .. d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*ChoiceExpr)
+	if !ok {
+		t.Fatalf("top = %T, want choice", e)
+	}
+	if _, ok := c.L.(*SerialExpr); !ok {
+		t.Fatalf("left = %T, want serial", c.L)
+	}
+	if _, ok := c.R.(*SerialExpr); !ok {
+		t.Fatalf("right = %T, want serial", c.R)
+	}
+}
+
+func TestParseAtPlacement(t *testing.T) {
+	e, err := ParseExpr("solver@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := e.(*AtExpr)
+	if !ok || at.Node != 3 {
+		t.Fatalf("e = %#v", e)
+	}
+}
+
+func TestParseNestedPostfix(t *testing.T) {
+	// (solver!<cpu>)!@<node> from Section V of the paper.
+	e, err := ParseExpr("(solver!<cpu>)!@<node>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := e.(*SplitExpr)
+	if !ok || !outer.Placed || outer.Tag != "node" {
+		t.Fatalf("outer = %#v", e)
+	}
+	inner, ok := outer.Operand.(*SplitExpr)
+	if !ok || inner.Placed || inner.Tag != "cpu" {
+		t.Fatalf("inner = %#v", outer.Operand)
+	}
+}
+
+func TestParseGuardArithmetic(t *testing.T) {
+	e, err := ParseExpr("a*{<n> + 1 == 2 * <m>}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	star := e.(*StarExpr)
+	if len(star.Exit.Guards) != 1 {
+		t.Fatalf("guards = %v", star.Exit.Guards)
+	}
+	if star.Exit.Guards[0].String() != "<n> + 1 == 2 * <m>" {
+		t.Fatalf("guard = %s", star.Exit.Guards[0])
+	}
+}
+
+func TestParseMixedPatternLabelsAndGuard(t *testing.T) {
+	e, err := ParseExpr("a*{pic, <cnt>, <tasks> == <cnt>}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	star := e.(*StarExpr)
+	if len(star.Exit.Labels) != 2 || len(star.Exit.Guards) != 1 {
+		t.Fatalf("exit = %s", star.Exit)
+	}
+}
+
+func TestParseBTagPattern(t *testing.T) {
+	e, err := ParseExpr("[| {<#i>}, {x} |]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := e.(*SyncExpr)
+	if !sync.Patterns[0].Labels[0].BTag {
+		t.Fatalf("pattern = %s", sync.Patterns[0])
+	}
+}
+
+func TestParseRenameItem(t *testing.T) {
+	e, err := ParseExpr("[ {a} -> {a -> b} ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*FilterExpr)
+	it := f.Rule.Outputs[0].Items[0]
+	if it.Kind != OutRenameField || it.From != "a" || it.Name != "b" {
+		t.Fatalf("item = %#v", it)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"box foo;",                   // missing signature
+		"net x connect",              // missing expression
+		"a ..",                       // dangling serial
+		"a | ",                       // dangling choice
+		"a*{<n> + 1}",                // guard is not a comparison
+		"[ {a} -> {<t+} ]",           // malformed assignment
+		"a!node",                     // split without angle brackets
+		"a@x",                        // placement without integer
+		"net x { box b ((a)->(b)) }", // missing semicolon after box
+		"[| {a} |]",                  // synchrocell arity guard is in core, but lexically fine — keep parsing OK
+	}
+	for _, src := range cases[:9] {
+		if _, err := Parse("net t connect " + src + ";"); err == nil {
+			if _, err2 := ParseExpr(src); err2 == nil {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			}
+		}
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	// The printed form of a parsed program must re-parse to the same
+	// printed form (idempotent pretty-printing).
+	for _, src := range []string{fig2Src, fig3Src} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := prog.Defs[0].(*NetDecl).String()
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form failed to parse: %v\n%s", err, printed)
+		}
+		printed2 := prog2.Defs[0].(*NetDecl).String()
+		if printed != printed2 {
+			t.Fatalf("printing not idempotent:\n%s\n---\n%s", printed, printed2)
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []string{
+		"a .. b",
+		"(a | b)",
+		"(a)*{done}",
+		"(a)!<k>",
+		"(a)!@<node>",
+		"(a)@2",
+		"[]",
+		"[ {<cnt>} -> {<cnt+=1>} ]",
+		"[| {pic}, {chunk} |]",
+	}
+	for _, src := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		// printed form must re-parse
+		if _, err := ParseExpr(e.String()); err != nil {
+			t.Fatalf("re-parse of %q (printed %q): %v", src, e.String(), err)
+		}
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	if !strings.Contains(Token{Kind: IDENT, Text: "foo"}.String(), "foo") {
+		t.Fatal("IDENT token String wrong")
+	}
+	if !strings.Contains(Token{Kind: INT, Val: 7}.String(), "7") {
+		t.Fatal("INT token String wrong")
+	}
+	if TokKind(999).String() == "" {
+		t.Fatal("unknown TokKind String empty")
+	}
+}

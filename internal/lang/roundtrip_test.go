@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr generates a random connect expression of bounded depth, exploring
+// every combinator and primary form the grammar offers.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return genPrimary(rng, 0)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &SerialExpr{L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 1:
+		return &ChoiceExpr{L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 2:
+		return &ChoiceExpr{L: genExpr(rng, depth-1), R: genExpr(rng, depth-1), Det: true}
+	case 3:
+		return &StarExpr{Operand: genExpr(rng, depth-1), Exit: genPattern(rng), Det: rng.Intn(2) == 0}
+	case 4:
+		return &SplitExpr{Operand: genExpr(rng, depth-1), Tag: genName(rng), Det: rng.Intn(2) == 0}
+	case 5:
+		return &SplitExpr{Operand: genExpr(rng, depth-1), Tag: genName(rng), Placed: true}
+	case 6:
+		return &AtExpr{Operand: genExpr(rng, depth-1), Node: rng.Intn(16)}
+	default:
+		return genPrimary(rng, depth)
+	}
+}
+
+func genPrimary(rng *rand.Rand, depth int) Expr {
+	switch rng.Intn(4) {
+	case 0:
+		return &NameRef{Name: genName(rng)}
+	case 1:
+		return &FilterExpr{} // identity
+	case 2:
+		rule := &FilterRuleAST{Pattern: genPattern(rng)}
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			rule.Outputs = append(rule.Outputs, genTemplate(rng))
+		}
+		return &FilterExpr{Rule: rule}
+	default:
+		sync := &SyncExpr{}
+		for i, n := 0, 2+rng.Intn(2); i < n; i++ {
+			sync.Patterns = append(sync.Patterns, genPattern(rng))
+		}
+		return sync
+	}
+}
+
+func genName(rng *rand.Rand) string {
+	return fmt.Sprintf("n%c%d", 'a'+rune(rng.Intn(26)), rng.Intn(10))
+}
+
+func genPattern(rng *rand.Rand) *PatternAST {
+	p := &PatternAST{}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		item := LabelItem{Name: genName(rng)}
+		switch rng.Intn(3) {
+		case 0:
+			item.Tag = true
+		case 1:
+			item.BTag = true
+		}
+		p.Labels = append(p.Labels, item)
+	}
+	if rng.Intn(2) == 0 || (len(p.Labels) == 0 && rng.Intn(2) == 0) {
+		ops := []TokKind{EqEq, Neq, Lt, Gt, Le, Ge}
+		p.Guards = append(p.Guards, &BinExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genTagExpr(rng, 2),
+			R:  genTagExpr(rng, 2),
+		})
+	}
+	if len(p.Labels) == 0 && len(p.Guards) == 0 {
+		p.Labels = append(p.Labels, LabelItem{Name: genName(rng)})
+	}
+	return p
+}
+
+func genTagExpr(rng *rand.Rand, depth int) TagExprAST {
+	if depth <= 0 || rng.Intn(2) == 0 {
+		if rng.Intn(2) == 0 {
+			return &IntLit{Val: rng.Intn(100)}
+		}
+		return &TagRef{Name: genName(rng), Angled: true}
+	}
+	ops := []TokKind{Plus, Minus, Star, Slash, Percent}
+	return &BinExpr{
+		Op: ops[rng.Intn(len(ops))],
+		L:  genTagExpr(rng, depth-1),
+		R:  genTagExpr(rng, depth-1),
+	}
+}
+
+func genTemplate(rng *rand.Rand) OutTemplateAST {
+	t := OutTemplateAST{}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			t.Items = append(t.Items, OutItemAST{Kind: OutCopyField, Name: genName(rng)})
+		case 1:
+			t.Items = append(t.Items, OutItemAST{Kind: OutCopyTag, Name: genName(rng)})
+		case 2:
+			t.Items = append(t.Items, OutItemAST{
+				Kind: OutRenameField, From: genName(rng), Name: genName(rng),
+			})
+		default:
+			op := []TokKind{Assign, PlusEq, MinusEq}[rng.Intn(3)]
+			t.Items = append(t.Items, OutItemAST{
+				Kind: OutAssignTag, Name: genName(rng), AddOp: op,
+				Expr: genTagExpr(rng, 2),
+			})
+		}
+	}
+	return t
+}
+
+// TestPropExprPrintParseRoundTrip: printing any generated expression and
+// re-parsing it must yield the same printed form (print∘parse∘print =
+// print). This exercises the printer/parser pair across the whole
+// expression grammar, including precedence and the angle-bracket
+// ambiguities.
+func TestPropExprPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		printed := e.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Logf("printed form failed to parse: %v\n%s", err, printed)
+			return false
+		}
+		printed2 := e2.String()
+		if printed != printed2 {
+			t.Logf("not idempotent:\n%s\n---\n%s", printed, printed2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropGuardExprRoundTrip checks tag expressions in isolation through a
+// star exit pattern.
+func TestPropGuardExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &BinExpr{Op: EqEq, L: genTagExpr(rng, 3), R: genTagExpr(rng, 3)}
+		src := "a*{" + g.String() + "}"
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Logf("%s: %v", src, err)
+			return false
+		}
+		star := e.(*StarExpr)
+		if len(star.Exit.Guards) != 1 {
+			return false
+		}
+		return star.Exit.Guards[0].String() == g.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package lang implements the S-Net language front end: lexer, abstract
+// syntax tree and parser for the concrete syntax used in the paper —
+// box and net declarations, connect expressions with the four combinators
+// and their deterministic variants, placement combinators, filters,
+// synchrocells, record patterns and guard expressions.
+//
+// The grammar is a faithful subset of the S-Net Language Report 2.0
+// sufficient to parse the paper's Figures 2, 3 and 4 verbatim.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	EOF TokKind = iota
+	IDENT
+	INT
+
+	// keywords
+	KwBox
+	KwNet
+	KwConnect
+
+	// punctuation and operators
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBrack   // [
+	RBrack   // ]
+	LSync    // [|
+	RSync    // |]
+	DotDot   // ..
+	Pipe     // |
+	PipePipe // ||
+	Star     // *
+	StarStar // **
+	Bang     // !
+	BangBang // !!
+	BangAt   // !@
+	AtSign   // @
+	Arrow    // ->
+	Semi     // ;
+	Comma    // ,
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	EqEq     // ==
+	Neq      // !=
+	Assign   // =
+	Plus     // +
+	Minus    // -
+	PlusEq   // +=
+	MinusEq  // -=
+	Slash    // /
+	Percent  // %
+	Hash     // #
+)
+
+var kindNames = map[TokKind]string{
+	EOF: "end of input", IDENT: "identifier", INT: "integer",
+	KwBox: "'box'", KwNet: "'net'", KwConnect: "'connect'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBrack: "'['", RBrack: "']'", LSync: "'[|'", RSync: "'|]'",
+	DotDot: "'..'", Pipe: "'|'", PipePipe: "'||'",
+	Star: "'*'", StarStar: "'**'", Bang: "'!'", BangBang: "'!!'",
+	BangAt: "'!@'", AtSign: "'@'", Arrow: "'->'", Semi: "';'", Comma: "','",
+	Lt: "'<'", Gt: "'>'", Le: "'<='", Ge: "'>='", EqEq: "'=='", Neq: "'!='",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", PlusEq: "'+='", MinusEq: "'-='",
+	Slash: "'/'", Percent: "'%'", Hash: "'#'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // for IDENT and INT
+	Val  int    // for INT
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}

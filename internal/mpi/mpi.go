@@ -1,0 +1,252 @@
+// Package mpi implements a message-passing substrate in the style of MPI
+// point-to-point communication: a fixed-size communicator of ranks with
+// tagged, source-addressed Send/Recv, wildcard receives, probes and a
+// barrier. It underpins both the reimplementation of the paper's "original
+// MPI implementation" baseline (internal/mpiray) and the transfer
+// accounting of the Distributed S-Net platform.
+//
+// Semantics follow MPI's standard mode with buffered sends: Send enqueues
+// without blocking (unbounded mailbox), Recv blocks until a matching
+// message arrives, and messages between the same (source, dest, tag) triple
+// are non-overtaking, as the MPI standard requires.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv and Probe.
+const (
+	// AnySource matches messages from every rank.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// Message is a received message envelope.
+type Message struct {
+	Source int
+	Tag    int
+	Data   any
+	Bytes  int
+}
+
+// ByteSizer lets payloads declare their transfer size for the traffic
+// accounting.
+type ByteSizer interface {
+	ByteSize() int
+}
+
+// Stats aggregates communicator traffic.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size      int
+	mailboxes []*mailbox
+	closed    atomic.Bool
+	stats     Stats
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// NewComm creates a communicator with the given number of ranks.
+func NewComm(size int) *Comm {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: communicator size %d", size))
+	}
+	c := &Comm{size: size, mailboxes: make([]*mailbox, size)}
+	for i := range c.mailboxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		c.mailboxes[i] = mb
+	}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		Messages: atomic.LoadInt64(&c.stats.Messages),
+		Bytes:    atomic.LoadInt64(&c.stats.Bytes),
+	}
+}
+
+// Close shuts the communicator down: all blocked and future Recv calls
+// return ok=false. Close is idempotent.
+func (c *Comm) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, mb := range c.mailboxes {
+		mb.mu.Lock()
+		mb.closed = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// payloadBytes estimates a payload's wire size.
+func payloadBytes(data any) int {
+	switch d := data.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return len(d)
+	case ByteSizer:
+		return d.ByteSize()
+	case int, int64, float64:
+		return 8
+	case string:
+		return len(d)
+	default:
+		return 64 // opaque struct estimate
+	}
+}
+
+// Send delivers data to rank dst with the given tag. It never blocks
+// (buffered standard mode). Sending on a closed communicator is a no-op.
+// Send panics on an out-of-range destination, mirroring an MPI abort.
+func (c *Comm) Send(src, dst, tag int, data any) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, c.size))
+	}
+	if c.closed.Load() {
+		return
+	}
+	n := payloadBytes(data)
+	atomic.AddInt64(&c.stats.Messages, 1)
+	atomic.AddInt64(&c.stats.Bytes, int64(n))
+	mb := c.mailboxes[dst]
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, Message{Source: src, Tag: tag, Data: data, Bytes: n})
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func match(m Message, src, tag int) bool {
+	return (src == AnySource || m.Source == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// Recv blocks until a message matching (src, tag) arrives at rank `rank`
+// and removes it from the mailbox. It returns ok=false when the
+// communicator is closed and no matching message is queued. Matching
+// respects arrival order, so point-to-point messages do not overtake.
+func (c *Comm) Recv(rank, src, tag int) (Message, bool) {
+	mb := c.mailboxes[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if match(m, src, tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, true
+			}
+		}
+		if mb.closed {
+			return Message{}, false
+		}
+		mb.cond.Wait()
+	}
+}
+
+// Probe reports without blocking whether a message matching (src, tag) is
+// queued at rank `rank`, returning a copy of its envelope.
+func (c *Comm) Probe(rank, src, tag int) (Message, bool) {
+	mb := c.mailboxes[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range mb.queue {
+		if match(m, src, tag) {
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Barrier blocks until all ranks have entered it. Every rank must call
+// Barrier exactly once per synchronization round.
+func (c *Comm) Barrier() {
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	c.barrierCnt++
+	if c.barrierCnt == c.size {
+		c.barrierCnt = 0
+		c.barrierGen++
+		c.barrierCond.Broadcast()
+		c.barrierMu.Unlock()
+		return
+	}
+	for gen == c.barrierGen {
+		c.barrierCond.Wait()
+	}
+	c.barrierMu.Unlock()
+}
+
+// Proc is a rank-bound view of a communicator, the handle a "process"
+// closure works with.
+type Proc struct {
+	comm *Comm
+	rank int
+}
+
+// Rank returns a Proc bound to the given rank.
+func (c *Comm) Rank(r int) *Proc {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d of %d", r, c.size))
+	}
+	return &Proc{comm: c, rank: r}
+}
+
+// RankID returns the process's rank number.
+func (p *Proc) RankID() int { return p.rank }
+
+// Size returns the communicator size.
+func (p *Proc) Size() int { return p.comm.size }
+
+// Send sends data to dst with tag.
+func (p *Proc) Send(dst, tag int, data any) { p.comm.Send(p.rank, dst, tag, data) }
+
+// Recv receives a matching message.
+func (p *Proc) Recv(src, tag int) (Message, bool) { return p.comm.Recv(p.rank, src, tag) }
+
+// Probe checks for a matching message without blocking.
+func (p *Proc) Probe(src, tag int) (Message, bool) { return p.comm.Probe(p.rank, src, tag) }
+
+// Barrier enters the communicator-wide barrier.
+func (p *Proc) Barrier() { p.comm.Barrier() }
+
+// Run spawns fn as a goroutine per rank and waits for all to finish — the
+// moral equivalent of mpirun for in-process processes.
+func Run(size int, fn func(p *Proc)) *Comm {
+	c := NewComm(size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			fn(c.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+	return c
+}

@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	c := NewComm(2)
+	done := make(chan Message, 1)
+	go func() {
+		m, ok := c.Recv(1, 0, 7)
+		if !ok {
+			t.Error("Recv failed")
+		}
+		done <- m
+	}()
+	c.Send(0, 1, 7, "hello")
+	m := <-done
+	if m.Source != 0 || m.Tag != 7 || m.Data != "hello" {
+		t.Fatalf("m = %+v", m)
+	}
+	if m.Bytes != 5 {
+		t.Fatalf("Bytes = %d", m.Bytes)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	c := NewComm(3)
+	c.Send(2, 0, 9, 42)
+	m, ok := c.Recv(0, AnySource, AnyTag)
+	if !ok || m.Source != 2 || m.Tag != 9 {
+		t.Fatalf("m = %+v ok=%v", m, ok)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	c := NewComm(2)
+	c.Send(0, 1, 1, "first")
+	c.Send(0, 1, 2, "second")
+	m, ok := c.Recv(1, 0, 2)
+	if !ok || m.Data != "second" {
+		t.Fatalf("tag filter broken: %+v", m)
+	}
+	m, ok = c.Recv(1, 0, 1)
+	if !ok || m.Data != "first" {
+		t.Fatalf("remaining message lost: %+v", m)
+	}
+}
+
+func TestNonOvertaking(t *testing.T) {
+	// Messages with the same src/dst/tag must arrive in send order.
+	c := NewComm(2)
+	for i := 0; i < 100; i++ {
+		c.Send(0, 1, 5, i)
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := c.Recv(1, 0, 5)
+		if !ok || m.Data != i {
+			t.Fatalf("message %d out of order: %+v", i, m)
+		}
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	c := NewComm(2)
+	var got atomic.Bool
+	go func() {
+		c.Recv(1, AnySource, AnyTag)
+		got.Store(true)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if got.Load() {
+		t.Fatal("Recv returned before Send")
+	}
+	c.Send(0, 1, 0, nil)
+	deadline := time.After(time.Second)
+	for !got.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("Recv never returned")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestProbe(t *testing.T) {
+	c := NewComm(2)
+	if _, ok := c.Probe(1, AnySource, AnyTag); ok {
+		t.Fatal("Probe on empty mailbox")
+	}
+	c.Send(0, 1, 3, "x")
+	m, ok := c.Probe(1, 0, 3)
+	if !ok || m.Data != "x" {
+		t.Fatal("Probe missed message")
+	}
+	// Probe must not consume.
+	if _, ok := c.Recv(1, 0, 3); !ok {
+		t.Fatal("Probe consumed the message")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	c := NewComm(1)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Recv(0, AnySource, AnyTag)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv on closed comm returned ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Recv")
+	}
+	// Close is idempotent.
+	c.Close()
+}
+
+func TestRecvDrainsQueueAfterClose(t *testing.T) {
+	c := NewComm(2)
+	c.Send(0, 1, 1, "queued")
+	c.Close()
+	if _, ok := c.Recv(1, 0, 1); !ok {
+		t.Fatal("queued message lost on close")
+	}
+	if _, ok := c.Recv(1, 0, 1); ok {
+		t.Fatal("Recv after drain should fail")
+	}
+}
+
+func TestSendAfterCloseDropped(t *testing.T) {
+	c := NewComm(2)
+	c.Close()
+	c.Send(0, 1, 1, "late")
+	if _, ok := c.Probe(1, AnySource, AnyTag); ok {
+		t.Fatal("send after close delivered")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	c := NewComm(n)
+	var phase [n]int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				atomic.StoreInt32(&phase[r], int32(round))
+				c.Barrier()
+				// after the barrier, nobody may be in an earlier round
+				for i := 0; i < n; i++ {
+					if atomic.LoadInt32(&phase[i]) < int32(round) {
+						t.Errorf("rank %d lagging at round %d", i, round)
+					}
+				}
+				c.Barrier()
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := NewComm(2)
+	c.Send(0, 1, 0, []byte{1, 2, 3, 4})
+	c.Send(0, 1, 0, "ab")
+	s := c.Stats()
+	if s.Messages != 2 || s.Bytes != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) ByteSize() int { return s.n }
+
+func TestPayloadByteSizer(t *testing.T) {
+	c := NewComm(2)
+	c.Send(0, 1, 0, sized{n: 1000})
+	c.Send(0, 1, 0, nil)
+	c.Send(0, 1, 0, 3.14)
+	c.Send(0, 1, 0, struct{ X int }{1})
+	if s := c.Stats(); s.Bytes != 1000+0+8+64 {
+		t.Fatalf("bytes = %d", s.Bytes)
+	}
+}
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	var count int64
+	comm := Run(16, func(p *Proc) {
+		atomic.AddInt64(&count, 1)
+		if p.Size() != 16 {
+			t.Error("Size wrong")
+		}
+		p.Barrier()
+	})
+	if count != 16 {
+		t.Fatalf("ran %d ranks", count)
+	}
+	if comm.Size() != 16 {
+		t.Fatal("comm size wrong")
+	}
+}
+
+func TestRunRingPass(t *testing.T) {
+	// Classic ring: each rank passes an incrementing token around.
+	const n = 6
+	Run(n, func(p *Proc) {
+		r := p.RankID()
+		if r == 0 {
+			p.Send(1, 0, 1)
+			m, ok := p.Recv(n-1, 0)
+			if !ok || m.Data != n {
+				t.Errorf("ring token = %v", m.Data)
+			}
+			return
+		}
+		m, ok := p.Recv(r-1, 0)
+		if !ok {
+			t.Error("ring recv failed")
+			return
+		}
+		p.Send((r+1)%n, 0, m.Data.(int)+1)
+	})
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewComm(0)", func() { NewComm(0) })
+	c := NewComm(2)
+	mustPanic("bad dst", func() { c.Send(0, 5, 0, nil) })
+	mustPanic("bad rank", func() { c.Rank(2) })
+}
+
+func TestProcAccessors(t *testing.T) {
+	c := NewComm(3)
+	p := c.Rank(2)
+	if p.RankID() != 2 || p.Size() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	p.Send(0, 1, "via proc")
+	m, ok := c.Rank(0).Recv(2, 1)
+	if !ok || m.Data != "via proc" {
+		t.Fatal("proc send/recv failed")
+	}
+	if _, ok := c.Rank(0).Probe(2, 1); ok {
+		t.Fatal("message not consumed")
+	}
+}

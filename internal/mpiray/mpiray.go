@@ -1,0 +1,142 @@
+// Package mpiray reimplements the paper's baseline: the "original C/MPI
+// implementation" of the ray tracer, which "distributes an image evenly
+// across all cluster nodes and processes these independently. The root
+// process collects all sub-results and assembles the completed scene."
+//
+// A master/worker variant is included as well; it is not in the paper (the
+// authors only ran the static MPI program) and serves as the ablation
+// baseline for dynamic scheduling.
+package mpiray
+
+import (
+	"fmt"
+
+	"snet/internal/dist"
+	"snet/internal/mpi"
+	"snet/internal/raytrace"
+	"snet/internal/sched"
+)
+
+// Message tags.
+const (
+	tagChunk = iota + 1
+	tagWork
+	tagStop
+	tagReady
+)
+
+// chunkMsg wraps a chunk with its transfer size for traffic accounting.
+type chunkMsg struct {
+	raytrace.Chunk
+}
+
+// ByteSize reports the pixel payload plus header.
+func (c chunkMsg) ByteSize() int { return len(c.Pix) + 32 }
+
+// Options configure a parallel render.
+type Options struct {
+	// Procs is the number of MPI ranks.
+	Procs int
+	// Cluster, when non-nil, gates each rank's compute on the cluster's
+	// CPU slots (rank r runs on node r mod Nodes), so the baseline and
+	// the S-Net version compete for identical resources.
+	Cluster *dist.Cluster
+}
+
+// gate runs fn on the rank's node when a cluster is configured.
+func (o Options) gate(rank int, fn func()) {
+	if o.Cluster == nil {
+		fn()
+		return
+	}
+	o.Cluster.Exec(rank%o.Cluster.Nodes(), fn)
+}
+
+// RenderStatic is the paper's MPI program: block distribution, rank r
+// renders its section, root (rank 0) collects and assembles.
+func RenderStatic(scene *raytrace.Scene, w, h int, opts Options) (*raytrace.Image, mpi.Stats, error) {
+	if opts.Procs <= 0 {
+		return nil, mpi.Stats{}, fmt.Errorf("mpiray: need at least one process")
+	}
+	spans := sched.Block(h, opts.Procs)
+	img := raytrace.NewImage(w, h)
+	comm := mpi.Run(opts.Procs, func(p *mpi.Proc) {
+		span := spans[p.RankID()]
+		sec := raytrace.Section{Index: p.RankID(), W: w, H: h, Y0: span.Lo, Y1: span.Hi}
+		var chunk raytrace.Chunk
+		opts.gate(p.RankID(), func() {
+			chunk, _ = raytrace.RenderSection(scene, sec)
+		})
+		if p.RankID() != 0 {
+			p.Send(0, tagChunk, chunkMsg{chunk})
+			return
+		}
+		img.SetChunk(chunk)
+		for i := 1; i < p.Size(); i++ {
+			m, ok := p.Recv(mpi.AnySource, tagChunk)
+			if !ok {
+				return
+			}
+			img.SetChunk(m.Data.(chunkMsg).Chunk)
+		}
+	})
+	return img, comm.Stats(), nil
+}
+
+// RenderMasterWorker renders with a dynamic master/worker protocol: rank 0
+// deals sections from the given span list to workers on demand. This is the
+// message-passing twin of the paper's dynamically scheduled S-Net solver.
+func RenderMasterWorker(scene *raytrace.Scene, w, h int, spans []sched.Span, opts Options) (*raytrace.Image, mpi.Stats, error) {
+	if opts.Procs < 2 {
+		return nil, mpi.Stats{}, fmt.Errorf("mpiray: master/worker needs at least two processes")
+	}
+	if err := sched.Validate(spans, h); err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	img := raytrace.NewImage(w, h)
+	comm := mpi.Run(opts.Procs, func(p *mpi.Proc) {
+		if p.RankID() == 0 {
+			// Every worker message (ready or chunk) asks for more work;
+			// answer with a section or a stop. Each worker sends exactly
+			// one message after its last section, so it receives exactly
+			// one stop.
+			next := 0
+			stopped := 0
+			for stopped < p.Size()-1 {
+				m, ok := p.Recv(mpi.AnySource, mpi.AnyTag)
+				if !ok {
+					return
+				}
+				if m.Tag == tagChunk {
+					img.SetChunk(m.Data.(chunkMsg).Chunk)
+				}
+				if next < len(spans) {
+					span := spans[next]
+					p.Send(m.Source, tagWork, raytrace.Section{
+						Index: next, W: w, H: h, Y0: span.Lo, Y1: span.Hi,
+					})
+					next++
+				} else {
+					p.Send(m.Source, tagStop, nil)
+					stopped++
+				}
+			}
+			return
+		}
+		// worker
+		p.Send(0, tagReady, nil)
+		for {
+			m, ok := p.Recv(0, mpi.AnyTag)
+			if !ok || m.Tag == tagStop {
+				return
+			}
+			sec := m.Data.(raytrace.Section)
+			var chunk raytrace.Chunk
+			opts.gate(p.RankID(), func() {
+				chunk, _ = raytrace.RenderSection(scene, sec)
+			})
+			p.Send(0, tagChunk, chunkMsg{chunk})
+		}
+	})
+	return img, comm.Stats(), nil
+}

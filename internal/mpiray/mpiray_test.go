@@ -1,0 +1,126 @@
+package mpiray
+
+import (
+	"testing"
+
+	"snet/internal/dist"
+	"snet/internal/raytrace"
+	"snet/internal/sched"
+)
+
+const testW, testH = 40, 36
+
+func referenceImage(t *testing.T, scene *raytrace.Scene) *raytrace.Image {
+	t.Helper()
+	img, _ := raytrace.Render(scene, testW, testH)
+	return img
+}
+
+func TestRenderStaticMatchesSequential(t *testing.T) {
+	scene := raytrace.BalancedScene(30, 3)
+	want := referenceImage(t, scene)
+	for _, procs := range []int{1, 2, 3, 8} {
+		img, stats, err := RenderStatic(scene, testW, testH, Options{Procs: procs})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if !img.Equal(want) {
+			t.Fatalf("procs=%d: image differs from sequential render", procs)
+		}
+		if procs > 1 && stats.Messages != int64(procs-1) {
+			t.Fatalf("procs=%d: %d messages, want %d chunk sends", procs, stats.Messages, procs-1)
+		}
+	}
+}
+
+func TestRenderStaticOnCluster(t *testing.T) {
+	scene := raytrace.UnbalancedScene(40, 9)
+	want := referenceImage(t, scene)
+	cluster := dist.NewCluster(4, 2)
+	img, _, err := RenderStatic(scene, testW, testH, Options{Procs: 8, Cluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(want) {
+		t.Fatal("clustered render differs")
+	}
+	s := cluster.Stats()
+	var total int64
+	for _, e := range s.Execs {
+		total += e
+		if e == 0 {
+			t.Fatalf("a node did no work: %v", s.Execs)
+		}
+	}
+	if total != 8 {
+		t.Fatalf("total execs = %d, want 8", total)
+	}
+}
+
+func TestRenderStaticErrors(t *testing.T) {
+	scene := raytrace.BalancedScene(5, 1)
+	if _, _, err := RenderStatic(scene, 8, 8, Options{Procs: 0}); err == nil {
+		t.Fatal("Procs=0 should error")
+	}
+}
+
+func TestMasterWorkerMatchesSequential(t *testing.T) {
+	scene := raytrace.UnbalancedScene(50, 4)
+	want := referenceImage(t, scene)
+	spans := sched.Block(testH, 12)
+	for _, procs := range []int{2, 3, 5} {
+		img, _, err := RenderMasterWorker(scene, testW, testH, spans, Options{Procs: procs})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if !img.Equal(want) {
+			t.Fatalf("procs=%d: image differs", procs)
+		}
+	}
+}
+
+func TestMasterWorkerFactoringSpans(t *testing.T) {
+	scene := raytrace.BalancedScene(25, 7)
+	want := referenceImage(t, scene)
+	spans, err := sched.PaperFactoring(testH, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := RenderMasterWorker(scene, testW, testH, spans, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(want) {
+		t.Fatal("factoring master/worker render differs")
+	}
+}
+
+func TestMasterWorkerMoreWorkersThanWork(t *testing.T) {
+	// Workers that never get a section must still terminate.
+	scene := raytrace.BalancedScene(10, 2)
+	spans := sched.Block(testH, 2)
+	img, _, err := RenderMasterWorker(scene, testW, testH, spans, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(referenceImage(t, scene)) {
+		t.Fatal("image differs")
+	}
+}
+
+func TestMasterWorkerErrors(t *testing.T) {
+	scene := raytrace.BalancedScene(5, 1)
+	if _, _, err := RenderMasterWorker(scene, 8, 8, sched.Block(8, 2), Options{Procs: 1}); err == nil {
+		t.Fatal("single-proc master/worker should error")
+	}
+	if _, _, err := RenderMasterWorker(scene, 8, 8, []sched.Span{{Lo: 0, Hi: 3}}, Options{Procs: 2}); err == nil {
+		t.Fatal("invalid spans should error")
+	}
+}
+
+func TestChunkMsgByteSize(t *testing.T) {
+	m := chunkMsg{raytrace.Chunk{Pix: make([]byte, 100)}}
+	if m.ByteSize() != 132 {
+		t.Fatalf("ByteSize = %d", m.ByteSize())
+	}
+}

@@ -1,0 +1,200 @@
+package raytrace
+
+import (
+	"math"
+
+	"snet/internal/geom"
+)
+
+// BVH is a bounding-volume hierarchy built by the Goldsmith–Salmon
+// incremental construction (IEEE CG&A 1987), as used in the paper: each
+// object's bounding volume is inserted at the place in the hierarchy that
+// minimizes the estimated cost increase, where cost is surface area — a
+// branch-and-bound descent choosing, at every internal node, the child
+// whose surface-area growth from absorbing the new volume is smallest.
+type BVH struct {
+	root *bvhNode
+	n    int
+}
+
+type bvhNode struct {
+	bounds      geom.AABB
+	left, right *bvhNode
+	obj         Object // non-nil for leaves
+}
+
+func (n *bvhNode) isLeaf() bool { return n.obj != nil }
+
+// Insert adds an object to the hierarchy.
+func (b *BVH) Insert(obj Object) {
+	nb := obj.Bounds()
+	leaf := &bvhNode{bounds: nb, obj: obj}
+	b.n++
+	if b.root == nil {
+		b.root = leaf
+		return
+	}
+	b.root = insertNode(b.root, leaf)
+}
+
+// insertNode descends greedily: at an internal node the new leaf goes into
+// the child whose bounds grow least in surface area (ties favour the
+// smaller child); reaching a leaf, the two are paired under a new internal
+// node. Bounds are refitted on the way back up.
+func insertNode(node, leaf *bvhNode) *bvhNode {
+	if node.isLeaf() {
+		return &bvhNode{
+			bounds: node.bounds.Union(leaf.bounds),
+			left:   node,
+			right:  leaf,
+		}
+	}
+	growth := func(child *bvhNode) float64 {
+		return child.bounds.Union(leaf.bounds).SurfaceArea() - child.bounds.SurfaceArea()
+	}
+	gl, gr := growth(node.left), growth(node.right)
+	if gl < gr || (gl == gr && node.left.bounds.SurfaceArea() <= node.right.bounds.SurfaceArea()) {
+		node.left = insertNode(node.left, leaf)
+	} else {
+		node.right = insertNode(node.right, leaf)
+	}
+	node.bounds = node.left.bounds.Union(node.right.bounds)
+	return node
+}
+
+// Len returns the number of objects in the hierarchy.
+func (b *BVH) Len() int { return b.n }
+
+// Bounds returns the bounding box of the whole hierarchy.
+func (b *BVH) Bounds() geom.AABB {
+	if b.root == nil {
+		return geom.EmptyAABB()
+	}
+	return b.root.bounds
+}
+
+// Intersect finds the closest hit of the ray within (tMin, tMax). The
+// stats counters, when non-nil, accumulate node visits and object tests —
+// the deterministic cost measure used by the cluster simulator.
+func (b *BVH) Intersect(r geom.Ray, tMin, tMax float64, stats *Stats) (Hit, bool) {
+	if b.root == nil {
+		return Hit{}, false
+	}
+	var best Hit
+	found := false
+	// Explicit stack avoids deep recursion on degenerate hierarchies.
+	stack := make([]*bvhNode, 0, 64)
+	stack = append(stack, b.root)
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if stats != nil {
+			stats.NodeVisits++
+		}
+		if !node.bounds.Hit(r, tMin, tMax) {
+			continue
+		}
+		if node.isLeaf() {
+			if stats != nil {
+				stats.ObjectTests++
+			}
+			if h, ok := node.obj.Intersect(r, tMin, tMax); ok {
+				best = h
+				tMax = h.T
+				found = true
+			}
+			continue
+		}
+		stack = append(stack, node.left, node.right)
+	}
+	return best, found
+}
+
+// Occluded reports whether anything blocks the ray within (tMin, tMax),
+// returning the first blocking hit found (not necessarily the closest).
+// Transparent occluders are reported like any other; the shader decides how
+// to attenuate.
+func (b *BVH) Occluded(r geom.Ray, tMin, tMax float64, stats *Stats) (Hit, bool) {
+	if b.root == nil {
+		return Hit{}, false
+	}
+	stack := make([]*bvhNode, 0, 64)
+	stack = append(stack, b.root)
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if stats != nil {
+			stats.NodeVisits++
+		}
+		if !node.bounds.Hit(r, tMin, tMax) {
+			continue
+		}
+		if node.isLeaf() {
+			if stats != nil {
+				stats.ObjectTests++
+			}
+			if h, ok := node.obj.Intersect(r, tMin, tMax); ok && h.Mat.Transparency == 0 {
+				return h, true
+			}
+			continue
+		}
+		stack = append(stack, node.left, node.right)
+	}
+	return Hit{}, false
+}
+
+// Depth returns the height of the hierarchy (0 for empty, 1 for a single
+// leaf). It is used by tests to check that incremental insertion produces
+// reasonably balanced trees on uniform input.
+func (b *BVH) Depth() int { return nodeDepth(b.root) }
+
+func nodeDepth(n *bvhNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return 1 + int(math.Max(float64(nodeDepth(n.left)), float64(nodeDepth(n.right))))
+}
+
+// Validate checks the BVH structural invariants: every internal node has
+// two children, every node's bounds contain its children's bounds, and the
+// leaf count matches Len. It returns false with a reason string on
+// violation; tests use it as the property-check oracle.
+func (b *BVH) Validate() (bool, string) {
+	if b.root == nil {
+		if b.n != 0 {
+			return false, "empty tree with nonzero count"
+		}
+		return true, ""
+	}
+	leaves := 0
+	var walk func(n *bvhNode) (bool, string)
+	walk = func(n *bvhNode) (bool, string) {
+		if n.isLeaf() {
+			leaves++
+			if n.left != nil || n.right != nil {
+				return false, "leaf with children"
+			}
+			return true, ""
+		}
+		if n.left == nil || n.right == nil {
+			return false, "internal node with missing child"
+		}
+		if !n.bounds.ContainsBox(n.left.bounds) || !n.bounds.ContainsBox(n.right.bounds) {
+			return false, "node bounds do not contain child bounds"
+		}
+		if ok, why := walk(n.left); !ok {
+			return false, why
+		}
+		return walk(n.right)
+	}
+	if ok, why := walk(b.root); !ok {
+		return false, why
+	}
+	if leaves != b.n {
+		return false, "leaf count mismatch"
+	}
+	return true, ""
+}

@@ -1,0 +1,54 @@
+// Package raytrace implements the Whitted ray tracer from the paper's
+// Section II: primary rays cast through every pixel of the image plane,
+// tested against a Goldsmith–Salmon bounding-volume hierarchy, with
+// reflective, refractive (transmitted) and shadow secondary rays, up to a
+// maximum ray depth.
+package raytrace
+
+import "snet/internal/geom"
+
+// Material describes how a surface interacts with light (Phong shading
+// plus Whitted-style reflection and transmission).
+type Material struct {
+	// Color is the surface's diffuse base colour.
+	Color geom.Vec3
+	// Diffuse scales Lambertian reflection.
+	Diffuse float64
+	// Specular scales the Phong highlight.
+	Specular float64
+	// Shininess is the Phong exponent.
+	Shininess float64
+	// Reflectivity scales the contribution of the reflected ray R1.
+	Reflectivity float64
+	// Transparency scales the contribution of the transmitted ray T1.
+	Transparency float64
+	// IOR is the index of refraction used by transmitted rays.
+	IOR float64
+}
+
+// Matte returns a purely diffuse material.
+func Matte(color geom.Vec3) Material {
+	return Material{Color: color, Diffuse: 0.9, Specular: 0.2, Shininess: 16}
+}
+
+// Shiny returns a reflective material of the given colour.
+func Shiny(color geom.Vec3, reflect float64) Material {
+	return Material{
+		Color: color, Diffuse: 0.6, Specular: 0.8, Shininess: 64,
+		Reflectivity: reflect,
+	}
+}
+
+// Glass returns a transparent, refractive material.
+func Glass(tint geom.Vec3) Material {
+	return Material{
+		Color: tint, Diffuse: 0.1, Specular: 1, Shininess: 128,
+		Reflectivity: 0.1, Transparency: 0.9, IOR: 1.5,
+	}
+}
+
+// Light is a point light source.
+type Light struct {
+	Pos       geom.Vec3
+	Intensity geom.Vec3
+}

@@ -1,0 +1,150 @@
+package raytrace
+
+import (
+	"math"
+
+	"snet/internal/geom"
+)
+
+// Hit describes the closest intersection found for a ray.
+type Hit struct {
+	T      float64
+	Point  geom.Vec3
+	Normal geom.Vec3 // unit, facing the ray origin side
+	Mat    Material
+	Inside bool // ray origin was inside the object (refraction bookkeeping)
+}
+
+// Object is a finite scene primitive usable inside the BVH.
+type Object interface {
+	// Bounds returns the object's bounding box (the "bounding volume"
+	// inserted into the hierarchy).
+	Bounds() geom.AABB
+	// Intersect tests the ray against the object within (tMin, tMax) and
+	// reports the closest hit, if any.
+	Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool)
+}
+
+// Sphere is a sphere primitive.
+type Sphere struct {
+	Center geom.Vec3
+	Radius float64
+	Mat    Material
+}
+
+// Bounds returns the sphere's bounding box.
+func (s *Sphere) Bounds() geom.AABB {
+	r := geom.V(s.Radius, s.Radius, s.Radius)
+	return geom.AABB{Min: s.Center.Sub(r), Max: s.Center.Add(r)}
+}
+
+// Intersect solves the quadratic for ray–sphere intersection.
+func (s *Sphere) Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool) {
+	oc := r.Origin.Sub(s.Center)
+	a := r.Dir.Len2()
+	halfB := oc.Dot(r.Dir)
+	c := oc.Len2() - s.Radius*s.Radius
+	disc := halfB*halfB - a*c
+	if disc < 0 {
+		return Hit{}, false
+	}
+	sq := math.Sqrt(disc)
+	t := (-halfB - sq) / a
+	if t <= tMin || t >= tMax {
+		t = (-halfB + sq) / a
+		if t <= tMin || t >= tMax {
+			return Hit{}, false
+		}
+	}
+	p := r.At(t)
+	n := p.Sub(s.Center).Scale(1 / s.Radius)
+	h := Hit{T: t, Point: p, Normal: n, Mat: s.Mat}
+	if r.Dir.Dot(n) > 0 {
+		h.Normal = n.Neg()
+		h.Inside = true
+	}
+	return h, true
+}
+
+// Triangle is a single-sided triangle primitive (Möller–Trumbore test).
+type Triangle struct {
+	A, B, C geom.Vec3
+	Mat     Material
+}
+
+// Bounds returns the triangle's bounding box.
+func (t *Triangle) Bounds() geom.AABB {
+	return geom.EmptyAABB().Extend(t.A).Extend(t.B).Extend(t.C)
+}
+
+// Intersect implements the Möller–Trumbore ray–triangle test.
+func (t *Triangle) Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool) {
+	const eps = 1e-12
+	e1 := t.B.Sub(t.A)
+	e2 := t.C.Sub(t.A)
+	p := r.Dir.Cross(e2)
+	det := e1.Dot(p)
+	if math.Abs(det) < eps {
+		return Hit{}, false
+	}
+	inv := 1 / det
+	s := r.Origin.Sub(t.A)
+	u := s.Dot(p) * inv
+	if u < 0 || u > 1 {
+		return Hit{}, false
+	}
+	q := s.Cross(e1)
+	v := r.Dir.Dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return Hit{}, false
+	}
+	tt := e2.Dot(q) * inv
+	if tt <= tMin || tt >= tMax {
+		return Hit{}, false
+	}
+	n := e1.Cross(e2).Normalize()
+	h := Hit{T: tt, Point: r.At(tt), Normal: n, Mat: t.Mat}
+	if r.Dir.Dot(n) > 0 {
+		h.Normal = n.Neg()
+		h.Inside = true
+	}
+	return h, true
+}
+
+// Plane is an infinite plane; being unbounded it lives outside the BVH in
+// the scene's unbounded-object list.
+type Plane struct {
+	Point  geom.Vec3
+	Normal geom.Vec3
+	Mat    Material
+	// Checker, when set, alternates Mat.Color with CheckerColor in a 1×1
+	// checkerboard — a classic ray-tracing ground plane.
+	Checker      bool
+	CheckerColor geom.Vec3
+}
+
+// Intersect tests the ray against the plane.
+func (p *Plane) Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool) {
+	n := p.Normal.Normalize()
+	denom := r.Dir.Dot(n)
+	if math.Abs(denom) < 1e-12 {
+		return Hit{}, false
+	}
+	t := p.Point.Sub(r.Origin).Dot(n) / denom
+	if t <= tMin || t >= tMax {
+		return Hit{}, false
+	}
+	pt := r.At(t)
+	mat := p.Mat
+	if p.Checker {
+		ix := int(math.Floor(pt.X)) + int(math.Floor(pt.Z))
+		if ix&1 != 0 {
+			mat.Color = p.CheckerColor
+		}
+	}
+	h := Hit{T: t, Point: pt, Normal: n, Mat: mat}
+	if denom > 0 {
+		h.Normal = n.Neg()
+	}
+	return h, true
+}

@@ -1,0 +1,224 @@
+package raytrace
+
+import (
+	"fmt"
+
+	"snet/internal/geom"
+)
+
+// Stats counts the work a tracer performed; the counters are deterministic
+// for a fixed scene and section, which is what makes them usable as the
+// cost measure of the cluster simulator (internal/simnet).
+type Stats struct {
+	PrimaryRays   int64
+	SecondaryRays int64
+	ShadowRays    int64
+	NodeVisits    int64
+	ObjectTests   int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PrimaryRays += other.PrimaryRays
+	s.SecondaryRays += other.SecondaryRays
+	s.ShadowRays += other.ShadowRays
+	s.NodeVisits += other.NodeVisits
+	s.ObjectTests += other.ObjectTests
+}
+
+// Cost collapses the counters into a single abstract work measure
+// (approximately proportional to wall-clock on a scalar CPU).
+func (s Stats) Cost() float64 {
+	return float64(s.NodeVisits) + 4*float64(s.ObjectTests) +
+		2*float64(s.PrimaryRays+s.SecondaryRays+s.ShadowRays)
+}
+
+// Tracer renders pixels of one scene; it is cheap to create and NOT safe
+// for concurrent use (each goroutine uses its own Tracer, in keeping with
+// the stateless-box discipline).
+type Tracer struct {
+	Scene *Scene
+	Stats Stats
+}
+
+// NewTracer returns a tracer over the scene.
+func NewTracer(s *Scene) *Tracer { return &Tracer{Scene: s} }
+
+// cast finds the closest intersection among BVH objects and unbounded
+// planes — the paper's Cast function traversing the BVH.
+func (t *Tracer) cast(r geom.Ray) (Hit, bool) {
+	const tMin, tMax = 1e-6, 1e18
+	best, found := t.Scene.BVH.Intersect(r, tMin, tMax, &t.Stats)
+	limit := tMax
+	if found {
+		limit = best.T
+	}
+	for _, p := range t.Scene.Unbounded {
+		t.Stats.ObjectTests++
+		if h, ok := p.Intersect(r, tMin, limit); ok {
+			best = h
+			limit = h.T
+			found = true
+		}
+	}
+	return best, found
+}
+
+// occluded reports whether an opaque object blocks the segment of length
+// dist along the shadow ray.
+func (t *Tracer) occluded(r geom.Ray, dist float64) bool {
+	t.Stats.ShadowRays++
+	if _, ok := t.Scene.BVH.Occluded(r, 1e-6, dist, &t.Stats); ok {
+		return true
+	}
+	for _, p := range t.Scene.Unbounded {
+		t.Stats.ObjectTests++
+		if h, ok := p.Intersect(r, 1e-6, dist); ok && h.Mat.Transparency == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace follows a ray and decides the shade of a pixel — the paper's
+// Algorithm 2: if depth allows, cast the ray; on a hit, shade considering
+// reflective, refractive and shadow interactions; otherwise the background.
+func (t *Tracer) Trace(r geom.Ray, depth int) geom.Vec3 {
+	if depth >= t.Scene.maxDepth() {
+		return t.Scene.Background
+	}
+	hit, ok := t.cast(r)
+	if !ok {
+		return t.Scene.Background
+	}
+	return t.shade(r, hit, depth)
+}
+
+// shade implements the paper's Shader: Phong direct lighting with shadow
+// rays S1, plus recursive reflection R1 and transmission T1.
+func (t *Tracer) shade(r geom.Ray, h Hit, depth int) geom.Vec3 {
+	mat := h.Mat
+	color := t.Scene.Ambient.Mul(mat.Color)
+
+	for _, l := range t.Scene.Lights {
+		toLight := l.Pos.Sub(h.Point)
+		dist := toLight.Len()
+		dir := toLight.Scale(1 / dist)
+		if t.occluded(geom.Ray{Origin: h.Point, Dir: dir}, dist) {
+			continue
+		}
+		nDotL := h.Normal.Dot(dir)
+		if nDotL > 0 {
+			color = color.Add(mat.Color.Mul(l.Intensity).Scale(mat.Diffuse * nDotL))
+			half := dir.Sub(r.Dir).Normalize()
+			spec := h.Normal.Dot(half)
+			if spec > 0 && mat.Specular > 0 {
+				color = color.Add(l.Intensity.Scale(mat.Specular * pow(spec, mat.Shininess)))
+			}
+		}
+	}
+
+	if mat.Reflectivity > 0 {
+		t.Stats.SecondaryRays++
+		refl := geom.Ray{Origin: h.Point, Dir: r.Dir.Reflect(h.Normal)}
+		color = color.Add(t.Trace(refl, depth+1).Scale(mat.Reflectivity))
+	}
+	if mat.Transparency > 0 {
+		eta := 1 / mat.IOR
+		if h.Inside {
+			eta = mat.IOR
+		}
+		if dir, ok := r.Dir.Refract(h.Normal, eta); ok {
+			t.Stats.SecondaryRays++
+			refr := geom.Ray{Origin: h.Point, Dir: dir}
+			color = color.Add(t.Trace(refr, depth+1).Scale(mat.Transparency))
+		} else {
+			// total internal reflection
+			t.Stats.SecondaryRays++
+			refl := geom.Ray{Origin: h.Point, Dir: r.Dir.Reflect(h.Normal)}
+			color = color.Add(t.Trace(refl, depth+1).Scale(mat.Transparency))
+		}
+	}
+	return color
+}
+
+// pow is an exponentiation-by-squaring for small integral Phong exponents
+// with a float fallback; Phong exponents are whole numbers in this package.
+func pow(base, exp float64) float64 {
+	n := int(exp)
+	result := 1.0
+	for i := 0; i < n; i++ {
+		result *= base
+	}
+	return result
+}
+
+// Pixel renders the pixel (x, y) of a w×h image — one primary ray per
+// pixel, as in the paper's Algorithm 1.
+func (t *Tracer) Pixel(x, y, w, h int) geom.Vec3 {
+	t.Stats.PrimaryRays++
+	r := t.Scene.Camera.ray(float64(x), float64(y), w, h)
+	return t.Trace(r, 0).Clamp01()
+}
+
+// Section is a horizontal band of the image: rows [Y0, Y1). It is the unit
+// of work the splitter distributes to solvers.
+type Section struct {
+	Index  int // section number within the image
+	W, H   int // full image dimensions
+	Y0, Y1 int // row range [Y0, Y1)
+}
+
+// Rows returns the number of rows in the section.
+func (s Section) Rows() int { return s.Y1 - s.Y0 }
+
+// String renders the section for diagnostics.
+func (s Section) String() string {
+	return fmt.Sprintf("section %d rows [%d,%d) of %dx%d", s.Index, s.Y0, s.Y1, s.W, s.H)
+}
+
+// Chunk is a rendered section: RGB bytes for rows [Y0, Y1), exactly what
+// the solver box sends back to the merger.
+type Chunk struct {
+	Section
+	Pix []byte // 3 bytes per pixel, row-major, len = 3*W*Rows()
+}
+
+// RenderSection renders one section of the image and returns the chunk
+// plus the work statistics.
+func RenderSection(s *Scene, sec Section) (Chunk, Stats) {
+	tr := NewTracer(s)
+	pix := make([]byte, 3*sec.W*sec.Rows())
+	i := 0
+	for y := sec.Y0; y < sec.Y1; y++ {
+		for x := 0; x < sec.W; x++ {
+			c := tr.Pixel(x, y, sec.W, sec.H)
+			pix[i] = byte(c.X*255 + 0.5)
+			pix[i+1] = byte(c.Y*255 + 0.5)
+			pix[i+2] = byte(c.Z*255 + 0.5)
+			i += 3
+		}
+	}
+	return Chunk{Section: sec, Pix: pix}, tr.Stats
+}
+
+// Render renders the whole image sequentially (the reference path used by
+// tests and by the MPI baseline's per-rank work loop).
+func Render(s *Scene, w, h int) (*Image, Stats) {
+	img := NewImage(w, h)
+	chunk, stats := RenderSection(s, Section{W: w, H: h, Y0: 0, Y1: h})
+	img.SetChunk(chunk)
+	return img, stats
+}
+
+// RowCosts renders every row of a w×h image and returns each row's
+// abstract cost (Stats.Cost). The simulator uses this profile as ground
+// truth for section service times.
+func RowCosts(s *Scene, w, h int) []float64 {
+	costs := make([]float64, h)
+	for y := 0; y < h; y++ {
+		_, st := RenderSection(s, Section{W: w, H: h, Y0: y, Y1: y + 1})
+		costs[y] = st.Cost()
+	}
+	return costs
+}

@@ -1,0 +1,175 @@
+package raytrace
+
+import (
+	"math"
+	"math/rand"
+
+	"snet/internal/geom"
+)
+
+// Camera is a pinhole camera.
+type Camera struct {
+	Pos    geom.Vec3
+	LookAt geom.Vec3
+	Up     geom.Vec3
+	FOV    float64 // vertical field of view in degrees
+}
+
+// ray builds the primary ray through the pixel (x, y) of a w×h image,
+// shooting "through each pixel in the image plane" as in the paper's
+// Algorithm 1.
+func (c Camera) ray(x, y float64, w, h int) geom.Ray {
+	forward := c.LookAt.Sub(c.Pos).Normalize()
+	right := forward.Cross(c.Up).Normalize()
+	up := right.Cross(forward)
+	aspect := float64(w) / float64(h)
+	halfH := math.Tan(c.FOV * math.Pi / 360)
+	halfW := halfH * aspect
+	u := (2*(x+0.5)/float64(w) - 1) * halfW
+	v := (1 - 2*(y+0.5)/float64(h)) * halfH
+	dir := forward.Add(right.Scale(u)).Add(up.Scale(v))
+	return geom.NewRay(c.Pos, dir)
+}
+
+// Scene holds everything needed to render: the BVH over finite objects,
+// unbounded objects (planes), lights, camera and global constants.
+type Scene struct {
+	BVH        *BVH
+	Unbounded  []*Plane
+	Lights     []Light
+	Camera     Camera
+	Background geom.Vec3
+	Ambient    geom.Vec3
+	// MaxRayDepth is the paper's MAX_RAY_DEPTH; zero means DefaultMaxDepth.
+	MaxRayDepth int
+}
+
+// DefaultMaxDepth bounds recursive ray generation when Scene.MaxRayDepth is
+// unset.
+const DefaultMaxDepth = 5
+
+// NewScene returns an empty scene with a default camera and lighting.
+func NewScene() *Scene {
+	return &Scene{
+		BVH: &BVH{},
+		Camera: Camera{
+			Pos:    geom.V(0, 1.5, -6),
+			LookAt: geom.V(0, 1, 0),
+			Up:     geom.V(0, 1, 0),
+			FOV:    60,
+		},
+		Background:  geom.V(0.08, 0.09, 0.12),
+		Ambient:     geom.V(0.08, 0.08, 0.08),
+		MaxRayDepth: DefaultMaxDepth,
+	}
+}
+
+// Add inserts a finite object into the scene's BVH — "when adding an object
+// to the BVH, it inserts the bounding volume that contains the object at
+// the optimal place in the hierarchy".
+func (s *Scene) Add(obj Object) { s.BVH.Insert(obj) }
+
+// AddPlane registers an unbounded plane.
+func (s *Scene) AddPlane(p *Plane) { s.Unbounded = append(s.Unbounded, p) }
+
+// AddLight registers a point light.
+func (s *Scene) AddLight(l Light) { s.Lights = append(s.Lights, l) }
+
+// maxDepth returns the effective recursion bound.
+func (s *Scene) maxDepth() int {
+	if s.MaxRayDepth > 0 {
+		return s.MaxRayDepth
+	}
+	return DefaultMaxDepth
+}
+
+// BalancedScene generates a procedural scene whose n spheres are spread
+// uniformly over the camera's view, so per-row rendering cost is roughly
+// even. Deterministic in seed.
+func BalancedScene(n int, seed int64) *Scene {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScene()
+	s.AddPlane(&Plane{
+		Point: geom.V(0, -0.5, 0), Normal: geom.V(0, 1, 0),
+		Mat:     Matte(geom.V(0.85, 0.85, 0.85)),
+		Checker: true, CheckerColor: geom.V(0.25, 0.3, 0.35),
+	})
+	for i := 0; i < n; i++ {
+		s.Add(randomSphere(rng,
+			geom.V(-6, -0.2, -2), geom.V(6, 4.5, 10), 0.25, 0.7))
+	}
+	addDefaultLights(s)
+	return s
+}
+
+// UnbalancedScene generates the workload-imbalance scene motivating the
+// paper's dynamic load balancing: the vast majority of objects — many of
+// them reflective or refractive — are concentrated in a horizontal band of
+// the image, so the sections covering that band cost far more to render
+// than the rest ("imbalances in the distribution of objects within any
+// given scene quickly lead to limited scalability"). Deterministic in seed.
+func UnbalancedScene(n int, seed int64) *Scene {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScene()
+	s.AddPlane(&Plane{
+		Point: geom.V(0, -0.5, 0), Normal: geom.V(0, 1, 0),
+		Mat:     Matte(geom.V(0.8, 0.8, 0.8)),
+		Checker: true, CheckerColor: geom.V(0.2, 0.25, 0.3),
+	})
+	// 85% of the spheres cluster in a band around y≈2.2 (upper third of
+	// the image), densely packed and highly reflective (expensive
+	// secondary rays). The remaining spheres scatter sparsely.
+	cluster := n * 85 / 100
+	for i := 0; i < cluster; i++ {
+		c := geom.V(
+			rng.Float64()*7-3.5,
+			2.0+rng.Float64()*0.9,
+			1+rng.Float64()*4,
+		)
+		r := 0.18 + rng.Float64()*0.3
+		var mat Material
+		switch i % 3 {
+		case 0:
+			mat = Shiny(randColor(rng), 0.7)
+		case 1:
+			mat = Glass(geom.V(0.9, 0.95, 1))
+		default:
+			mat = Shiny(randColor(rng), 0.4)
+		}
+		s.Add(&Sphere{Center: c, Radius: r, Mat: mat})
+	}
+	for i := cluster; i < n; i++ {
+		s.Add(randomSphere(rng,
+			geom.V(-6, -0.3, -2), geom.V(6, 1.2, 10), 0.2, 0.45))
+	}
+	addDefaultLights(s)
+	return s
+}
+
+func randomSphere(rng *rand.Rand, lo, hi geom.Vec3, rMin, rMax float64) *Sphere {
+	c := geom.V(
+		lo.X+rng.Float64()*(hi.X-lo.X),
+		lo.Y+rng.Float64()*(hi.Y-lo.Y),
+		lo.Z+rng.Float64()*(hi.Z-lo.Z),
+	)
+	r := rMin + rng.Float64()*(rMax-rMin)
+	var mat Material
+	switch rng.Intn(4) {
+	case 0:
+		mat = Shiny(randColor(rng), 0.5)
+	case 1:
+		mat = Glass(geom.V(0.95, 0.95, 1))
+	default:
+		mat = Matte(randColor(rng))
+	}
+	return &Sphere{Center: c, Radius: r, Mat: mat}
+}
+
+func randColor(rng *rand.Rand) geom.Vec3 {
+	return geom.V(0.3+0.7*rng.Float64(), 0.3+0.7*rng.Float64(), 0.3+0.7*rng.Float64())
+}
+
+func addDefaultLights(s *Scene) {
+	s.AddLight(Light{Pos: geom.V(-5, 8, -4), Intensity: geom.V(0.9, 0.9, 0.85)})
+	s.AddLight(Light{Pos: geom.V(6, 6, -2), Intensity: geom.V(0.45, 0.45, 0.5)})
+}

@@ -1,0 +1,33 @@
+package record
+
+// Builder provides a fluent way to assemble records in tests, examples and
+// box bodies:
+//
+//	r := record.Build().F("scene", sc).T("nodes", 8).T("tasks", 48).Rec()
+type Builder struct {
+	r *Record
+}
+
+// Build starts a new builder over an empty data record.
+func Build() *Builder { return &Builder{r: New()} }
+
+// F adds a field binding.
+func (b *Builder) F(label string, value any) *Builder {
+	b.r.SetField(label, value)
+	return b
+}
+
+// T adds a tag binding.
+func (b *Builder) T(label string, value int) *Builder {
+	b.r.SetTag(label, value)
+	return b
+}
+
+// BT adds a binding-tag binding.
+func (b *Builder) BT(label string, value int) *Builder {
+	b.r.SetBTag(label, value)
+	return b
+}
+
+// Rec returns the assembled record.
+func (b *Builder) Rec() *Record { return b.r }

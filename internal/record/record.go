@@ -1,0 +1,332 @@
+// Package record implements the S-Net communication quantum: the record.
+//
+// A record is a non-recursive set of label–value pairs. Labels are divided
+// into fields, tags and binding tags:
+//
+//   - Fields carry values from the box-language domain (arbitrary Go values
+//     here); they are entirely opaque to the coordination layer.
+//   - Tags carry integer values that are accessible both to the coordination
+//     layer and to boxes ("integers are the universal language of all
+//     abstract machines").
+//   - Binding tags (btags) behave like tags but are exempt from flow
+//     inheritance; they are part of S-Net 2.0 (Language Report 2.0, TR 499)
+//     and are provided for completeness.
+//
+// Records are the only kind of message that travels on S-Net streams. The
+// runtime additionally uses control records (see Kind) to implement network
+// unrolling and orderly shutdown; user code only ever observes data records.
+package record
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates data records from runtime-internal control records.
+type Kind uint8
+
+const (
+	// Data is an ordinary record carrying fields and tags.
+	Data Kind = iota
+	// Trigger is a control record used internally by the runtime (for
+	// example to flush synchrocells at network shutdown). Triggers are
+	// never delivered to boxes.
+	Trigger
+)
+
+// Record is a set of label–value pairs. The zero value is not ready for
+// use; construct records with New or Build.
+//
+// Records are passed by pointer through the network. A record must be
+// treated as owned by exactly one entity at a time: an entity that wants to
+// both forward a record and keep it must Copy it first. This mirrors the
+// single-owner semantics of S-Net streams and keeps the runtime free of
+// locks on the hot path.
+type Record struct {
+	kind   Kind
+	fields map[string]any
+	tags   map[string]int
+	btags  map[string]int
+}
+
+// New returns an empty data record.
+func New() *Record {
+	return &Record{
+		kind:   Data,
+		fields: make(map[string]any),
+		tags:   make(map[string]int),
+		btags:  make(map[string]int),
+	}
+}
+
+// NewTrigger returns a control record of kind Trigger.
+func NewTrigger() *Record {
+	r := New()
+	r.kind = Trigger
+	return r
+}
+
+// Kind reports whether the record is a data or control record.
+func (r *Record) Kind() Kind { return r.kind }
+
+// IsData reports whether the record is an ordinary data record.
+func (r *Record) IsData() bool { return r.kind == Data }
+
+// SetField binds the field label to value, overriding any previous binding.
+// It returns the record to allow chaining.
+func (r *Record) SetField(label string, value any) *Record {
+	r.fields[label] = value
+	return r
+}
+
+// SetTag binds the tag label to value, overriding any previous binding.
+func (r *Record) SetTag(label string, value int) *Record {
+	r.tags[label] = value
+	return r
+}
+
+// SetBTag binds the binding-tag label to value.
+func (r *Record) SetBTag(label string, value int) *Record {
+	r.btags[label] = value
+	return r
+}
+
+// Field returns the value bound to the field label.
+func (r *Record) Field(label string) (any, bool) {
+	v, ok := r.fields[label]
+	return v, ok
+}
+
+// MustField returns the value bound to the field label and panics when the
+// label is absent. It is intended for box bodies whose input type has been
+// verified by the runtime.
+func (r *Record) MustField(label string) any {
+	v, ok := r.fields[label]
+	if !ok {
+		panic(fmt.Sprintf("record: field %q absent from %s", label, r))
+	}
+	return v
+}
+
+// Tag returns the value bound to the tag label.
+func (r *Record) Tag(label string) (int, bool) {
+	v, ok := r.tags[label]
+	return v, ok
+}
+
+// MustTag returns the value bound to the tag label and panics when the label
+// is absent.
+func (r *Record) MustTag(label string) int {
+	v, ok := r.tags[label]
+	if !ok {
+		panic(fmt.Sprintf("record: tag <%s> absent from %s", label, r))
+	}
+	return v
+}
+
+// BTag returns the value bound to the binding-tag label.
+func (r *Record) BTag(label string) (int, bool) {
+	v, ok := r.btags[label]
+	return v, ok
+}
+
+// HasField reports whether the field label is present.
+func (r *Record) HasField(label string) bool {
+	_, ok := r.fields[label]
+	return ok
+}
+
+// HasTag reports whether the tag label is present.
+func (r *Record) HasTag(label string) bool {
+	_, ok := r.tags[label]
+	return ok
+}
+
+// HasBTag reports whether the binding-tag label is present.
+func (r *Record) HasBTag(label string) bool {
+	_, ok := r.btags[label]
+	return ok
+}
+
+// DeleteField removes the field label if present.
+func (r *Record) DeleteField(label string) { delete(r.fields, label) }
+
+// DeleteTag removes the tag label if present.
+func (r *Record) DeleteTag(label string) { delete(r.tags, label) }
+
+// DeleteBTag removes the binding-tag label if present.
+func (r *Record) DeleteBTag(label string) { delete(r.btags, label) }
+
+// NumFields returns the number of field labels.
+func (r *Record) NumFields() int { return len(r.fields) }
+
+// NumTags returns the number of tag labels.
+func (r *Record) NumTags() int { return len(r.tags) }
+
+// NumBTags returns the number of binding-tag labels.
+func (r *Record) NumBTags() int { return len(r.btags) }
+
+// Fields returns the field labels in sorted order.
+func (r *Record) Fields() []string { return sortedKeysAny(r.fields) }
+
+// Tags returns the tag labels in sorted order.
+func (r *Record) Tags() []string { return sortedKeysInt(r.tags) }
+
+// BTags returns the binding-tag labels in sorted order.
+func (r *Record) BTags() []string { return sortedKeysInt(r.btags) }
+
+// Copy returns a deep copy of the record's label structure. Field values
+// themselves are shared (they are opaque to the coordination layer, and
+// boxes are stateless, so sharing is safe as long as boxes treat inputs as
+// immutable — the same contract the paper imposes on C boxes).
+func (r *Record) Copy() *Record {
+	c := &Record{
+		kind:   r.kind,
+		fields: make(map[string]any, len(r.fields)),
+		tags:   make(map[string]int, len(r.tags)),
+		btags:  make(map[string]int, len(r.btags)),
+	}
+	for k, v := range r.fields {
+		c.fields[k] = v
+	}
+	for k, v := range r.tags {
+		c.tags[k] = v
+	}
+	for k, v := range r.btags {
+		c.btags[k] = v
+	}
+	return c
+}
+
+// InheritFrom implements flow inheritance: every label of src that is not
+// already present in r (of the same label class) is attached to r. Binding
+// tags are exempt, per the S-Net language report. The receiver is returned.
+//
+// The "already present" test implements the override rule from the paper:
+// "unless an identically labeled item is included in it already, a form of
+// override".
+func (r *Record) InheritFrom(src *Record) *Record {
+	for k, v := range src.fields {
+		if _, ok := r.fields[k]; !ok {
+			r.fields[k] = v
+		}
+	}
+	for k, v := range src.tags {
+		if _, ok := r.tags[k]; !ok {
+			r.tags[k] = v
+		}
+	}
+	return r
+}
+
+// InheritFromExcept behaves like InheritFrom but never transfers labels
+// listed in the consumed sets. It is used at box boundaries where the labels
+// matched by the box input variant are considered consumed by the box.
+func (r *Record) InheritFromExcept(src *Record, consumedFields, consumedTags map[string]bool) *Record {
+	for k, v := range src.fields {
+		if consumedFields[k] {
+			continue
+		}
+		if _, ok := r.fields[k]; !ok {
+			r.fields[k] = v
+		}
+	}
+	for k, v := range src.tags {
+		if consumedTags[k] {
+			continue
+		}
+		if _, ok := r.tags[k]; !ok {
+			r.tags[k] = v
+		}
+	}
+	return r
+}
+
+// Merge unions other into r. Labels already bound in r win; this implements
+// the synchrocell join where the record matched against the earlier pattern
+// takes priority on overlapping labels. The receiver is returned.
+func (r *Record) Merge(other *Record) *Record {
+	for k, v := range other.fields {
+		if _, ok := r.fields[k]; !ok {
+			r.fields[k] = v
+		}
+	}
+	for k, v := range other.tags {
+		if _, ok := r.tags[k]; !ok {
+			r.tags[k] = v
+		}
+	}
+	for k, v := range other.btags {
+		if _, ok := r.btags[k]; !ok {
+			r.btags[k] = v
+		}
+	}
+	return r
+}
+
+// Equal reports whether two records have identical label sets, identical tag
+// values and identical (shallow-compared) field values.
+func (r *Record) Equal(other *Record) bool {
+	if r.kind != other.kind ||
+		len(r.fields) != len(other.fields) ||
+		len(r.tags) != len(other.tags) ||
+		len(r.btags) != len(other.btags) {
+		return false
+	}
+	for k, v := range r.fields {
+		ov, ok := other.fields[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range r.tags {
+		if ov, ok := other.tags[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range r.btags {
+		if ov, ok := other.btags[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the record in S-Net style, e.g.
+// {scene, sect, <node=3>, <tasks=48>}. Labels appear in sorted order so the
+// output is deterministic.
+func (r *Record) String() string {
+	if r.kind == Trigger {
+		return "{*trigger*}"
+	}
+	var parts []string
+	for _, k := range r.Fields() {
+		parts = append(parts, k)
+	}
+	for _, k := range r.Tags() {
+		parts = append(parts, fmt.Sprintf("<%s=%d>", k, r.tags[k]))
+	}
+	for _, k := range r.BTags() {
+		parts = append(parts, fmt.Sprintf("<#%s=%d>", k, r.btags[k]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func sortedKeysAny(m map[string]any) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysInt(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,314 @@
+package record
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmptyData(t *testing.T) {
+	r := New()
+	if !r.IsData() {
+		t.Fatalf("New() kind = %v, want Data", r.Kind())
+	}
+	if r.NumFields() != 0 || r.NumTags() != 0 || r.NumBTags() != 0 {
+		t.Fatalf("New() not empty: %s", r)
+	}
+}
+
+func TestTriggerKind(t *testing.T) {
+	r := NewTrigger()
+	if r.IsData() {
+		t.Fatal("trigger record reported as data")
+	}
+	if got := r.String(); got != "{*trigger*}" {
+		t.Fatalf("trigger String() = %q", got)
+	}
+}
+
+func TestSetGetField(t *testing.T) {
+	r := New().SetField("a", 42).SetField("b", "hello")
+	if v, ok := r.Field("a"); !ok || v != 42 {
+		t.Fatalf("Field(a) = %v,%v", v, ok)
+	}
+	if v, ok := r.Field("b"); !ok || v != "hello" {
+		t.Fatalf("Field(b) = %v,%v", v, ok)
+	}
+	if _, ok := r.Field("c"); ok {
+		t.Fatal("Field(c) unexpectedly present")
+	}
+}
+
+func TestSetGetTag(t *testing.T) {
+	r := New().SetTag("node", 3)
+	if v, ok := r.Tag("node"); !ok || v != 3 {
+		t.Fatalf("Tag(node) = %v,%v", v, ok)
+	}
+	if _, ok := r.Tag("cpu"); ok {
+		t.Fatal("Tag(cpu) unexpectedly present")
+	}
+}
+
+func TestSetGetBTag(t *testing.T) {
+	r := New().SetBTag("idx", 7)
+	if v, ok := r.BTag("idx"); !ok || v != 7 {
+		t.Fatalf("BTag(idx) = %v,%v", v, ok)
+	}
+	if !r.HasBTag("idx") || r.HasBTag("other") {
+		t.Fatal("HasBTag wrong")
+	}
+}
+
+func TestOverride(t *testing.T) {
+	r := New().SetTag("t", 1).SetTag("t", 2)
+	if v, _ := r.Tag("t"); v != 2 {
+		t.Fatalf("tag override failed: %d", v)
+	}
+}
+
+func TestMustFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustField on absent label did not panic")
+		}
+	}()
+	New().MustField("missing")
+}
+
+func TestMustTagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTag on absent label did not panic")
+		}
+	}()
+	New().MustTag("missing")
+}
+
+func TestMustAccessors(t *testing.T) {
+	r := New().SetField("f", "x").SetTag("t", 9)
+	if r.MustField("f") != "x" {
+		t.Fatal("MustField wrong value")
+	}
+	if r.MustTag("t") != 9 {
+		t.Fatal("MustTag wrong value")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New().SetField("a", 1).SetTag("t", 2).SetBTag("b", 3)
+	r.DeleteField("a")
+	r.DeleteTag("t")
+	r.DeleteBTag("b")
+	if r.NumFields()+r.NumTags()+r.NumBTags() != 0 {
+		t.Fatalf("delete left residue: %s", r)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	r := New().SetField("a", 1).SetTag("t", 5)
+	c := r.Copy()
+	c.SetField("a", 2).SetTag("t", 6).SetField("new", 3)
+	if v, _ := r.Field("a"); v != 1 {
+		t.Fatal("copy mutated original field")
+	}
+	if v, _ := r.Tag("t"); v != 5 {
+		t.Fatal("copy mutated original tag")
+	}
+	if r.HasField("new") {
+		t.Fatal("copy added field to original")
+	}
+}
+
+func TestCopyPreservesKind(t *testing.T) {
+	if NewTrigger().Copy().IsData() {
+		t.Fatal("copy lost Trigger kind")
+	}
+}
+
+func TestInheritFrom(t *testing.T) {
+	src := New().SetField("a", 1).SetField("b", 2).SetTag("t", 3).SetBTag("bt", 4)
+	dst := New().SetField("b", 99)
+	dst.InheritFrom(src)
+	if v, _ := dst.Field("a"); v != 1 {
+		t.Fatal("field a not inherited")
+	}
+	if v, _ := dst.Field("b"); v != 99 {
+		t.Fatal("override rule violated: existing label replaced")
+	}
+	if v, _ := dst.Tag("t"); v != 3 {
+		t.Fatal("tag not inherited")
+	}
+	if dst.HasBTag("bt") {
+		t.Fatal("binding tag must not flow-inherit")
+	}
+}
+
+func TestInheritFromExcept(t *testing.T) {
+	src := New().SetField("a", 1).SetField("keep", 2).SetTag("t", 3).SetTag("u", 4)
+	dst := New()
+	dst.InheritFromExcept(src,
+		map[string]bool{"a": true},
+		map[string]bool{"t": true})
+	if dst.HasField("a") {
+		t.Fatal("consumed field inherited")
+	}
+	if dst.HasTag("t") {
+		t.Fatal("consumed tag inherited")
+	}
+	if !dst.HasField("keep") || !dst.HasTag("u") {
+		t.Fatal("unconsumed labels not inherited")
+	}
+}
+
+func TestMergePriority(t *testing.T) {
+	a := New().SetField("pic", "A").SetTag("cnt", 1)
+	b := New().SetField("pic", "B").SetField("chunk", "C").SetBTag("i", 1)
+	a.Merge(b)
+	if v, _ := a.Field("pic"); v != "A" {
+		t.Fatal("merge overrode earlier binding")
+	}
+	if v, _ := a.Field("chunk"); v != "C" {
+		t.Fatal("merge dropped new field")
+	}
+	if !a.HasBTag("i") {
+		t.Fatal("merge dropped btag")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New().SetField("x", 1).SetTag("t", 2)
+	b := New().SetTag("t", 2).SetField("x", 1)
+	if !a.Equal(b) {
+		t.Fatal("identical records not Equal")
+	}
+	b.SetTag("t", 3)
+	if a.Equal(b) {
+		t.Fatal("records with differing tag value Equal")
+	}
+	c := New().SetField("x", 1)
+	if a.Equal(c) {
+		t.Fatal("records with differing label sets Equal")
+	}
+	if a.Equal(NewTrigger()) {
+		t.Fatal("data equal to trigger")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	r := New().SetField("b", 1).SetField("a", 2).SetTag("z", 3).SetTag("y", 4).SetBTag("m", 5)
+	want := "{a, b, <y=4>, <z=3>, <#m=5>}"
+	for i := 0; i < 10; i++ {
+		if got := r.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSortedLabelLists(t *testing.T) {
+	r := New().SetField("c", 0).SetField("a", 0).SetField("b", 0)
+	got := r.Fields()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fields() = %v, want %v", got, want)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	r := Build().F("scene", "s").T("nodes", 8).T("tasks", 48).BT("i", 1).Rec()
+	if !r.HasField("scene") || !r.HasTag("nodes") || !r.HasTag("tasks") || !r.HasBTag("i") {
+		t.Fatalf("builder produced %s", r)
+	}
+}
+
+// randomRecord generates an arbitrary record for property tests.
+func randomRecord(rng *rand.Rand) *Record {
+	r := New()
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		r.SetField(fmt.Sprintf("f%d", rng.Intn(8)), rng.Intn(100))
+	}
+	n = rng.Intn(6)
+	for i := 0; i < n; i++ {
+		r.SetTag(fmt.Sprintf("t%d", rng.Intn(8)), rng.Intn(100))
+	}
+	return r
+}
+
+func TestPropCopyEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randomRecord(rand.New(rand.NewSource(seed)))
+		return r.Copy().Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInheritIdempotent(t *testing.T) {
+	// Inheriting twice from the same source must equal inheriting once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, dst := randomRecord(rng), randomRecord(rng)
+		once := dst.Copy().InheritFrom(src)
+		twice := dst.Copy().InheritFrom(src).InheritFrom(src)
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInheritGrowsLabelSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, dst := randomRecord(rng), randomRecord(rng)
+		before := dst.Copy()
+		dst.InheritFrom(src)
+		// every label of before must survive with its value
+		for _, k := range before.Fields() {
+			v, ok := dst.Field(k)
+			bv, _ := before.Field(k)
+			if !ok || v != bv {
+				return false
+			}
+		}
+		for _, k := range before.Tags() {
+			v, ok := dst.Tag(k)
+			bv, _ := before.Tag(k)
+			if !ok || v != bv {
+				return false
+			}
+		}
+		// every label of src must now be present (value from either side)
+		for _, k := range src.Fields() {
+			if !dst.HasField(k) {
+				return false
+			}
+		}
+		for _, k := range src.Tags() {
+			if !dst.HasTag(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeCommutesOnDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New().SetField(fmt.Sprintf("a%d", rng.Intn(5)), rng.Intn(10)).SetTag("ta", rng.Intn(10))
+		b := New().SetField(fmt.Sprintf("b%d", rng.Intn(5)), rng.Intn(10)).SetTag("tb", rng.Intn(10))
+		ab := a.Copy().Merge(b)
+		ba := b.Copy().Merge(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

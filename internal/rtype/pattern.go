@@ -1,0 +1,52 @@
+package rtype
+
+import "snet/internal/record"
+
+// Guard is a predicate over a record's tag values, used in pattern guards
+// such as the star exit condition {<tasks> == <cnt>} from the paper's merger
+// network. A nil Guard is always true.
+type Guard func(r *record.Record) bool
+
+// Pattern is a record pattern: a variant (the labels a record must carry)
+// plus an optional guard over its tag values. Patterns appear as the exit
+// condition of the star combinator and as the storage patterns of
+// synchrocells.
+type Pattern struct {
+	Variant  *Variant
+	Guard    Guard
+	GuardSrc string // textual form of the guard, for diagnostics; may be empty
+}
+
+// NewPattern builds a pattern over the given variant with no guard.
+func NewPattern(v *Variant) *Pattern { return &Pattern{Variant: v} }
+
+// WithGuard attaches a guard predicate (and an optional textual rendering)
+// and returns the pattern.
+func (p *Pattern) WithGuard(g Guard, src string) *Pattern {
+	p.Guard = g
+	p.GuardSrc = src
+	return p
+}
+
+// Matches reports whether the record carries the pattern's labels and
+// satisfies its guard.
+func (p *Pattern) Matches(r *record.Record) bool {
+	if !p.Variant.MatchesRecord(r) {
+		return false
+	}
+	if p.Guard != nil && !p.Guard(r) {
+		return false
+	}
+	return true
+}
+
+// String renders the pattern; a guard is rendered from GuardSrc when known.
+func (p *Pattern) String() string {
+	if p.GuardSrc != "" {
+		if p.Variant.Size() == 0 {
+			return "{" + p.GuardSrc + "}"
+		}
+		return p.Variant.String() + " if " + p.GuardSrc
+	}
+	return p.Variant.String()
+}

@@ -1,0 +1,378 @@
+// Package rtype implements the S-Net structural type system.
+//
+// A record variant is a set of labels (fields, tags, binding tags). A record
+// type is a disjunction (set) of variants. Subtyping is the inverse
+// set-inclusion relation on label sets, lifted to multivariant types:
+//
+//   - variant v is a subtype of variant w  iff  w ⊆ v
+//     (a record with MORE labels is MORE specific, hence a subtype);
+//   - type x is a subtype of type y iff every variant of x is a subtype of
+//     some variant of y.
+//
+// A signature maps an input type to an output type; boxes declare
+// signatures, and the compiler infers signatures for whole networks.
+package rtype
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snet/internal/record"
+)
+
+// LabelClass distinguishes the three S-Net label namespaces.
+type LabelClass uint8
+
+const (
+	// Field is an opaque box-language value label.
+	Field LabelClass = iota
+	// Tag is an integer label visible to the coordination layer.
+	Tag
+	// BTag is a binding tag: like Tag, but exempt from flow inheritance.
+	BTag
+)
+
+// String returns the class name.
+func (c LabelClass) String() string {
+	switch c {
+	case Field:
+		return "field"
+	case Tag:
+		return "tag"
+	case BTag:
+		return "btag"
+	}
+	return fmt.Sprintf("LabelClass(%d)", uint8(c))
+}
+
+// Label is a classified label name.
+type Label struct {
+	Name  string
+	Class LabelClass
+}
+
+// F constructs a field label.
+func F(name string) Label { return Label{Name: name, Class: Field} }
+
+// T constructs a tag label.
+func T(name string) Label { return Label{Name: name, Class: Tag} }
+
+// BT constructs a binding-tag label.
+func BT(name string) Label { return Label{Name: name, Class: BTag} }
+
+// String renders the label in S-Net syntax: plain for fields, <x> for tags,
+// <#x> for binding tags.
+func (l Label) String() string {
+	switch l.Class {
+	case Tag:
+		return "<" + l.Name + ">"
+	case BTag:
+		return "<#" + l.Name + ">"
+	default:
+		return l.Name
+	}
+}
+
+// Variant is a set of labels, e.g. {scene, sect, <node>}.
+type Variant struct {
+	fields map[string]bool
+	tags   map[string]bool
+	btags  map[string]bool
+}
+
+// NewVariant builds a variant from the given labels.
+func NewVariant(labels ...Label) *Variant {
+	v := &Variant{
+		fields: make(map[string]bool),
+		tags:   make(map[string]bool),
+		btags:  make(map[string]bool),
+	}
+	for _, l := range labels {
+		v.Add(l)
+	}
+	return v
+}
+
+// Add inserts a label into the variant.
+func (v *Variant) Add(l Label) *Variant {
+	switch l.Class {
+	case Field:
+		v.fields[l.Name] = true
+	case Tag:
+		v.tags[l.Name] = true
+	case BTag:
+		v.btags[l.Name] = true
+	}
+	return v
+}
+
+// HasField reports whether the variant contains the field label.
+func (v *Variant) HasField(name string) bool { return v.fields[name] }
+
+// HasTag reports whether the variant contains the tag label.
+func (v *Variant) HasTag(name string) bool { return v.tags[name] }
+
+// HasBTag reports whether the variant contains the binding-tag label.
+func (v *Variant) HasBTag(name string) bool { return v.btags[name] }
+
+// Fields returns the variant's field labels in sorted order.
+func (v *Variant) Fields() []string { return sortedKeys(v.fields) }
+
+// Tags returns the variant's tag labels in sorted order.
+func (v *Variant) Tags() []string { return sortedKeys(v.tags) }
+
+// BTags returns the variant's binding-tag labels in sorted order.
+func (v *Variant) BTags() []string { return sortedKeys(v.btags) }
+
+// Size returns the total number of labels in the variant.
+func (v *Variant) Size() int { return len(v.fields) + len(v.tags) + len(v.btags) }
+
+// Labels returns all labels, fields first, then tags, then btags, each group
+// sorted.
+func (v *Variant) Labels() []Label {
+	out := make([]Label, 0, v.Size())
+	for _, f := range v.Fields() {
+		out = append(out, F(f))
+	}
+	for _, t := range v.Tags() {
+		out = append(out, T(t))
+	}
+	for _, t := range v.BTags() {
+		out = append(out, BT(t))
+	}
+	return out
+}
+
+// Copy returns an independent copy of the variant.
+func (v *Variant) Copy() *Variant {
+	c := NewVariant()
+	for f := range v.fields {
+		c.fields[f] = true
+	}
+	for t := range v.tags {
+		c.tags[t] = true
+	}
+	for t := range v.btags {
+		c.btags[t] = true
+	}
+	return c
+}
+
+// Union returns a new variant containing the labels of both operands.
+func (v *Variant) Union(w *Variant) *Variant {
+	u := v.Copy()
+	for f := range w.fields {
+		u.fields[f] = true
+	}
+	for t := range w.tags {
+		u.tags[t] = true
+	}
+	for t := range w.btags {
+		u.btags[t] = true
+	}
+	return u
+}
+
+// SubsetOf reports whether every label of v also appears in w.
+func (v *Variant) SubsetOf(w *Variant) bool {
+	for f := range v.fields {
+		if !w.fields[f] {
+			return false
+		}
+	}
+	for t := range v.tags {
+		if !w.tags[t] {
+			return false
+		}
+	}
+	for t := range v.btags {
+		if !w.btags[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubtypeOf reports whether v is a subtype of w, i.e. w ⊆ v.
+func (v *Variant) SubtypeOf(w *Variant) bool { return w.SubsetOf(v) }
+
+// Equal reports whether two variants contain exactly the same labels.
+func (v *Variant) Equal(w *Variant) bool { return v.SubsetOf(w) && w.SubsetOf(v) }
+
+// MatchesRecord reports whether the record's label set is a subtype of the
+// variant, i.e. the record carries at least every label of v. This is the
+// acceptance test used for routing, box triggering and synchrocell patterns.
+func (v *Variant) MatchesRecord(r *record.Record) bool {
+	for f := range v.fields {
+		if !r.HasField(f) {
+			return false
+		}
+	}
+	for t := range v.tags {
+		if !r.HasTag(t) {
+			return false
+		}
+	}
+	for t := range v.btags {
+		if !r.HasBTag(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the variant in S-Net syntax, e.g. {a, b, <t>}.
+func (v *Variant) String() string {
+	parts := make([]string, 0, v.Size())
+	for _, l := range v.Labels() {
+		parts = append(parts, l.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// RecordVariant returns the exact variant of a record's label set.
+func RecordVariant(r *record.Record) *Variant {
+	v := NewVariant()
+	for _, f := range r.Fields() {
+		v.Add(F(f))
+	}
+	for _, t := range r.Tags() {
+		v.Add(T(t))
+	}
+	for _, t := range r.BTags() {
+		v.Add(BT(t))
+	}
+	return v
+}
+
+// Type is a disjunction of variants.
+type Type struct {
+	variants []*Variant
+}
+
+// NewType builds a type from the given variants.
+func NewType(variants ...*Variant) *Type {
+	return &Type{variants: variants}
+}
+
+// EmptyType returns the type with no variants (accepts nothing).
+func EmptyType() *Type { return &Type{} }
+
+// Variants returns the type's variants.
+func (t *Type) Variants() []*Variant { return t.variants }
+
+// NumVariants returns the number of variants.
+func (t *Type) NumVariants() int { return len(t.variants) }
+
+// AddVariant appends a variant to the disjunction.
+func (t *Type) AddVariant(v *Variant) *Type {
+	t.variants = append(t.variants, v)
+	return t
+}
+
+// Union returns the disjunction of both types' variants (duplicates by
+// Equal are removed).
+func (t *Type) Union(u *Type) *Type {
+	out := NewType()
+	add := func(v *Variant) {
+		for _, w := range out.variants {
+			if w.Equal(v) {
+				return
+			}
+		}
+		out.variants = append(out.variants, v)
+	}
+	for _, v := range t.variants {
+		add(v)
+	}
+	for _, v := range u.variants {
+		add(v)
+	}
+	return out
+}
+
+// SubtypeOf reports whether every variant of t is a subtype of some variant
+// of u.
+func (t *Type) SubtypeOf(u *Type) bool {
+	for _, v := range t.variants {
+		ok := false
+		for _, w := range u.variants {
+			if v.SubtypeOf(w) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts reports whether the record matches at least one variant of t.
+func (t *Type) Accepts(r *record.Record) bool {
+	for _, v := range t.variants {
+		if v.MatchesRecord(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// BestMatch returns the variant of t that best matches the record, together
+// with its match score, or (nil, -1) when no variant matches. The score is
+// the size of the matched variant: a larger matched variant is a more
+// specific — hence better — match. Among equally sized matches the first in
+// declaration order wins (callers that need nondeterministic tie-breaking
+// resolve ties themselves).
+func (t *Type) BestMatch(r *record.Record) (*Variant, int) {
+	best := -1
+	var bestV *Variant
+	for _, v := range t.variants {
+		if !v.MatchesRecord(r) {
+			continue
+		}
+		if s := v.Size(); s > best {
+			best = s
+			bestV = v
+		}
+	}
+	return bestV, best
+}
+
+// String renders the type as variant disjunction, e.g. {a} | {b, <t>}.
+func (t *Type) String() string {
+	if len(t.variants) == 0 {
+		return "{}|∅"
+	}
+	parts := make([]string, len(t.variants))
+	for i, v := range t.variants {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Signature is a type mapping from an input type to an output type, written
+// in S-Net as input -> out1 | out2 | ....
+type Signature struct {
+	In  *Type
+	Out *Type
+}
+
+// NewSignature constructs a signature.
+func NewSignature(in, out *Type) Signature { return Signature{In: in, Out: out} }
+
+// String renders the signature in S-Net style.
+func (s Signature) String() string {
+	return fmt.Sprintf("%s -> %s", s.In, s.Out)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

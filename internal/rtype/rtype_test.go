@@ -1,0 +1,293 @@
+package rtype
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snet/internal/record"
+)
+
+func TestLabelString(t *testing.T) {
+	cases := []struct {
+		l    Label
+		want string
+	}{
+		{F("scene"), "scene"},
+		{T("node"), "<node>"},
+		{BT("i"), "<#i>"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.l, got, c.want)
+		}
+	}
+}
+
+func TestLabelClassString(t *testing.T) {
+	if Field.String() != "field" || Tag.String() != "tag" || BTag.String() != "btag" {
+		t.Fatal("LabelClass.String wrong")
+	}
+	if LabelClass(9).String() != "LabelClass(9)" {
+		t.Fatal("unknown class String wrong")
+	}
+}
+
+func TestVariantBasics(t *testing.T) {
+	v := NewVariant(F("a"), F("b"), T("t"), BT("bt"))
+	if !v.HasField("a") || !v.HasField("b") || !v.HasTag("t") || !v.HasBTag("bt") {
+		t.Fatalf("variant missing labels: %s", v)
+	}
+	if v.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", v.Size())
+	}
+	if got := v.String(); got != "{a, b, <t>, <#bt>}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestVariantSubset(t *testing.T) {
+	ab := NewVariant(F("a"), F("b"))
+	abc := NewVariant(F("a"), F("b"), F("c"))
+	if !ab.SubsetOf(abc) {
+		t.Fatal("{a,b} should be subset of {a,b,c}")
+	}
+	if abc.SubsetOf(ab) {
+		t.Fatal("{a,b,c} should not be subset of {a,b}")
+	}
+	// subtyping is the inverse: {a,b,c} is a SUBTYPE of {a,b}
+	if !abc.SubtypeOf(ab) {
+		t.Fatal("{a,b,c} should be subtype of {a,b}")
+	}
+	if ab.SubtypeOf(abc) {
+		t.Fatal("{a,b} should not be subtype of {a,b,c}")
+	}
+}
+
+func TestVariantClassesDistinct(t *testing.T) {
+	fv := NewVariant(F("x"))
+	tv := NewVariant(T("x"))
+	if fv.SubsetOf(tv) || tv.SubsetOf(fv) {
+		t.Fatal("field x and tag x must be distinct labels")
+	}
+}
+
+func TestVariantUnion(t *testing.T) {
+	u := NewVariant(F("a"), T("t")).Union(NewVariant(F("b"), T("t")))
+	if u.Size() != 3 || !u.HasField("a") || !u.HasField("b") || !u.HasTag("t") {
+		t.Fatalf("union = %s", u)
+	}
+}
+
+func TestMatchesRecordSubtyping(t *testing.T) {
+	// The paper's example: a component expecting {a, b} also accepts
+	// {a, c, b} by ignoring c.
+	v := NewVariant(F("a"), F("b"))
+	r := record.Build().F("a", 1).F("c", 2).F("b", 3).Rec()
+	if !v.MatchesRecord(r) {
+		t.Fatal("{a,b} must accept {a,c,b}")
+	}
+	r2 := record.Build().F("a", 1).Rec()
+	if v.MatchesRecord(r2) {
+		t.Fatal("{a,b} must not accept {a}")
+	}
+}
+
+func TestMatchesRecordTags(t *testing.T) {
+	v := NewVariant(F("scene"), T("nodes"), T("tasks"))
+	r := record.Build().F("scene", nil).T("nodes", 8).T("tasks", 48).T("extra", 1).Rec()
+	if !v.MatchesRecord(r) {
+		t.Fatal("record with extra tag must match")
+	}
+	r.DeleteTag("nodes")
+	if v.MatchesRecord(r) {
+		t.Fatal("record missing tag must not match")
+	}
+}
+
+func TestRecordVariant(t *testing.T) {
+	r := record.Build().F("a", 1).T("t", 2).BT("b", 3).Rec()
+	v := RecordVariant(r)
+	if !v.Equal(NewVariant(F("a"), T("t"), BT("b"))) {
+		t.Fatalf("RecordVariant = %s", v)
+	}
+}
+
+func TestTypeSubtyping(t *testing.T) {
+	// x = {a,b,c} | {a,d}; y = {a} — every variant of x is a subtype of {a}.
+	x := NewType(NewVariant(F("a"), F("b"), F("c")), NewVariant(F("a"), F("d")))
+	y := NewType(NewVariant(F("a")))
+	if !x.SubtypeOf(y) {
+		t.Fatal("x should be subtype of y")
+	}
+	if y.SubtypeOf(x) {
+		t.Fatal("y should not be subtype of x")
+	}
+}
+
+func TestTypeUnionDedup(t *testing.T) {
+	a := NewType(NewVariant(F("a")), NewVariant(F("b")))
+	b := NewType(NewVariant(F("b")), NewVariant(F("c")))
+	u := a.Union(b)
+	if u.NumVariants() != 3 {
+		t.Fatalf("union has %d variants, want 3 (%s)", u.NumVariants(), u)
+	}
+}
+
+func TestBestMatchSpecificity(t *testing.T) {
+	// Record {chunk, <fst>} against merger's input {chunk,<fst>} | {chunk}:
+	// the two-label variant must win.
+	tt := NewType(
+		NewVariant(F("chunk")),
+		NewVariant(F("chunk"), T("fst")),
+	)
+	r := record.Build().F("chunk", nil).T("fst", 1).Rec()
+	v, score := tt.BestMatch(r)
+	if score != 2 || !v.HasTag("fst") {
+		t.Fatalf("BestMatch = %s score %d, want the {chunk,<fst>} variant", v, score)
+	}
+	r2 := record.Build().F("chunk", nil).Rec()
+	v2, score2 := tt.BestMatch(r2)
+	if score2 != 1 || v2.HasTag("fst") {
+		t.Fatalf("BestMatch = %s score %d, want the {chunk} variant", v2, score2)
+	}
+	if _, s := tt.BestMatch(record.New()); s != -1 {
+		t.Fatal("BestMatch on non-matching record must return -1")
+	}
+}
+
+func TestTypeAccepts(t *testing.T) {
+	tt := NewType(NewVariant(F("pic")), NewVariant(F("chunk")))
+	if !tt.Accepts(record.Build().F("pic", 1).Rec()) {
+		t.Fatal("type must accept {pic}")
+	}
+	if tt.Accepts(record.Build().T("pic", 1).Rec()) {
+		t.Fatal("type must not accept tag pic as field pic")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tt := NewType(NewVariant(F("c")), NewVariant(F("c"), F("d"), T("e")))
+	if got := tt.String(); got != "{c} | {c, d, <e>}" {
+		t.Fatalf("String = %q", got)
+	}
+	if EmptyType().String() != "{}|∅" {
+		t.Fatal("empty type String wrong")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig := NewSignature(
+		NewType(NewVariant(F("a"), T("b"))),
+		NewType(NewVariant(F("c")), NewVariant(F("c"), F("d"), T("e"))),
+	)
+	want := "{a, <b>} -> {c} | {c, d, <e>}"
+	if got := sig.String(); got != want {
+		t.Fatalf("Signature = %q, want %q", got, want)
+	}
+}
+
+func TestPatternGuard(t *testing.T) {
+	// {<tasks> == <cnt>} — the merger exit pattern from Fig. 3.
+	p := NewPattern(NewVariant(T("tasks"), T("cnt"))).WithGuard(func(r *record.Record) bool {
+		a, _ := r.Tag("tasks")
+		b, _ := r.Tag("cnt")
+		return a == b
+	}, "<tasks> == <cnt>")
+	r := record.Build().F("pic", nil).T("tasks", 48).T("cnt", 48).Rec()
+	if !p.Matches(r) {
+		t.Fatal("guard should pass when tasks == cnt")
+	}
+	r.SetTag("cnt", 3)
+	if p.Matches(r) {
+		t.Fatal("guard should fail when tasks != cnt")
+	}
+	r.DeleteTag("cnt")
+	if p.Matches(r) {
+		t.Fatal("pattern should fail without required tag")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern(NewVariant(F("chunk")))
+	if p.String() != "{chunk}" {
+		t.Fatalf("String = %q", p.String())
+	}
+	g := NewPattern(NewVariant()).WithGuard(func(*record.Record) bool { return true }, "<a> == <b>")
+	if g.String() != "{<a> == <b>}" {
+		t.Fatalf("guard String = %q", g.String())
+	}
+}
+
+func randomVariant(rng *rand.Rand) *Variant {
+	v := NewVariant()
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		v.Add(F(fmt.Sprintf("f%d", rng.Intn(6))))
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		v.Add(T(fmt.Sprintf("t%d", rng.Intn(6))))
+	}
+	return v
+}
+
+func TestPropSubtypingReflexiveTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomVariant(rng)
+		if !a.SubtypeOf(a) {
+			return false // reflexivity
+		}
+		// build b ⊆ a by dropping labels, and c ⊆ b: then a ≤ b ≤ c must
+		// give a ≤ c (transitivity along the chain).
+		b := NewVariant()
+		for _, l := range a.Labels() {
+			if rng.Intn(2) == 0 {
+				b.Add(l)
+			}
+		}
+		c := NewVariant()
+		for _, l := range b.Labels() {
+			if rng.Intn(2) == 0 {
+				c.Add(l)
+			}
+		}
+		return a.SubtypeOf(b) && b.SubtypeOf(c) && a.SubtypeOf(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionIsSupertypeLowerBound(t *testing.T) {
+	// v ∪ w has all labels of both, so it is a subtype of each operand.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v, w := randomVariant(rng), randomVariant(rng)
+		u := v.Union(w)
+		return u.SubtypeOf(v) && u.SubtypeOf(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatchAgreesWithSubtyping(t *testing.T) {
+	// A record matches a variant iff the record's exact variant is a
+	// subtype of it.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomVariant(rng)
+		r := record.New()
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			r.SetField(fmt.Sprintf("f%d", rng.Intn(6)), 0)
+		}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			r.SetTag(fmt.Sprintf("t%d", rng.Intn(6)), 0)
+		}
+		return v.MatchesRecord(r) == RecordVariant(r).SubtypeOf(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

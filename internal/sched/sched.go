@@ -1,0 +1,137 @@
+// Package sched implements the paper's work-distribution policies for
+// splitting an image of H rows into sections: block scheduling (equal
+// contiguous sections) and the "simple variant of factoring" (Hummel,
+// Schonberg, Flynn 1992) described in Section V, where the problem is
+// divided into batches of equally sized sections whose size decreases from
+// batch to batch by a fixed factor.
+package sched
+
+import "fmt"
+
+// Span is a half-open row range [Lo, Hi).
+type Span struct {
+	Lo, Hi int
+}
+
+// Rows returns the span length.
+func (s Span) Rows() int { return s.Hi - s.Lo }
+
+// String renders the span.
+func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Lo, s.Hi) }
+
+// Block divides total rows into `parts` contiguous, maximally even
+// sections — the paper's block scheduling. Sizes differ by at most one row.
+func Block(total, parts int) []Span {
+	if parts <= 0 || total < 0 {
+		return nil
+	}
+	spans := make([]Span, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * total / parts
+		hi := (i + 1) * total / parts
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+	}
+	return spans
+}
+
+// Factoring divides total rows into `batches` batches of tasks/batches
+// sections each; all sections within a batch have the same size and the
+// size shrinks by `factor` from each batch to the next. The paper's
+// example: 3000 rows, 48 tasks, factor 3, 2 batches gives 24 sections of
+// 93 rows followed by 24 sections of 32 rows.
+//
+// tasks must be divisible by batches; rounding remainders are absorbed by
+// the first batch so the spans always cover total exactly.
+func Factoring(total, tasks, factor, batches int) ([]Span, error) {
+	if tasks <= 0 || total <= 0 {
+		return nil, fmt.Errorf("sched: factoring needs positive total and tasks")
+	}
+	if batches <= 0 || factor <= 0 {
+		return nil, fmt.Errorf("sched: factoring needs positive factor and batches")
+	}
+	if tasks%batches != 0 {
+		return nil, fmt.Errorf("sched: %d tasks not divisible into %d batches", tasks, batches)
+	}
+	perBatch := tasks / batches
+	// Geometric weights: batch b (0-based) has relative size factor^(B-1-b).
+	weights := make([]int, batches)
+	sum := 0
+	w := 1
+	for b := batches - 1; b >= 0; b-- {
+		weights[b] = w
+		sum += w
+		w *= factor
+	}
+	// Last batch's section size, rounded up (as in the paper's 31.25→32),
+	// with the first batch absorbing the remainder. When rounding up
+	// over-assigns or would make the first batch smaller than the second
+	// (possible for factor 1), fall back to rounding down, which provably
+	// keeps batch sizes non-increasing.
+	sizes := make([]int, batches)
+	var remaining int
+	for _, unit := range []int{
+		(total + perBatch*sum - 1) / (perBatch * sum), // ceil
+		total / (perBatch * sum),                      // floor
+	} {
+		if unit == 0 {
+			continue
+		}
+		assigned := 0
+		for b := batches - 1; b >= 1; b-- {
+			sizes[b] = unit * weights[b]
+			assigned += sizes[b] * perBatch
+		}
+		remaining = total - assigned
+		if remaining > 0 && (batches == 1 || remaining/perBatch >= sizes[1]) {
+			break
+		}
+		remaining = 0
+	}
+	if remaining <= 0 {
+		return nil, fmt.Errorf("sched: factoring degenerate (total %d too small for %d tasks)", total, tasks)
+	}
+	sizes[0] = remaining / perBatch
+	extra := remaining - sizes[0]*perBatch // rows left over after even split
+
+	spans := make([]Span, 0, tasks)
+	lo := 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			size := sizes[b]
+			if b == 0 && i < extra {
+				size++
+			}
+			spans = append(spans, Span{Lo: lo, Hi: lo + size})
+			lo += size
+		}
+	}
+	if lo != total {
+		return nil, fmt.Errorf("sched: internal error, covered %d of %d rows", lo, total)
+	}
+	return spans, nil
+}
+
+// PaperFactoring applies the parameters of the paper's worked example:
+// factor 3, two batches.
+func PaperFactoring(total, tasks int) ([]Span, error) {
+	return Factoring(total, tasks, 3, 2)
+}
+
+// Validate checks that spans are contiguous, non-empty (except possibly
+// when parts exceed rows) and cover [0, total) exactly.
+func Validate(spans []Span, total int) error {
+	lo := 0
+	for i, s := range spans {
+		if s.Lo != lo {
+			return fmt.Errorf("sched: span %d starts at %d, want %d", i, s.Lo, lo)
+		}
+		if s.Hi < s.Lo {
+			return fmt.Errorf("sched: span %d inverted: %s", i, s)
+		}
+		lo = s.Hi
+	}
+	if lo != total {
+		return fmt.Errorf("sched: spans cover %d of %d rows", lo, total)
+	}
+	return nil
+}

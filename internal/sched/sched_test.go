@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockEven(t *testing.T) {
+	spans := Block(3000, 8)
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if err := Validate(spans, 3000); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range spans {
+		if s.Rows() != 375 {
+			t.Fatalf("span %s not even", s)
+		}
+	}
+}
+
+func TestBlockUneven(t *testing.T) {
+	spans := Block(10, 3)
+	if err := Validate(spans, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range spans {
+		if s.Rows() < 3 || s.Rows() > 4 {
+			t.Fatalf("span %s size out of range", s)
+		}
+	}
+}
+
+func TestBlockDegenerate(t *testing.T) {
+	if Block(10, 0) != nil {
+		t.Fatal("Block with 0 parts should be nil")
+	}
+	spans := Block(2, 4) // more parts than rows: some spans empty
+	if err := Validate(spans, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactoringPaperExample(t *testing.T) {
+	// "suppose a scene of 3000×3000 pixels is split along the y axis by
+	// dividing it into 48 sections ... two batches with the first batch
+	// containing 24 sections of size 93 and the second batch the
+	// remaining 24 sections of size 32."
+	spans, err := PaperFactoring(3000, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 48 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if err := Validate(spans, 3000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if spans[i].Rows() != 93 {
+			t.Fatalf("batch-1 span %d = %d rows, want 93", i, spans[i].Rows())
+		}
+	}
+	for i := 24; i < 48; i++ {
+		if spans[i].Rows() != 32 {
+			t.Fatalf("batch-2 span %d = %d rows, want 32", i, spans[i].Rows())
+		}
+	}
+}
+
+func TestFactoringSizesDecrease(t *testing.T) {
+	spans, err := Factoring(1000, 20, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(spans, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// batch sizes must be non-increasing
+	per := 5
+	for b := 0; b < 3; b++ {
+		if spans[b*per].Rows() < spans[(b+1)*per].Rows() {
+			t.Fatalf("batch %d smaller than batch %d", b, b+1)
+		}
+	}
+}
+
+func TestFactoringErrors(t *testing.T) {
+	if _, err := Factoring(100, 7, 3, 2); err == nil {
+		t.Fatal("non-divisible tasks should error")
+	}
+	if _, err := Factoring(0, 8, 3, 2); err == nil {
+		t.Fatal("zero total should error")
+	}
+	if _, err := Factoring(100, 8, 0, 2); err == nil {
+		t.Fatal("zero factor should error")
+	}
+	if _, err := Factoring(100, 8, 3, 0); err == nil {
+		t.Fatal("zero batches should error")
+	}
+	if _, err := Factoring(2, 64, 3, 2); err == nil {
+		t.Fatal("degenerate total should error")
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	if err := Validate([]Span{{0, 5}, {6, 10}}, 10); err == nil {
+		t.Fatal("gap not caught")
+	}
+	if err := Validate([]Span{{0, 5}, {5, 9}}, 10); err == nil {
+		t.Fatal("short coverage not caught")
+	}
+	if err := Validate([]Span{{0, 5}, {5, 3}}, 3); err == nil {
+		t.Fatal("inverted span not caught")
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	if (Span{2, 5}).String() != "[2,5)" {
+		t.Fatal("Span.String")
+	}
+}
+
+func TestPropBlockAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := rng.Intn(5000)
+		parts := 1 + rng.Intn(100)
+		return Validate(Block(total, parts), total) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFactoringValidWhenAccepted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 100 + rng.Intn(5000)
+		batches := 1 + rng.Intn(4)
+		perBatch := 1 + rng.Intn(12)
+		tasks := batches * perBatch
+		factor := 1 + rng.Intn(4)
+		spans, err := Factoring(total, tasks, factor, batches)
+		if err != nil {
+			return true // rejected inputs are fine
+		}
+		if Validate(spans, total) != nil {
+			return false
+		}
+		// batch sizes non-increasing
+		for b := 0; b+1 < batches; b++ {
+			if spans[b*perBatch].Rows() < spans[(b+1)*perBatch].Rows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

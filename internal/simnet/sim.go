@@ -1,0 +1,130 @@
+// Package simnet reproduces the paper's evaluation platform as a
+// deterministic discrete-event simulation: an 8-node cluster of 2-CPU
+// Pentium III machines on 100 Mbit Ethernet rendering a 3000×3000 scene.
+// The simulator regenerates Figure 5 (runtime vs. token count under
+// factoring and block scheduling) and Figure 6 (absolute runtimes and
+// speed-ups of the five implementation variants on 1–8 nodes) at the
+// paper's scale, which a single laptop cannot reach in wall-clock time.
+//
+// The simulation kernel is a classic event-calendar DES: no goroutines, no
+// wall-clock — every run is exactly reproducible.
+package simnet
+
+import "container/heap"
+
+// Sim is a discrete-event simulator with a floating-point clock (seconds).
+type Sim struct {
+	now float64
+	pq  eventHeap
+	seq int64 // tie-breaker keeps event order deterministic
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the calendar is empty and returns the final
+// simulation time.
+func (s *Sim) Run() float64 {
+	for s.pq.Len() > 0 {
+		ev := heap.Pop(&s.pq).(event)
+		s.now = ev.t
+		ev.fn()
+	}
+	return s.now
+}
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource is a capacity-limited resource with a FIFO wait queue (CPU
+// slots, the shared Ethernet bus, the master's runtime thread).
+type Resource struct {
+	sim      *Sim
+	capacity int
+	busy     int
+	queue    []func()
+	// BusySeconds accumulates utilization for reporting.
+	BusySeconds float64
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(sim *Sim, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("simnet: resource capacity must be positive")
+	}
+	return &Resource{sim: sim, capacity: capacity}
+}
+
+// Acquire grants a unit to fn as soon as one is free (FIFO order). fn must
+// eventually call Release exactly once.
+func (r *Resource) Acquire(fn func()) {
+	if r.busy < r.capacity {
+		r.busy++
+		fn()
+		return
+	}
+	r.queue = append(r.queue, fn)
+}
+
+// Release returns a unit and hands it to the next waiter, if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next()
+		return
+	}
+	r.busy--
+	if r.busy < 0 {
+		panic("simnet: Release without Acquire")
+	}
+}
+
+// Use acquires the resource, holds it for d seconds, then releases it and
+// calls done. It is the common acquire-delay-release idiom.
+func (r *Resource) Use(d float64, done func()) {
+	r.Acquire(func() {
+		r.BusySeconds += d
+		r.sim.After(d, func() {
+			r.Release()
+			done()
+		})
+	})
+}

@@ -1,0 +1,312 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(1, func() { order = append(order, 11) }) // same time: FIFO by seq
+	s.After(3, func() { order = append(order, 3) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("end = %g", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var hit float64
+	s.At(1, func() {
+		s.After(2, func() { hit = s.Now() })
+	})
+	s.Run()
+	if hit != 3 {
+		t.Fatalf("nested event at %g, want 3", hit)
+	}
+}
+
+func TestSimPastEventClamped(t *testing.T) {
+	s := NewSim()
+	var at float64
+	s.At(5, func() {
+		s.At(1, func() { at = s.Now() }) // in the past: runs "now"
+	})
+	s.Run()
+	if at != 5 {
+		t.Fatalf("past event ran at %g", at)
+	}
+}
+
+func TestResourceCapacityAndFIFO(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, 2)
+	var finished []int
+	job := func(id int, d float64) {
+		r.Use(d, func() { finished = append(finished, id) })
+	}
+	s.At(0, func() {
+		job(0, 10) // occupies until 10
+		job(1, 1)  // occupies until 1
+		job(2, 1)  // waits for a slot (freed at 1), done at 2
+		job(3, 1)  // waits, done at 3
+	})
+	end := s.Run()
+	if end != 10 {
+		t.Fatalf("end = %g", end)
+	}
+	want := []int{1, 2, 3, 0}
+	for i, v := range want {
+		if finished[i] != v {
+			t.Fatalf("finished = %v", finished)
+		}
+	}
+	if r.BusySeconds != 13 {
+		t.Fatalf("busy = %g", r.BusySeconds)
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	s := NewSim()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero capacity", func() { NewResource(s, 0) })
+	r := NewResource(s, 1)
+	mustPanic("release without acquire", func() { r.Release() })
+}
+
+func TestPaperRowProfileCalibration(t *testing.T) {
+	p := PaperRowProfile(3000)
+	var sum float64
+	for _, c := range p {
+		sum += c
+	}
+	if math.Abs(sum-650.99) > 1e-6 {
+		t.Fatalf("total = %g, want 650.99", sum)
+	}
+	// The first half must carry ~62% of the work (drives the paper's
+	// 2-node MPI number 405.95 of 650.99).
+	var firstHalf float64
+	for _, c := range p[:1500] {
+		firstHalf += c
+	}
+	frac := firstHalf / sum
+	if frac < 0.59 || frac < 0.5 || frac > 0.66 {
+		t.Fatalf("first-half fraction = %g, want ≈0.62", frac)
+	}
+	// strictly positive everywhere
+	for y, c := range p {
+		if c <= 0 {
+			t.Fatalf("row %d cost %g", y, c)
+		}
+	}
+}
+
+func TestScaleProfile(t *testing.T) {
+	p := ScaleProfile([]float64{1, 2, 3}, 60)
+	if p[0] != 10 || p[1] != 20 || p[2] != 30 {
+		t.Fatalf("scaled = %v", p)
+	}
+	z := ScaleProfile([]float64{0, 0}, 60)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero profile must stay zero")
+	}
+}
+
+func profile() []float64 { return PaperRowProfile(3000) }
+
+func TestMPIStaticSingleNodeMatchesPaper(t *testing.T) {
+	got := MPIStatic(PaperTestbed(1), profile(), 1)
+	// Paper: 650.99 s. Everything is local, so overheads are memcpy only.
+	if math.Abs(got-650.99) > 5 {
+		t.Fatalf("MPI 1 node = %g, want ≈651", got)
+	}
+	got2 := MPIStatic(PaperTestbed(1), profile(), 2)
+	// Paper: 401.8 s (the imbalanced half dominates).
+	if math.Abs(got2-401.8) > 25 {
+		t.Fatalf("MPI 2proc 1 node = %g, want ≈402", got2)
+	}
+}
+
+func TestMPIStaticScalingShape(t *testing.T) {
+	// Paper Fig. 6: 650.99, 405.95, 213.43, 163.83, 136.23.
+	want := map[int]float64{1: 650.99, 2: 405.95, 4: 213.43, 6: 163.83, 8: 136.23}
+	for _, n := range PaperNodeCounts {
+		got := MPIStatic(PaperTestbed(n), profile(), 1)
+		if rel := math.Abs(got-want[n]) / want[n]; rel > 0.15 {
+			t.Errorf("MPI %d nodes = %.1f, paper %.1f (rel err %.0f%%)",
+				n, got, want[n], rel*100)
+		}
+	}
+}
+
+func TestSNetStaticSoloMatchesPaper(t *testing.T) {
+	got := SNetStatic(PaperTestbed(1), profile(), 1)
+	if math.Abs(got-941.87) > 20 {
+		t.Fatalf("S-Net static 1 node = %g, want ≈942", got)
+	}
+	got2 := SNetStatic(PaperTestbed(1), profile(), 2)
+	if math.Abs(got2-829.74) > 20 {
+		t.Fatalf("S-Net static 2CPU 1 node = %g, want ≈830", got2)
+	}
+}
+
+func TestSNetDynamicSoloMatchesPaper(t *testing.T) {
+	got, err := SNetDynamic(PaperTestbed(1), profile(), 8, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-953.18) > 25 {
+		t.Fatalf("S-Net dynamic 1 node = %g, want ≈953", got)
+	}
+}
+
+func TestSNetOverheadAmortizedFromTwoNodes(t *testing.T) {
+	// Paper: S-Net Static 402.75 vs MPI 405.95 on 2 nodes — within a few
+	// percent of each other.
+	p := profile()
+	tb := PaperTestbed(2)
+	snet := SNetStatic(tb, p, 1)
+	mpi := MPIStatic(tb, p, 1)
+	if rel := math.Abs(snet-mpi) / mpi; rel > 0.10 {
+		t.Fatalf("2-node S-Net %.1f vs MPI %.1f: overhead not amortized (%.0f%%)",
+			snet, mpi, rel*100)
+	}
+}
+
+func TestDynamicBeatsStaticAtScale(t *testing.T) {
+	// Paper 8 nodes: best dynamic 61.84 vs MPI 2proc 87.01 vs static 132.66.
+	p := profile()
+	tb := PaperTestbed(8)
+	dyn, err := SNetDynamic(tb, p, 64, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi2 := MPIStatic(tb, p, 2)
+	static := SNetStatic(tb, p, 1)
+	if !(dyn < mpi2 && mpi2 < static) {
+		t.Fatalf("ordering violated: dyn=%.1f mpi2=%.1f static=%.1f", dyn, mpi2, static)
+	}
+	// And the dynamic win factor over static should be roughly the
+	// paper's 2.1× (132.66/61.84), allow 1.5–3.5×.
+	if f := static / dyn; f < 1.5 || f > 3.5 {
+		t.Fatalf("dynamic win factor = %.2f, want ≈2.1", f)
+	}
+}
+
+func TestTokensSweetSpotSixteen(t *testing.T) {
+	// Paper: "performance was generally best when 16 tokens were made
+	// available" (two per node, one per CPU) and "worst when the number
+	// of tasks equals the number of tokens".
+	p := profile()
+	tb := PaperTestbed(8)
+	const tasks = 48
+	rt := func(tokens int) float64 {
+		v, err := SNetDynamic(tb, p, tasks, tokens, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	best := rt(16)
+	if worst := rt(tasks); worst <= best {
+		t.Fatalf("tokens==tasks (%.1f) not worse than 16 tokens (%.1f)", worst, best)
+	}
+	if eight := rt(8); eight <= best {
+		t.Fatalf("8 tokens (%.1f) should idle one CPU per node vs 16 (%.1f)", eight, best)
+	}
+}
+
+func TestFig6RowsAndSpeedup(t *testing.T) {
+	rows, err := Fig6(profile(), PaperNodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Monotone improvement with nodes for every variant.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MPI >= rows[i-1].MPI || rows[i].BestDynamic >= rows[i-1].BestDynamic ||
+			rows[i].SNetStatic >= rows[i-1].SNetStatic {
+			t.Fatalf("non-monotone scaling: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	sp := Fig6Speedup(rows)
+	// Paper Fig. 6 right: dynamic speed-up vs MPI2 < 1 on 1-2 nodes,
+	// > 1 from ~4 nodes on (1.16 at 4, 1.38 at 6, 1.41 at 8).
+	if sp[0].BestDynamic >= 1 {
+		t.Fatalf("1-node dynamic speedup = %.2f, want < 1", sp[0].BestDynamic)
+	}
+	last := sp[len(sp)-1]
+	if last.BestDynamic <= 1 {
+		t.Fatalf("8-node dynamic speedup = %.2f, want > 1", last.BestDynamic)
+	}
+	if last.BestDynamic < 1.1 || last.BestDynamic > 2.2 {
+		t.Fatalf("8-node dynamic speedup = %.2f, paper ≈1.41", last.BestDynamic)
+	}
+}
+
+func TestFig5Panels(t *testing.T) {
+	for _, factoring := range []bool{true, false} {
+		pts, err := Fig5(profile(), factoring, PaperTaskTokenCounts, PaperTaskTokenCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 36 {
+			t.Fatalf("points = %d", len(pts))
+		}
+		for _, pt := range pts {
+			if pt.Runtime <= 0 || pt.Runtime > 700 {
+				t.Fatalf("implausible runtime %+v", pt)
+			}
+		}
+	}
+}
+
+func TestFig5TokensBeyondTasksClamped(t *testing.T) {
+	p := profile()
+	tb := PaperTestbed(8)
+	a, err := SNetDynamic(tb, p, 8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SNetDynamic(tb, p, 8, 72, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("clamping broken: %g vs %g", a, b)
+	}
+}
+
+func TestSNetDynamicNeedsTokens(t *testing.T) {
+	if _, err := SNetDynamic(PaperTestbed(2), profile(), 8, 0, false); err == nil {
+		t.Fatal("0 tokens should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := profile()
+	a, _ := SNetDynamic(PaperTestbed(8), p, 48, 16, true)
+	b, _ := SNetDynamic(PaperTestbed(8), p, 48, 16, true)
+	if a != b {
+		t.Fatalf("simulation not deterministic: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,341 @@
+// Package snetray is the paper's application layer: the ray tracer
+// coordinated by S-Net. It provides the Go implementations of the paper's
+// boxes (splitter, solver, init, merge, genImg), the S-Net source text of
+// the three network designs — the static fork–join of Fig. 2 with the
+// Fig. 3 merger, the two-solvers-per-node static variant of Section V, and
+// the dynamically load-balanced design of Fig. 4 — and a driver that
+// compiles and runs them on a dist.Cluster platform.
+package snetray
+
+import (
+	"fmt"
+	"sync"
+
+	"snet/internal/compile"
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/raytrace"
+	"snet/internal/record"
+	"snet/internal/sched"
+)
+
+// Mode selects the network design.
+type Mode int
+
+// Network designs from the paper.
+const (
+	// Static is Fig. 2: splitter .. solver!@<node> .. merger .. genImg.
+	Static Mode = iota
+	// Static2CPU is the Section V variant (solver!<cpu>)!@<node> with two
+	// solver instances per node.
+	Static2CPU
+	// Dynamic is Fig. 4: token-based dynamic load balancing.
+	Dynamic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Static:
+		return "S-Net Static"
+	case Static2CPU:
+		return "S-Net Static 2CPU"
+	case Dynamic:
+		return "S-Net Dynamic"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Policy selects how the splitter sizes sections in Dynamic mode.
+type Policy int
+
+// Section scheduling policies from Section V.
+const (
+	// BlockPolicy divides the image into equal sections.
+	BlockPolicy Policy = iota
+	// FactoringPolicy uses the paper's simple factoring variant
+	// (factor 3, two batches).
+	FactoringPolicy
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == FactoringPolicy {
+		return "factoring"
+	}
+	return "block"
+}
+
+// Config parameterizes a coordinated render.
+type Config struct {
+	Scene *raytrace.Scene
+	W, H  int
+	// Nodes is the cluster size; CPUs the per-node CPU slots.
+	Nodes int
+	CPUs  int
+	// Tasks is the number of sections the splitter creates.
+	Tasks int
+	// Tokens is the number of node tokens circulating in Dynamic mode;
+	// ignored otherwise.
+	Tokens int
+	Mode   Mode
+	Policy Policy
+	// Cluster, when non-nil, is used instead of a fresh one (lets callers
+	// share a platform between variants or inject network delays).
+	Cluster *dist.Cluster
+}
+
+// MergerSource is the paper's Fig. 3 merger network, verbatim.
+const MergerSource = `
+net merger
+{
+    box init  ( (chunk, <fst>) -> (pic));
+    box merge ( (chunk, pic) -> (pic));
+} connect
+    ( ( init .. [ {} -> {<cnt=1>} ] )
+      | []
+    )
+    .. ( [| {pic}, {chunk} |]
+         .. ( ( merge
+                .. [ {<cnt>} -> {<cnt+=1>}]
+              )
+              | []
+            )
+       )*{<tasks> == <cnt>} ;
+`
+
+// StaticSource is the paper's Fig. 2 static fork–join network, verbatim.
+const StaticSource = `
+net raytracing_stat
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <node>, <tasks>, <fst>)
+                   | (scene, sect, <node>, <tasks> ));
+    box solver ( (scene, sect) -> (chunk));
+    net merger ( (chunk, <fst>) -> (pic),
+                 (chunk) -> (pic));
+    box genImg ( (pic) -> ());
+} connect
+    splitter .. solver!@<node> .. merger .. genImg
+`
+
+// Static2CPUSource is the Section V refinement: "by adding one more index
+// split combinator to the solver of Fig. 2 ((solver!<cpu>)!@<node>) and
+// marking input data with a <cpu> tag of values 0 and 1".
+const Static2CPUSource = `
+net raytracing_stat2
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <node>, <cpu>, <tasks>, <fst>)
+                   | (scene, sect, <node>, <cpu>, <tasks> ));
+    box solver ( (scene, sect) -> (chunk));
+    net merger ( (chunk, <fst>) -> (pic),
+                 (chunk) -> (pic));
+    box genImg ( (pic) -> ());
+} connect
+    splitter .. (solver!<cpu>)!@<node> .. merger .. genImg
+`
+
+// DynamicSource is the Fig. 4 dynamically scheduled network. The chunk/token
+// filter deviates from the paper's figure in one respect, documented in
+// EXPERIMENTS.md: a choice of two filters routes the <fst> tag explicitly
+// with the chunk, because under faithful flow-inheritance semantics the
+// figure's single filter would attach <fst> to the recycled node token and
+// the merger's init box would fire twice.
+const DynamicSource = `
+net raytracing_dyn
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <node>, <tasks>, <fst>)
+                   | (scene, sect, <node>, <tasks> )
+                   | (scene, sect, <tasks>, <fst>)
+                   | (scene, sect, <tasks> ));
+    box solve ( (scene, sect) -> (chunk));
+    net merger ( (chunk, <fst>) -> (pic),
+                 (chunk) -> (pic));
+    box genImg ( (pic) -> ());
+} connect
+    splitter
+    .. ( ( ( solve .. ( [ {chunk, <node>, <fst>}
+                          -> {chunk, <fst>}; {<node>} ]
+                        | [ {chunk, <node>}
+                            -> {chunk}; {<node>} ] )
+           )!@<node>
+           | []
+         )
+         .. ( [] | [| {sect}, {<node>} |] )
+       ) * {chunk}
+    .. merger .. genImg
+`
+
+// imageSink collects the pictures genImg delivers.
+type imageSink struct {
+	mu   sync.Mutex
+	pics []*raytrace.Image
+}
+
+func (s *imageSink) add(img *raytrace.Image) {
+	s.mu.Lock()
+	s.pics = append(s.pics, img)
+	s.mu.Unlock()
+}
+
+// spans returns the section spans for the config.
+func (cfg *Config) spans() ([]sched.Span, error) {
+	if cfg.Mode == Dynamic && cfg.Policy == FactoringPolicy {
+		return sched.PaperFactoring(cfg.H, cfg.Tasks)
+	}
+	return sched.Block(cfg.H, cfg.Tasks), nil
+}
+
+// registry builds the box registry for the config, delivering final images
+// to the sink.
+func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
+	spans, err := cfg.spans()
+	if err != nil {
+		return nil, err
+	}
+	reg := compile.NewRegistry()
+	reg.RegisterBox("splitter", func(c *core.BoxCall) error {
+		scene := c.Field("scene").(*raytrace.Scene)
+		nodes := c.Tag("nodes")
+		tasks := c.Tag("tasks")
+		if nodes <= 0 || tasks <= 0 || tasks != len(spans) {
+			return fmt.Errorf("splitter: inconsistent nodes=%d tasks=%d spans=%d",
+				nodes, tasks, len(spans))
+		}
+		for i, span := range spans {
+			r := record.Build().
+				F("scene", scene).
+				F("sect", raytrace.Section{Index: i, W: cfg.W, H: cfg.H, Y0: span.Lo, Y1: span.Hi}).
+				T("tasks", tasks).
+				Rec()
+			if i == 0 {
+				r.SetTag("fst", 1)
+			}
+			switch cfg.Mode {
+			case Static:
+				r.SetTag("node", i%nodes)
+			case Static2CPU:
+				r.SetTag("node", i%nodes)
+				r.SetTag("cpu", (i/nodes)%cfg.CPUs)
+			case Dynamic:
+				// The first `tokens` sections carry distinct node-token
+				// values; the platform maps value→node modulo Nodes, so
+				// 16 tokens on 8 nodes give two solver instances per
+				// node, one per CPU — the paper's sweet spot.
+				if i < cfg.Tokens {
+					r.SetTag("node", i)
+				}
+			}
+			c.Emit(r)
+		}
+		return nil
+	})
+	solve := func(c *core.BoxCall) error {
+		scene := c.Field("scene").(*raytrace.Scene)
+		sect := c.Field("sect").(raytrace.Section)
+		chunk, _ := raytrace.RenderSection(scene, sect)
+		c.Emit(record.New().SetField("chunk", chunk))
+		return nil
+	}
+	reg.RegisterBox("solver", solve)
+	reg.RegisterBox("solve", solve)
+	reg.RegisterBox("init", func(c *core.BoxCall) error {
+		chunk := c.Field("chunk").(raytrace.Chunk)
+		img := raytrace.NewImage(chunk.W, chunk.H)
+		img.SetChunk(chunk)
+		c.Emit(record.New().SetField("pic", img))
+		return nil
+	})
+	reg.RegisterBox("merge", func(c *core.BoxCall) error {
+		chunk := c.Field("chunk").(raytrace.Chunk)
+		pic := c.Field("pic").(*raytrace.Image)
+		c.Emit(record.New().SetField("pic", pic.Merge(chunk)))
+		return nil
+	})
+	reg.RegisterBox("genImg", func(c *core.BoxCall) error {
+		sink.add(c.Field("pic").(*raytrace.Image))
+		return nil
+	})
+	return reg, nil
+}
+
+// source returns the S-Net source text for the mode.
+func (cfg *Config) source() string {
+	switch cfg.Mode {
+	case Static2CPU:
+		return Static2CPUSource
+	case Dynamic:
+		return DynamicSource
+	default:
+		return StaticSource
+	}
+}
+
+// Build compiles the configured network, returning the toplevel entity and
+// the sink that will receive the final image.
+func (cfg *Config) build() (*core.Entity, *imageSink, error) {
+	sink := &imageSink{}
+	reg, err := cfg.registry(sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	mergerRes, err := compile.Source(MergerSource, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snetray: merger: %w", err)
+	}
+	merger, _ := mergerRes.Net("merger")
+	reg.RegisterNet("merger", merger)
+	res, err := compile.Source(cfg.source(), reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snetray: %w", err)
+	}
+	for _, ent := range res.Nets {
+		return ent, sink, nil
+	}
+	return nil, nil, fmt.Errorf("snetray: no toplevel net compiled")
+}
+
+// Result is the outcome of a coordinated render.
+type Result struct {
+	Image   *raytrace.Image
+	Cluster dist.Stats
+}
+
+// Render compiles and runs the configured network on a cluster platform and
+// returns the assembled image.
+func Render(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 || cfg.CPUs <= 0 {
+		return nil, fmt.Errorf("snetray: need positive Nodes and CPUs")
+	}
+	if cfg.Mode == Dynamic && (cfg.Tokens <= 0 || cfg.Tokens > cfg.Tasks) {
+		return nil, fmt.Errorf("snetray: Dynamic mode needs 0 < Tokens <= Tasks")
+	}
+	ent, sink, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	cluster := cfg.Cluster
+	if cluster == nil {
+		cluster = dist.NewCluster(cfg.Nodes, cfg.CPUs)
+	}
+	net := core.NewNetwork(ent, core.Options{Platform: cluster})
+	outs, err := net.Run(record.Build().
+		F("scene", cfg.Scene).
+		T("nodes", cfg.Nodes).
+		T("tasks", cfg.Tasks).
+		Rec())
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != 0 {
+		return nil, fmt.Errorf("snetray: network leaked %d records past genImg", len(outs))
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.pics) != 1 {
+		return nil, fmt.Errorf("snetray: genImg received %d pictures, want 1", len(sink.pics))
+	}
+	return &Result{Image: sink.pics[0], Cluster: cluster.Stats()}, nil
+}

@@ -1,0 +1,198 @@
+package snetray
+
+import (
+	"strings"
+	"testing"
+
+	"snet/internal/dist"
+	"snet/internal/mpiray"
+	"snet/internal/raytrace"
+	"snet/internal/sched"
+)
+
+const testW, testH = 40, 32
+
+func reference(t *testing.T, scene *raytrace.Scene) *raytrace.Image {
+	t.Helper()
+	img, _ := raytrace.Render(scene, testW, testH)
+	return img
+}
+
+func TestStaticRenderMatchesSequential(t *testing.T) {
+	scene := raytrace.BalancedScene(30, 1)
+	want := reference(t, scene)
+	res, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 8, Mode: Static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Image.Equal(want) {
+		t.Fatal("static S-Net image differs from sequential render")
+	}
+	// every node must have executed at least one solver call
+	for n, e := range res.Cluster.Execs {
+		if e == 0 {
+			t.Fatalf("node %d idle: %v", n, res.Cluster.Execs)
+		}
+	}
+	if res.Cluster.Transfers == 0 {
+		t.Fatal("no transfers accounted for placed solvers")
+	}
+}
+
+func TestStatic2CPURenderMatchesSequential(t *testing.T) {
+	scene := raytrace.UnbalancedScene(40, 2)
+	want := reference(t, scene)
+	res, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 2, CPUs: 2, Tasks: 8, Mode: Static2CPU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Image.Equal(want) {
+		t.Fatal("static 2CPU image differs")
+	}
+}
+
+func TestDynamicRenderMatchesSequential(t *testing.T) {
+	scene := raytrace.UnbalancedScene(50, 3)
+	want := reference(t, scene)
+	for _, policy := range []Policy{BlockPolicy, FactoringPolicy} {
+		res, err := Render(Config{
+			Scene: scene, W: testW, H: testH,
+			Nodes: 4, CPUs: 2, Tasks: 8, Tokens: 4,
+			Mode: Dynamic, Policy: policy,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !res.Image.Equal(want) {
+			t.Fatalf("%s: dynamic image differs", policy)
+		}
+	}
+}
+
+func TestDynamicTokenSweepCompletes(t *testing.T) {
+	scene := raytrace.UnbalancedScene(30, 4)
+	want := reference(t, scene)
+	for _, tokens := range []int{1, 3, 6, 12} {
+		res, err := Render(Config{
+			Scene: scene, W: testW, H: testH,
+			Nodes: 3, CPUs: 2, Tasks: 12, Tokens: tokens,
+			Mode: Dynamic, Policy: BlockPolicy,
+		})
+		if err != nil {
+			t.Fatalf("tokens=%d: %v", tokens, err)
+		}
+		if !res.Image.Equal(want) {
+			t.Fatalf("tokens=%d: image differs", tokens)
+		}
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	scene := raytrace.BalancedScene(5, 1)
+	if _, err := Render(Config{Scene: scene, W: 8, H: 8, Nodes: 0, CPUs: 1, Tasks: 2}); err == nil {
+		t.Fatal("Nodes=0 should error")
+	}
+	if _, err := Render(Config{
+		Scene: scene, W: 8, H: 8, Nodes: 1, CPUs: 1, Tasks: 2, Mode: Dynamic, Tokens: 0,
+	}); err == nil {
+		t.Fatal("Dynamic with Tokens=0 should error")
+	}
+	if _, err := Render(Config{
+		Scene: scene, W: 8, H: 8, Nodes: 1, CPUs: 1, Tasks: 2, Mode: Dynamic, Tokens: 5,
+	}); err == nil {
+		t.Fatal("Tokens > Tasks should error")
+	}
+}
+
+func TestFactoringRequiresDivisibleTasks(t *testing.T) {
+	scene := raytrace.BalancedScene(5, 1)
+	_, err := Render(Config{
+		Scene: scene, W: 8, H: 8, Nodes: 1, CPUs: 1, Tasks: 7, Tokens: 3,
+		Mode: Dynamic, Policy: FactoringPolicy,
+	})
+	if err == nil || !strings.Contains(err.Error(), "divisible") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSharedClusterAccumulates(t *testing.T) {
+	scene := raytrace.BalancedScene(10, 6)
+	cluster := dist.NewCluster(2, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := Render(Config{
+			Scene: scene, W: testW, H: testH,
+			Nodes: 2, CPUs: 1, Tasks: 4, Mode: Static, Cluster: cluster,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per run: 1 splitter + 4 solvers + 1 init + 3 merges + 1 genImg = 10
+	// box executions; two runs on the shared cluster accumulate 20.
+	var total int64
+	for _, e := range cluster.Stats().Execs {
+		total += e
+	}
+	if total != 20 {
+		t.Fatalf("shared cluster execs = %d, want 20", total)
+	}
+}
+
+func TestModeAndPolicyStrings(t *testing.T) {
+	if Static.String() != "S-Net Static" || Static2CPU.String() != "S-Net Static 2CPU" ||
+		Dynamic.String() != "S-Net Dynamic" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+	if BlockPolicy.String() != "block" || FactoringPolicy.String() != "factoring" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestDynamicUsesAllNodesWhenTokensSpan(t *testing.T) {
+	scene := raytrace.UnbalancedScene(40, 8)
+	res, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 2, Tasks: 16, Tokens: 8,
+		Mode: Dynamic, Policy: BlockPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, e := range res.Cluster.Execs {
+		if e == 0 {
+			t.Fatalf("node %d never executed: %v", n, res.Cluster.Execs)
+		}
+	}
+}
+
+// TestCrossImplementationAgreement checks that the S-Net-coordinated
+// renderer and the message-passing master/worker baseline produce
+// pixel-identical images from the same kernel — the property that makes the
+// paper's performance comparison meaningful.
+func TestCrossImplementationAgreement(t *testing.T) {
+	scene := raytrace.UnbalancedScene(60, 13)
+	snetRes, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 2, Tasks: 12, Tokens: 6,
+		Mode: Dynamic, Policy: BlockPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiImg, _, err := mpiray.RenderMasterWorker(scene, testW, testH,
+		sched.Block(testH, 12), mpiray.Options{Procs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snetRes.Image.Equal(mpiImg) {
+		t.Fatal("S-Net and MPI renders differ")
+	}
+}

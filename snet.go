@@ -1,0 +1,248 @@
+// Package snet is a Go implementation of the S-Net coordination language
+// (Penczek et al., "Message Driven Programming with S-Net: Methodology and
+// Performance", ICPP Workshops 2010): stateless boxes turned into
+// asynchronous stream-processing components, composed into single-input
+// single-output networks by four algebraic combinators, with structural
+// subtyping and flow inheritance on record streams, synchrocells, filters,
+// and the Distributed S-Net placement combinators.
+//
+// The package is a facade over the implementation packages:
+//
+//   - records and the type system (internal/record, internal/rtype),
+//   - the streaming runtime and combinators (internal/core),
+//   - the language front end and compiler (internal/lang, internal/compile),
+//   - the multi-node platform (internal/dist).
+//
+// # Building networks
+//
+// Networks are built either programmatically,
+//
+//	inc := snet.NewBox("inc", snet.MustSig(
+//	        []snet.Label{snet.F("x")}, []snet.Label{snet.F("x")}),
+//	    func(c *snet.BoxCall) error {
+//	        c.Emit(snet.NewRecord().SetField("x", c.Field("x").(int)+1))
+//	        return nil
+//	    })
+//	net := snet.NewNetwork(snet.Serial(inc, inc), snet.Options{})
+//
+// or compiled from S-Net source text with boxes registered by name:
+//
+//	reg := snet.NewRegistry()
+//	reg.RegisterBox("inc", incFn)
+//	res, err := snet.CompileSource(`
+//	    net twice { box inc ((x) -> (x)); } connect inc .. inc;
+//	`, reg)
+//
+// Run feeds records through a fresh instantiation and collects the output:
+//
+//	outs, err := net.Run(snet.NewRecord().SetField("x", 40))
+package snet
+
+import (
+	"snet/internal/compile"
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/lang"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// Record is an S-Net record: a set of label–value pairs with opaque fields
+// and integer tags.
+type Record = record.Record
+
+// RecordBuilder assembles records fluently.
+type RecordBuilder = record.Builder
+
+// NewRecord returns an empty record.
+func NewRecord() *Record { return record.New() }
+
+// BuildRecord starts a fluent record builder:
+// BuildRecord().F("scene", s).T("tasks", 48).Rec().
+func BuildRecord() *RecordBuilder { return record.Build() }
+
+// Label is a classified record label (field, tag or binding tag).
+type Label = rtype.Label
+
+// Variant is a set of labels; Type is a disjunction of variants; Pattern is
+// a variant plus an optional guard; Signature maps an input type to an
+// output type.
+type (
+	Variant   = rtype.Variant
+	Type      = rtype.Type
+	Pattern   = rtype.Pattern
+	Signature = rtype.Signature
+)
+
+// F constructs a field label.
+func F(name string) Label { return rtype.F(name) }
+
+// T constructs a tag label.
+func T(name string) Label { return rtype.T(name) }
+
+// BT constructs a binding-tag label.
+func BT(name string) Label { return rtype.BT(name) }
+
+// NewVariant builds a variant from labels.
+func NewVariant(labels ...Label) *Variant { return rtype.NewVariant(labels...) }
+
+// NewType builds a type from variants.
+func NewType(variants ...*Variant) *Type { return rtype.NewType(variants...) }
+
+// NewPattern builds a guard-free pattern over a variant.
+func NewPattern(v *Variant) *Pattern { return rtype.NewPattern(v) }
+
+// NewSignature builds a type signature.
+func NewSignature(in, out *Type) Signature { return rtype.NewSignature(in, out) }
+
+// Runtime types re-exported from the core.
+type (
+	// Entity is a SISO network component (box, filter, synchrocell or
+	// combinator composition).
+	Entity = core.Entity
+	// BoxCall is the per-record context handed to a box function.
+	BoxCall = core.BoxCall
+	// BoxFunc is the body of a box.
+	BoxFunc = core.BoxFunc
+	// Options configure a network instantiation.
+	Options = core.Options
+	// Network is an instantiable S-Net.
+	Network = core.Network
+	// Instance is one running network instantiation.
+	Instance = core.Instance
+	// Platform abstracts the compute substrate (see dist.Cluster).
+	Platform = core.Platform
+	// LocalPlatform is the trivial single-node platform.
+	LocalPlatform = core.LocalPlatform
+	// FilterRule, FilterOutput and TagAssign describe filters
+	// programmatically.
+	FilterRule = core.FilterRule
+	// FilterOutput is one output template of a filter rule.
+	FilterOutput = core.FilterOutput
+	// TagAssign sets a tag from an expression in a filter output.
+	TagAssign = core.TagAssign
+)
+
+// MustSig builds a single-input-variant signature from label lists.
+func MustSig(in []Label, outs ...[]Label) Signature { return core.MustSig(in, outs...) }
+
+// NewBox creates a box entity from a name, signature and body.
+func NewBox(name string, sig Signature, fn BoxFunc) *Entity {
+	return core.NewBox(name, sig, fn)
+}
+
+// Serial builds the serial composition A..B.
+func Serial(a, b *Entity) *Entity { return core.Serial(a, b) }
+
+// SerialAll folds Serial left to right.
+func SerialAll(first *Entity, rest ...*Entity) *Entity { return core.SerialAll(first, rest...) }
+
+// Choice builds the parallel composition A|B|... with type-driven dispatch.
+func Choice(branches ...*Entity) *Entity { return core.Choice(branches...) }
+
+// DetChoice builds the deterministic parallel composition A||B||...: like
+// Choice, but the output stream preserves the input order.
+func DetChoice(branches ...*Entity) *Entity { return core.DetChoice(branches...) }
+
+// Star builds the serial replication A*exit.
+func Star(a *Entity, exit *Pattern) *Entity { return core.Star(a, exit) }
+
+// Split builds the indexed parallel replication A!<tag>.
+func Split(a *Entity, tag string) *Entity { return core.Split(a, tag) }
+
+// DetSplit builds the deterministic indexed parallel replication A!!<tag>:
+// like Split, but the output stream preserves the input order.
+func DetSplit(a *Entity, tag string) *Entity { return core.DetSplit(a, tag) }
+
+// SplitAt builds the indexed dynamic placement A!@<tag> of Distributed
+// S-Net.
+func SplitAt(a *Entity, tag string) *Entity { return core.SplitAt(a, tag) }
+
+// At builds the static placement A@node of Distributed S-Net.
+func At(a *Entity, node int) *Entity { return core.At(a, node) }
+
+// NewFilter builds a filter entity from rules.
+func NewFilter(name string, rules ...FilterRule) *Entity { return core.NewFilter(name, rules...) }
+
+// Identity builds the identity filter [].
+func Identity() *Entity { return core.Identity() }
+
+// NewSync builds a synchrocell [| p1, p2, ... |].
+func NewSync(patterns ...*Pattern) *Entity { return core.NewSync(patterns...) }
+
+// FeedbackStar is an extension beyond the paper: a feedback variant of the
+// star combinator that re-circulates non-exit records through a single
+// operand instance instead of unrolling replicas. It requires a
+// record-preserving operand (one output per input) and exists for the
+// unroll-versus-feedback ablation benchmark; the compiler never emits it.
+func FeedbackStar(a *Entity, exit *Pattern) *Entity { return core.FeedbackStar(a, exit) }
+
+// ObserveDirection tells an observer callback whether a record was entering
+// or leaving the observed entity.
+type ObserveDirection = core.ObserveDirection
+
+// Observation directions.
+const (
+	// ObserveIn reports a record entering the observed entity.
+	ObserveIn = core.ObserveIn
+	// ObserveOut reports a record leaving the observed entity.
+	ObserveOut = core.ObserveOut
+)
+
+// ObserverCounter counts records entering and leaving an observed entity.
+type ObserverCounter = core.Counter
+
+// Observe wraps an entity with a transparent observer: fn sees every record
+// entering and leaving the operand without affecting network semantics.
+func Observe(a *Entity, fn func(dir ObserveDirection, r *Record)) *Entity {
+	return core.Observe(a, fn)
+}
+
+// NewNetwork wraps an entity into a runnable network.
+func NewNetwork(e *Entity, opts Options) *Network { return core.NewNetwork(e, opts) }
+
+// Language front end re-exports.
+type (
+	// Program is a parsed S-Net compilation unit.
+	Program = lang.Program
+	// Expr is a parsed connect expression.
+	Expr = lang.Expr
+	// Registry binds box names to Go implementations and net names to
+	// pre-built networks.
+	Registry = compile.Registry
+	// CompileResult holds the compiled networks and warnings.
+	CompileResult = compile.Result
+)
+
+// Parse parses S-Net source text.
+func Parse(src string) (*Program, error) { return lang.Parse(src) }
+
+// ParseExpr parses a standalone connect expression.
+func ParseExpr(src string) (Expr, error) { return lang.ParseExpr(src) }
+
+// NewRegistry returns an empty box/net registry.
+func NewRegistry() *Registry { return compile.NewRegistry() }
+
+// CompileSource parses and compiles S-Net source against the registry.
+func CompileSource(src string, reg *Registry) (*CompileResult, error) {
+	return compile.Source(src, reg)
+}
+
+// CompileProgram compiles a parsed program against the registry.
+func CompileProgram(prog *Program, reg *Registry) (*CompileResult, error) {
+	return compile.Program(prog, reg)
+}
+
+// CompileExpr compiles a standalone connect expression against the
+// registry.
+func CompileExpr(e Expr, reg *Registry) (*Entity, []string, error) {
+	return compile.Expr(e, reg)
+}
+
+// Cluster is the multi-node platform of Distributed S-Net: bounded CPU
+// slots per abstract node plus transfer accounting.
+type Cluster = dist.Cluster
+
+// NewCluster creates a cluster platform with the given number of nodes and
+// CPU slots per node.
+func NewCluster(nodes, cpusPerNode int) *Cluster { return dist.NewCluster(nodes, cpusPerNode) }
