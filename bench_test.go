@@ -9,6 +9,7 @@ package snet_test
 
 import (
 	"testing"
+	"time"
 
 	"snet"
 	"snet/internal/dist"
@@ -179,6 +180,54 @@ func BenchmarkLiveMPIMasterWorker(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Cluster-shape ablation ----------------------------------------------
+
+// benchClusterShape runs the same dynamic network on a given cluster shape
+// (total CPU budget held constant by the caller), optionally charging a
+// transfer cost, and reports the cross-node traffic the shape induces.
+func benchClusterShape(b *testing.B, nodes, cpus int, latency time.Duration, bandwidth float64) {
+	scene := liveScene()
+	b.ReportAllocs()
+	var stats dist.Stats
+	for i := 0; i < b.N; i++ {
+		cluster := dist.NewCluster(nodes, cpus)
+		cluster.SetTransferCost(latency, bandwidth)
+		_, err := snetray.Render(snetray.Config{
+			Scene: scene, W: liveW, H: liveH,
+			Nodes: nodes, CPUs: cpus, Tasks: 16, Tokens: 8,
+			Mode: snetray.Dynamic, Policy: snetray.BlockPolicy,
+			Cluster: cluster,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = cluster.Stats()
+	}
+	b.ReportMetric(float64(stats.Transfers), "transfers/op")
+	b.ReportMetric(float64(stats.Bytes)/1024, "KiB/op")
+}
+
+// BenchmarkLiveClusterOneWideNode runs the dynamic network on a single
+// 8-CPU node: all placement is local, so no transfers are charged.
+func BenchmarkLiveClusterOneWideNode(b *testing.B) {
+	benchClusterShape(b, 1, 8, 0, 0)
+}
+
+// BenchmarkLiveClusterEightSlimNodes runs the identical network and CPU
+// budget as eight 1-CPU nodes: every section now hops across nodes, making
+// the coordination traffic visible in the reported metrics.
+func BenchmarkLiveClusterEightSlimNodes(b *testing.B) {
+	benchClusterShape(b, 8, 1, 0, 0)
+}
+
+// BenchmarkLiveClusterEightSlimNodesCostedLink repeats the eight-node shape
+// with a modelled interconnect (200µs per hop, 100 MB/s), exposing how
+// sensitive the design is to communication cost — a regime the paper's
+// compute-bound figures do not reach.
+func BenchmarkLiveClusterEightSlimNodesCostedLink(b *testing.B) {
+	benchClusterShape(b, 8, 1, 200*time.Microsecond, 100e6)
 }
 
 // --- Ablations ------------------------------------------------------------

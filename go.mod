@@ -1,0 +1,3 @@
+module snet
+
+go 1.24

@@ -22,7 +22,7 @@ type BoxCall struct {
 
 	env      *Env
 	box      *boxImpl
-	out      chan<- *record.Record
+	pending  []*record.Record
 	consumeF map[string]bool
 	consumeT map[string]bool
 	emitted  int
@@ -45,9 +45,18 @@ func (c *BoxCall) HasField(name string) bool { return c.In.HasField(name) }
 // Node returns the abstract compute node this box execution runs on.
 func (c *BoxCall) Node() int { return c.env.node }
 
-// Emit sends an output record. The runtime applies flow inheritance from
+// Emit queues an output record; all queued records are sent downstream once
+// the box execution has finished. The runtime applies flow inheritance from
 // the input record and, when type checking is enabled, verifies the record
 // against the box's declared output type before inheritance.
+//
+// Queuing instead of sending inline keeps the box's platform CPU slot free
+// of stream backpressure: a box never blocks on a full output channel while
+// occupying a node CPU, which on a bounded platform (dist.Cluster) could
+// deadlock co-located producers and consumers competing for the same slots.
+// The queue costs memory proportional to one call's emissions, and Emit
+// must be called from the box function's own goroutine — both consequences
+// of the box contract that an execution is one atomic transformation.
 func (c *BoxCall) Emit(r *record.Record) {
 	if c.env.opts.CheckTypes && !c.box.sig.Out.Accepts(r) {
 		c.env.report(entityError(c.box.name, fmt.Errorf(
@@ -55,7 +64,7 @@ func (c *BoxCall) Emit(r *record.Record) {
 	}
 	r.InheritFromExcept(c.In, c.consumeF, c.consumeT)
 	c.emitted++
-	c.out <- r
+	c.pending = append(c.pending, r)
 }
 
 // Emitted returns how many records this call has emitted so far.
@@ -64,7 +73,9 @@ func (c *BoxCall) Emitted() int { return c.emitted }
 // BoxFunc is the body of a box: a pure function of the triggering record
 // that emits zero or more output records through the BoxCall. Box functions
 // must not retain state between invocations — the S-Net contract that makes
-// boxes relocatable and replicable.
+// boxes relocatable and replicable — and must call Emit only from the
+// goroutine the body runs on (internal worker goroutines must hand results
+// back before the body emits them).
 type BoxFunc func(c *BoxCall) error
 
 type boxImpl struct {
@@ -112,7 +123,6 @@ func (b *boxImpl) invoke(env *Env, r *record.Record, out chan<- *record.Record) 
 		Matched:  v,
 		env:      env,
 		box:      b,
-		out:      out,
 		consumeF: setOf(v.Fields()),
 		consumeT: setOf(v.Tags()),
 	}
@@ -126,6 +136,11 @@ func (b *boxImpl) invoke(env *Env, r *record.Record, out chan<- *record.Record) 
 			env.report(entityError(b.name, err))
 		}
 	})
+	// Flush outside the platform slot: downstream backpressure must not
+	// hold a node CPU.
+	for _, o := range call.pending {
+		out <- o
+	}
 }
 
 func setOf(names []string) map[string]bool {

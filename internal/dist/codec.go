@@ -1,0 +1,356 @@
+// The record wire codec: what a record costs to move between cluster nodes,
+// and — for serializable field values — the bytes that would actually move.
+//
+// Distributed S-Net ships records between nodes, so the platform needs a
+// defined wire representation to size transfers. Tags and binding tags are
+// integers and always serialize exactly. Field values are opaque to the
+// coordination layer; the codec serializes the common scalar kinds (nil,
+// bool, integers, float64, string, []byte) exactly and sizes everything else
+// with the mpi.ByteSizer conventions (ByteSize when declared, a fixed
+// estimate otherwise), so the S-Net cluster and the MPI baseline charge
+// identical byte counts for the same payloads.
+//
+// Invariant: for a record whose field values are all serializable,
+// Size(r) == len(Marshal(r)).
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"snet/internal/mpi"
+	"snet/internal/record"
+)
+
+// codecVersion is the wire-format version byte leading every encoding.
+const codecVersion = 1
+
+// Field-value type codes on the wire.
+const (
+	tNil byte = iota
+	tBool
+	tInt
+	tFloat
+	tString
+	tBytes
+)
+
+// Record kinds on the wire.
+const (
+	kData    byte = 0
+	kTrigger byte = 1
+)
+
+// Size returns the record's wire size in bytes: the exact encoding size for
+// serializable content, with non-serializable field values sized by
+// mpi.PayloadBytes. Transfer uses Size for traffic accounting.
+func Size(r *record.Record) int {
+	n := 8 // version, kind, three u16 label counts
+	count := func(label string, _ int) { n += 2 + len(label) + 8 }
+	r.VisitTags(count)
+	r.VisitBTags(count)
+	r.VisitFields(func(label string, v any) {
+		n += 2 + len(label) + 1 + valueSize(v)
+	})
+	return n
+}
+
+// valueSize is the encoded payload size after the type-code byte.
+func valueSize(v any) int {
+	switch d := v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int, int64, float64:
+		return 8
+	case string:
+		return 4 + len(d)
+	case []byte:
+		return 4 + len(d)
+	default:
+		return mpi.PayloadBytes(v)
+	}
+}
+
+// Marshal encodes a record for the wire. It fails when a field value is not
+// one of the serializable kinds; such records can still be sized (Size) and
+// transferred in-process, they just have no exact wire form.
+func Marshal(r *record.Record) ([]byte, error) {
+	tags, btags, fields := r.Tags(), r.BTags(), r.Fields()
+	if len(tags) > math.MaxUint16 || len(btags) > math.MaxUint16 ||
+		len(fields) > math.MaxUint16 {
+		return nil, fmt.Errorf(
+			"dist: record with %d fields, %d tags, %d btags exceeds the wire limit of %d labels per kind",
+			len(fields), len(tags), len(btags), math.MaxUint16)
+	}
+	for _, ks := range [][]string{tags, btags, fields} {
+		for _, k := range ks {
+			if len(k) > math.MaxUint16 {
+				return nil, fmt.Errorf(
+					"dist: label %.32q… of %d bytes exceeds the wire limit of %d",
+					k, len(k), math.MaxUint16)
+			}
+		}
+	}
+	buf := make([]byte, 0, Size(r))
+	buf = append(buf, codecVersion, kData)
+	if !r.IsData() {
+		buf[1] = kTrigger
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(tags)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(btags)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(fields)))
+	for _, k := range tags {
+		v, _ := r.Tag(k)
+		buf = appendLabel(buf, k)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	for _, k := range btags {
+		v, _ := r.BTag(k)
+		buf = appendLabel(buf, k)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	for _, k := range fields {
+		v, _ := r.Field(k)
+		buf = appendLabel(buf, k)
+		var err error
+		if buf, err = appendValue(buf, k, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendLabel(buf []byte, label string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(label)))
+	return append(buf, label...)
+}
+
+func appendValue(buf []byte, label string, v any) ([]byte, error) {
+	switch d := v.(type) {
+	case nil:
+		return append(buf, tNil), nil
+	case bool:
+		b := byte(0)
+		if d {
+			b = 1
+		}
+		return append(buf, tBool, b), nil
+	case int:
+		buf = append(buf, tInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(int64(d))), nil
+	case int64:
+		buf = append(buf, tInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(d)), nil
+	case float64:
+		buf = append(buf, tFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(d)), nil
+	case string:
+		if len(d) > math.MaxUint32 {
+			return nil, fmt.Errorf("dist: field %q string of %d bytes exceeds the wire limit", label, len(d))
+		}
+		buf = append(buf, tString)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d)))
+		return append(buf, d...), nil
+	case []byte:
+		if len(d) > math.MaxUint32 {
+			return nil, fmt.Errorf("dist: field %q payload of %d bytes exceeds the wire limit", label, len(d))
+		}
+		buf = append(buf, tBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d)))
+		return append(buf, d...), nil
+	default:
+		return nil, fmt.Errorf("dist: field %q value of type %T is not wire-serializable", label, v)
+	}
+}
+
+// Unmarshal decodes a record encoded by Marshal. The wire format keeps one
+// integer kind, so int and int64 field values both decode as int.
+func Unmarshal(data []byte) (*record.Record, error) {
+	d := &decoder{buf: data}
+	version, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion)
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	var r *record.Record
+	switch kind {
+	case kData:
+		r = record.New()
+	case kTrigger:
+		r = record.NewTrigger()
+	default:
+		return nil, fmt.Errorf("dist: unknown record kind %d", kind)
+	}
+	nTags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	nBTags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	nFields, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nTags); i++ {
+		k, v, err := d.labeledInt()
+		if err != nil {
+			return nil, err
+		}
+		r.SetTag(k, v)
+	}
+	for i := 0; i < int(nBTags); i++ {
+		k, v, err := d.labeledInt()
+		if err != nil {
+			return nil, err
+		}
+		r.SetBTag(k, v)
+	}
+	for i := 0; i < int(nFields); i++ {
+		k, err := d.label()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.value(k)
+		if err != nil {
+			return nil, err
+		}
+		r.SetField(k, v)
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("dist: %d trailing bytes after record", len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+// decoder walks an encoded record with bounds checking.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if d.off+n > len(d.buf) {
+		return nil, fmt.Errorf("dist: truncated record encoding at byte %d", d.off)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	b, err := d.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) label() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *decoder) labeledInt() (string, int, error) {
+	k, err := d.label()
+	if err != nil {
+		return "", 0, err
+	}
+	v, err := d.u64()
+	if err != nil {
+		return "", 0, err
+	}
+	return k, int(int64(v)), nil
+}
+
+func (d *decoder) value(label string) (any, error) {
+	code, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case tNil:
+		return nil, nil
+	case tBool:
+		b, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		return b != 0, nil
+	case tInt:
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		return int(int64(v)), nil
+	case tFloat:
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(v), nil
+	case tString:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return string(b), nil
+	case tBytes:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), b...), nil
+	default:
+		return nil, fmt.Errorf("dist: field %q has unknown wire type code %d", label, code)
+	}
+}

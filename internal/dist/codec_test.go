@@ -1,0 +1,166 @@
+package dist_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"snet/internal/dist"
+	"snet/internal/record"
+)
+
+type sized struct{ n int }
+
+func (s sized) ByteSize() int { return s.n }
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := record.Build().
+		F("name", "sphere-7").
+		F("weight", 3.25).
+		F("count", 42).
+		F("wide", int64(1<<40)).
+		F("flag", true).
+		F("off", false).
+		F("blob", []byte{0, 1, 2, 254, 255}).
+		F("empty", nil).
+		T("node", 3).
+		T("tasks", -48).
+		Rec()
+	r.SetBTag("bind", 7)
+	r.SetBTag("neg", -1)
+
+	buf, err := dist.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !got.IsData() {
+		t.Fatal("kind lost")
+	}
+	for _, tag := range []struct {
+		label string
+		want  int
+	}{{"node", 3}, {"tasks", -48}} {
+		if v, ok := got.Tag(tag.label); !ok || v != tag.want {
+			t.Fatalf("tag <%s> = %d,%v, want %d", tag.label, v, ok, tag.want)
+		}
+	}
+	for _, bt := range []struct {
+		label string
+		want  int
+	}{{"bind", 7}, {"neg", -1}} {
+		if v, ok := got.BTag(bt.label); !ok || v != bt.want {
+			t.Fatalf("btag <#%s> = %d,%v, want %d", bt.label, v, ok, bt.want)
+		}
+	}
+	checks := map[string]any{
+		"name": "sphere-7", "weight": 3.25, "count": 42,
+		"wide": int(1 << 40), "flag": true, "off": false, "empty": nil,
+	}
+	for label, want := range checks {
+		v, ok := got.Field(label)
+		if !ok || v != want {
+			t.Fatalf("field %s = %v,%v, want %v", label, v, ok, want)
+		}
+	}
+	blob, _ := got.Field("blob")
+	if !bytes.Equal(blob.([]byte), []byte{0, 1, 2, 254, 255}) {
+		t.Fatalf("blob = %v", blob)
+	}
+	if got.NumFields() != 8 || got.NumTags() != 2 || got.NumBTags() != 2 {
+		t.Fatalf("label counts %d/%d/%d", got.NumFields(), got.NumTags(), got.NumBTags())
+	}
+}
+
+func TestCodecTriggerRoundTrip(t *testing.T) {
+	buf, err := dist.Marshal(record.NewTrigger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsData() {
+		t.Fatal("trigger decoded as data record")
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	records := []*record.Record{
+		record.New(),
+		record.NewTrigger(),
+		record.Build().F("s", "abc").F("b", []byte("xyzw")).T("n", 1).Rec(),
+		record.Build().F("f", 2.5).F("i", 7).F("nil", nil).F("t", true).Rec(),
+	}
+	for _, r := range records {
+		buf, err := dist.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist.Size(r) != len(buf) {
+			t.Fatalf("record %s: Size = %d, Marshal = %d bytes", r, dist.Size(r), len(buf))
+		}
+	}
+}
+
+// TestSizeByteSizerConvention checks that opaque field values follow the
+// mpi.ByteSizer conventions: declared sizes are honored, everything else
+// falls back to the fixed estimate.
+func TestSizeByteSizerConvention(t *testing.T) {
+	base := dist.Size(record.New())
+	declared := record.New().SetField("x", sized{n: 1000})
+	opaque := record.New().SetField("x", struct{ a, b int }{})
+	// Both records add the same label overhead (2 + len("x") + 1 type-code
+	// byte); only the payload sizing differs.
+	overhead := 2 + 1 + 1
+	if got := dist.Size(declared); got != base+overhead+1000 {
+		t.Fatalf("ByteSizer field: size = %d, want %d", got, base+overhead+1000)
+	}
+	if got := dist.Size(opaque); got != base+overhead+64 {
+		t.Fatalf("opaque field: size = %d, want %d", got, base+overhead+64)
+	}
+}
+
+func TestMarshalRejectsOpaqueFields(t *testing.T) {
+	r := record.New().SetField("scene", struct{ x int }{1})
+	if _, err := dist.Marshal(r); err == nil ||
+		!strings.Contains(err.Error(), "scene") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarshalRejectsTooManyLabels(t *testing.T) {
+	r := record.New()
+	for i := 0; i < 1<<16; i++ {
+		r.SetTag(fmt.Sprintf("t%d", i), i)
+	}
+	if _, err := dist.Marshal(r); err == nil ||
+		!strings.Contains(err.Error(), "wire limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := dist.Marshal(record.Build().F("s", "hello").T("n", 1).Rec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad version": {99, 0, 0, 0, 0, 0, 0, 0},
+		"bad kind":    {1, 7, 0, 0, 0, 0, 0, 0},
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0),
+	}
+	for name, buf := range cases {
+		if _, err := dist.Unmarshal(buf); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package dist implements the Distributed S-Net platform: an abstract
+// cluster of compute nodes underneath the placement combinators "@" and
+// "!@". The paper maps one S-Net network onto a multi-node installation by
+// annotating subnetworks with node indices; this package supplies the
+// resource model those annotations are measured against.
+//
+// A Cluster has a fixed number of nodes, each with a bounded number of CPU
+// slots. Box executions dispatched to a node (core.Platform.Exec) are gated
+// on the node's slots, so at most cpusPerNode box calls run concurrently per
+// node — the "two solvers per dual-core node" regime of the paper's
+// Section V becomes an enforced bound rather than a convention. Every record
+// that crosses between nodes (core.Platform.Transfer) is counted and
+// byte-sized with the record wire codec (see codec.go), which follows the
+// mpi.ByteSizer conventions so that the S-Net networks and the MPI baseline
+// (internal/mpiray) account traffic identically.
+//
+// An optional transfer-cost model (SetTransferCost) charges a per-hop
+// latency plus a bandwidth-proportional delay for every cross-node record,
+// letting benchmarks explore communication-bound regimes beyond the paper's
+// compute-bound figures.
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"snet/internal/record"
+)
+
+// Stats is a snapshot of a cluster's accounting counters.
+type Stats struct {
+	// Execs counts box executions per node.
+	Execs []int64
+	// Busy is the accumulated box-execution wall time per node.
+	Busy []time.Duration
+	// Transfers counts cross-node record hops.
+	Transfers int64
+	// Bytes is the accumulated wire size of all transferred records.
+	Bytes int64
+}
+
+// Cluster is an abstract multi-node compute platform: bounded CPU slots per
+// node plus transfer accounting. It implements core.Platform. All methods
+// are safe for concurrent use; a Cluster may be shared between consecutive
+// network runs (the counters then accumulate) and between an S-Net network
+// and an MPI program competing for the same resources.
+type Cluster struct {
+	cpus  int
+	slots []chan struct{} // per-node counting semaphore, capacity cpus
+	execs []atomic.Int64
+	busy  []atomic.Int64 // nanoseconds
+	trans atomic.Int64
+	bytes atomic.Int64
+
+	// Transfer-cost model, fixed representation: latency per hop plus
+	// nanoseconds per byte. Both zero by default (accounting only).
+	latency  atomic.Int64 // ns per hop
+	perByte  atomic.Int64 // ns per byte, scaled by perByteScale
+	costLive atomic.Bool  // fast-path skip when no cost is configured
+}
+
+// perByteScale fixes the per-byte delay representation at 1/1024 ns
+// resolution, so bandwidths well above 1 GB/s remain representable.
+const perByteScale = 1024
+
+// NewCluster creates a cluster of `nodes` abstract nodes with `cpusPerNode`
+// CPU slots each. It panics on non-positive arguments, mirroring an
+// impossible machine configuration.
+func NewCluster(nodes, cpusPerNode int) *Cluster {
+	if nodes <= 0 || cpusPerNode <= 0 {
+		panic(fmt.Sprintf("dist: cluster %d nodes x %d cpus", nodes, cpusPerNode))
+	}
+	c := &Cluster{
+		cpus:  cpusPerNode,
+		slots: make([]chan struct{}, nodes),
+		execs: make([]atomic.Int64, nodes),
+		busy:  make([]atomic.Int64, nodes),
+	}
+	for i := range c.slots {
+		c.slots[i] = make(chan struct{}, cpusPerNode)
+	}
+	return c
+}
+
+// Nodes returns the number of cluster nodes.
+func (c *Cluster) Nodes() int { return len(c.slots) }
+
+// CPUsPerNode returns the CPU slots per node.
+func (c *Cluster) CPUsPerNode() int { return c.cpus }
+
+// node maps an arbitrary node index onto a real node, modulo the cluster
+// size. The placement combinators already normalize their indices; the
+// modulo here additionally covers direct callers such as the MPI baseline's
+// rank→node gating and keeps out-of-range indices from panicking.
+func (c *Cluster) node(n int) int {
+	size := len(c.slots)
+	return ((n % size) + size) % size
+}
+
+// Exec runs fn as one box execution on the given node, blocking until a CPU
+// slot is free and until fn has returned. This is the Platform contract: box
+// calls on a fully busy node queue behind the node's CPUs.
+func (c *Cluster) Exec(node int, fn func()) {
+	n := c.node(node)
+	c.slots[n] <- struct{}{}
+	start := time.Now()
+	defer func() {
+		c.busy[n].Add(int64(time.Since(start)))
+		c.execs[n].Add(1)
+		<-c.slots[n]
+	}()
+	fn()
+}
+
+// Transfer accounts one record hop from node `from` to node `to`: the hop is
+// counted, the record is byte-sized with the wire codec, and — when a
+// transfer cost is configured — the calling goroutine is delayed by
+// latency + size/bandwidth, modelling the record traveling the interconnect.
+// Same-node transfers are free and uncounted.
+func (c *Cluster) Transfer(from, to int, r *record.Record) {
+	if c.node(from) == c.node(to) {
+		return
+	}
+	n := Size(r)
+	c.trans.Add(1)
+	c.bytes.Add(int64(n))
+	if !c.costLive.Load() {
+		return
+	}
+	d := time.Duration(c.latency.Load()) +
+		time.Duration(c.perByte.Load())*time.Duration(n)/perByteScale
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// SetTransferCost configures the transfer-cost model: every cross-node hop
+// is delayed by `latency` plus the record's wire size divided by
+// `bytesPerSecond`. A zero bytesPerSecond means infinite bandwidth; calling
+// SetTransferCost(0, 0) disables delays again (accounting continues either
+// way). The model may be changed while networks are running; hops in flight
+// use whichever values they observe.
+func (c *Cluster) SetTransferCost(latency time.Duration, bytesPerSecond float64) {
+	c.latency.Store(int64(latency))
+	var per int64
+	if bytesPerSecond > 0 {
+		per = int64(float64(time.Second) * perByteScale / bytesPerSecond)
+	}
+	c.perByte.Store(per)
+	c.costLive.Store(latency > 0 || per > 0)
+}
+
+// Stats returns a copy of the accounting counters. The snapshot is
+// internally consistent per counter but not across counters: concurrent
+// Exec/Transfer calls may land between reads.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Execs:     make([]int64, len(c.execs)),
+		Busy:      make([]time.Duration, len(c.busy)),
+		Transfers: c.trans.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+	for i := range c.execs {
+		s.Execs[i] = c.execs[i].Load()
+		s.Busy[i] = time.Duration(c.busy[i].Load())
+	}
+	return s
+}

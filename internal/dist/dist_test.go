@@ -1,0 +1,217 @@
+package dist_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// The cluster must satisfy the runtime's platform contract.
+var _ core.Platform = (*dist.Cluster)(nil)
+
+func TestNewClusterValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCluster(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			dist.NewCluster(bad[0], bad[1])
+		}()
+	}
+	c := dist.NewCluster(3, 2)
+	if c.Nodes() != 3 || c.CPUsPerNode() != 2 {
+		t.Fatalf("shape = %dx%d", c.Nodes(), c.CPUsPerNode())
+	}
+}
+
+// TestExecSlotBounding floods every node with far more concurrent Exec calls
+// than it has CPU slots and asserts the bound is never exceeded. Run under
+// -race this also exercises the counter paths for data races.
+func TestExecSlotBounding(t *testing.T) {
+	const nodes, cpus, calls = 3, 2, 40
+	c := dist.NewCluster(nodes, cpus)
+	var inFlight [nodes]atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node := i % nodes
+			c.Exec(node, func() {
+				if n := inFlight[node].Add(1); n > cpus {
+					t.Errorf("node %d: %d concurrent execs, cap %d", node, n, cpus)
+				}
+				time.Sleep(time.Millisecond)
+				inFlight[node].Add(-1)
+			})
+		}(i)
+	}
+	wg.Wait()
+	s := c.Stats()
+	var total int64
+	for n, e := range s.Execs {
+		total += e
+		if s.Busy[n] <= 0 {
+			t.Errorf("node %d: no busy time accumulated", n)
+		}
+	}
+	if total != calls {
+		t.Fatalf("total execs = %d, want %d", total, calls)
+	}
+}
+
+// TestExecNodeNormalization checks that out-of-range node indices wrap
+// modulo the cluster size (the mapping the dynamic token scheme relies on).
+func TestExecNodeNormalization(t *testing.T) {
+	c := dist.NewCluster(3, 1)
+	c.Exec(7, func() {})  // 7 mod 3 = 1
+	c.Exec(-1, func() {}) // -1 mod 3 = 2
+	s := c.Stats()
+	want := []int64{0, 1, 1}
+	for n := range want {
+		if s.Execs[n] != want[n] {
+			t.Fatalf("execs = %v, want %v", s.Execs, want)
+		}
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	c := dist.NewCluster(4, 1)
+	r := record.Build().T("node", 3).F("payload", []byte("0123456789")).Rec()
+	c.Transfer(0, 2, r)
+	c.Transfer(2, 0, r)
+	c.Transfer(1, 1, r) // same node: free
+	c.Transfer(1, 5, r) // 5 wraps to node 1: same node, free
+	s := c.Stats()
+	if s.Transfers != 2 {
+		t.Fatalf("transfers = %d, want 2", s.Transfers)
+	}
+	if want := int64(2 * dist.Size(r)); s.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, want)
+	}
+}
+
+func TestStatsSnapshotIsACopy(t *testing.T) {
+	c := dist.NewCluster(2, 1)
+	c.Exec(0, func() {})
+	s := c.Stats()
+	s.Execs[0] = 99
+	s.Busy[0] = time.Hour
+	if got := c.Stats().Execs[0]; got != 1 {
+		t.Fatalf("snapshot mutation leaked into cluster: execs[0] = %d", got)
+	}
+}
+
+func TestTransferCostModel(t *testing.T) {
+	c := dist.NewCluster(2, 1)
+	r := record.Build().F("payload", make([]byte, 1000)).Rec()
+
+	// No cost configured: transfers do not sleep measurably.
+	start := time.Now()
+	c.Transfer(0, 1, r)
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("free transfer took %v", d)
+	}
+
+	// 20ms latency plus 1000 bytes at 100 KB/s ≈ 10ms: at least the
+	// latency must be observable even on a noisy CI machine.
+	c.SetTransferCost(20*time.Millisecond, 100e3)
+	start = time.Now()
+	c.Transfer(0, 1, r)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("costed transfer took only %v", d)
+	}
+
+	// Disabling restores free transfers.
+	c.SetTransferCost(0, 0)
+	start = time.Now()
+	c.Transfer(0, 1, r)
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("disabled cost still delayed: %v", d)
+	}
+}
+
+// TestColocatedPipelineDoesNotDeadlock regression-tests the slot/stream
+// interaction: a box that fans one record out into many must not hold its
+// node's only CPU slot while blocked on downstream backpressure, or a
+// co-located consumer (waiting for that same slot) deadlocks the network.
+// Unbuffered streams make the hazard deterministic.
+func TestColocatedPipelineDoesNotDeadlock(t *testing.T) {
+	c := dist.NewCluster(1, 1)
+	fan := core.NewBox("fan",
+		core.MustSig([]rtype.Label{rtype.T("n")}, []rtype.Label{rtype.T("i")}),
+		func(bc *core.BoxCall) error {
+			for i := 0; i < bc.Tag("n"); i++ {
+				bc.Emit(record.New().SetTag("i", i))
+			}
+			return nil
+		})
+	sink := core.NewBox("sink",
+		core.MustSig([]rtype.Label{rtype.T("i")}, []rtype.Label{rtype.T("i")}),
+		func(bc *core.BoxCall) error {
+			bc.Emit(record.New().SetTag("i", bc.Tag("i")))
+			return nil
+		})
+	net := core.NewNetwork(core.Serial(fan, sink),
+		core.Options{Platform: c, BufferSize: -1})
+	done := make(chan int)
+	go func() {
+		outs, err := net.Run(record.New().SetTag("n", 100))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- len(outs)
+	}()
+	select {
+	case n := <-done:
+		if n != 100 {
+			t.Fatalf("outs = %d, want 100", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("co-located pipeline deadlocked on the CPU slot")
+	}
+}
+
+// TestClusterUnderNetwork runs a real placed network on the cluster and
+// checks the platform saw the work: the integration seam the facade tests
+// exercise from above.
+func TestClusterUnderNetwork(t *testing.T) {
+	c := dist.NewCluster(3, 1)
+	work := core.NewBox("work",
+		core.MustSig([]rtype.Label{rtype.T("node")}, []rtype.Label{rtype.T("done")}),
+		func(bc *core.BoxCall) error {
+			bc.Emit(record.New().SetTag("done", bc.Node()))
+			return nil
+		})
+	net := core.NewNetwork(core.SplitAt(work, "node"), core.Options{Platform: c})
+	var ins []*record.Record
+	for i := 0; i < 9; i++ {
+		ins = append(ins, record.New().SetTag("node", i%3))
+	}
+	outs, err := net.Run(ins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 9 {
+		t.Fatalf("outs = %d", len(outs))
+	}
+	s := c.Stats()
+	for n, e := range s.Execs {
+		if e != 3 {
+			t.Fatalf("node %d execs = %d, want 3 (%v)", n, e, s.Execs)
+		}
+	}
+	// Records placed on node 0 never leave it; the other 6 hop there and
+	// back.
+	if s.Transfers != 12 {
+		t.Fatalf("transfers = %d, want 12", s.Transfers)
+	}
+}

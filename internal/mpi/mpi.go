@@ -105,8 +105,13 @@ func (c *Comm) Close() {
 	}
 }
 
-// payloadBytes estimates a payload's wire size.
-func payloadBytes(data any) int {
+// PayloadBytes estimates a payload's wire size: ByteSizer payloads declare
+// their own size, byte slices and strings count their length, numbers count
+// eight bytes, and opaque values fall back to a fixed estimate. The
+// Distributed S-Net platform (internal/dist) sizes record fields with the
+// same conventions, so the MPI baseline and the S-Net cluster account
+// traffic identically.
+func PayloadBytes(data any) int {
 	switch d := data.(type) {
 	case nil:
 		return 0
@@ -133,7 +138,7 @@ func (c *Comm) Send(src, dst, tag int, data any) {
 	if c.closed.Load() {
 		return
 	}
-	n := payloadBytes(data)
+	n := PayloadBytes(data)
 	atomic.AddInt64(&c.stats.Messages, 1)
 	atomic.AddInt64(&c.stats.Bytes, int64(n))
 	mb := c.mailboxes[dst]

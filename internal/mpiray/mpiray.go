@@ -25,13 +25,12 @@ const (
 	tagReady
 )
 
-// chunkMsg wraps a chunk with its transfer size for traffic accounting.
+// chunkMsg wraps a chunk for transport; the embedded Chunk's ByteSize
+// (mpi.ByteSizer) declares the transfer size, so the baseline and the S-Net
+// cluster charge identical bytes for chunk traffic.
 type chunkMsg struct {
 	raytrace.Chunk
 }
-
-// ByteSize reports the pixel payload plus header.
-func (c chunkMsg) ByteSize() int { return len(c.Pix) + 32 }
 
 // Options configure a parallel render.
 type Options struct {

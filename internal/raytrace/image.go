@@ -39,6 +39,10 @@ func (im *Image) Merge(c Chunk) *Image {
 	return out
 }
 
+// ByteSize declares the image's wire size (pixel payload plus header) for
+// transfer accounting, following the mpi.ByteSizer convention.
+func (im *Image) ByteSize() int { return len(im.Pix) + 32 }
+
 // At returns the pixel at (x, y) as 8-bit RGB.
 func (im *Image) At(x, y int) (r, g, b byte) {
 	i := 3 * (y*im.W + x)

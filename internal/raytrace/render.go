@@ -184,6 +184,11 @@ type Chunk struct {
 	Pix []byte // 3 bytes per pixel, row-major, len = 3*W*Rows()
 }
 
+// ByteSize declares the chunk's wire size — the pixel payload plus a fixed
+// section header — following the mpi.ByteSizer convention, so the cluster
+// platform and the MPI baseline charge identical bytes for chunk traffic.
+func (c Chunk) ByteSize() int { return len(c.Pix) + 32 }
+
 // RenderSection renders one section of the image and returns the chunk
 // plus the work statistics.
 func RenderSection(s *Scene, sec Section) (Chunk, Stats) {

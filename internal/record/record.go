@@ -176,6 +176,29 @@ func (r *Record) Tags() []string { return sortedKeysInt(r.tags) }
 // BTags returns the binding-tag labels in sorted order.
 func (r *Record) BTags() []string { return sortedKeysInt(r.btags) }
 
+// VisitFields calls fn for every field binding, in unspecified order. It
+// avoids the allocation and sort of Fields() for callers that only fold
+// over the bindings (such as the wire codec's size accounting).
+func (r *Record) VisitFields(fn func(label string, value any)) {
+	for k, v := range r.fields {
+		fn(k, v)
+	}
+}
+
+// VisitTags calls fn for every tag binding, in unspecified order.
+func (r *Record) VisitTags(fn func(label string, value int)) {
+	for k, v := range r.tags {
+		fn(k, v)
+	}
+}
+
+// VisitBTags calls fn for every binding-tag binding, in unspecified order.
+func (r *Record) VisitBTags(fn func(label string, value int)) {
+	for k, v := range r.btags {
+		fn(k, v)
+	}
+}
+
 // Copy returns a deep copy of the record's label structure. Field values
 // themselves are shared (they are opaque to the coordination layer, and
 // boxes are stateless, so sharing is safe as long as boxes treat inputs as

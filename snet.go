@@ -240,9 +240,18 @@ func CompileExpr(e Expr, reg *Registry) (*Entity, []string, error) {
 }
 
 // Cluster is the multi-node platform of Distributed S-Net: bounded CPU
-// slots per abstract node plus transfer accounting.
+// slots per abstract node, per-hop transfer accounting via the record wire
+// codec, and an optional transfer-cost model (latency plus bandwidth delay,
+// see Cluster.SetTransferCost) for exploring communication-bound regimes.
 type Cluster = dist.Cluster
 
+// ClusterStats is a snapshot of a cluster's accounting counters: per-node
+// execution counts and busy times, plus cross-node transfer and byte
+// totals.
+type ClusterStats = dist.Stats
+
 // NewCluster creates a cluster platform with the given number of nodes and
-// CPU slots per node.
+// CPU slots per node. Pass it as Options.Platform to place a network onto
+// the cluster; the placement combinators At and SplitAt decide which node
+// each subnetwork runs on.
 func NewCluster(nodes, cpusPerNode int) *Cluster { return dist.NewCluster(nodes, cpusPerNode) }
