@@ -408,16 +408,17 @@ func compileFilterRule(rule *lang.FilterRuleAST) (core.FilterRule, error) {
 			case lang.OutAssignTag:
 				expr := compileTagExpr(it.Expr)
 				name := it.Name
+				id := record.Intern(name)
 				var full core.TagExpr
 				switch it.AddOp {
 				case lang.PlusEq:
 					full = func(r *record.Record) int {
-						v, _ := r.Tag(name)
+						v, _ := r.TagSym(id)
 						return v + expr(r)
 					}
 				case lang.MinusEq:
 					full = func(r *record.Record) int {
-						v, _ := r.Tag(name)
+						v, _ := r.TagSym(id)
 						return v - expr(r)
 					}
 				default:
@@ -443,9 +444,11 @@ func compileTagExpr(e lang.TagExprAST) core.TagExpr {
 		v := x.Val
 		return func(*record.Record) int { return v }
 	case *lang.TagRef:
-		name := x.Name
+		// Tag references are interned at compile time: guard and template
+		// evaluation per record is then a symbol scan, not a string lookup.
+		id := record.Intern(x.Name)
 		return func(r *record.Record) int {
-			v, _ := r.Tag(name)
+			v, _ := r.TagSym(id)
 			return v
 		}
 	case *lang.BinExpr:

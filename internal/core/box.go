@@ -13,6 +13,11 @@ import (
 // record that were not part of the matched input variant are transferred to
 // every emitted record (unless the box emitted an identically labelled
 // item, which overrides).
+//
+// A BoxCall is reused across the invocations of one box instance (boxes are
+// sequential per instance); a box function must not retain the BoxCall or
+// the input record beyond its own return — the same statelessness contract
+// that makes boxes relocatable.
 type BoxCall struct {
 	// In is the triggering input record. Boxes must treat it as
 	// read-only.
@@ -23,8 +28,8 @@ type BoxCall struct {
 	env      *Env
 	box      *boxImpl
 	pending  []*record.Record
-	consumeF map[string]bool
-	consumeT map[string]bool
+	consumeF []record.Sym
+	consumeT []record.Sym
 	emitted  int
 }
 
@@ -32,15 +37,41 @@ type BoxCall struct {
 // has already verified the matched variant's labels are present).
 func (c *BoxCall) Field(name string) any { return c.In.MustField(name) }
 
+// FieldSym returns the input field value by interned symbol; it panics when
+// absent. Boxes on hot paths intern their labels once and use this form.
+func (c *BoxCall) FieldSym(id record.Sym) any {
+	v, ok := c.In.FieldSym(id)
+	if !ok {
+		panic(fmt.Sprintf("record: field %q absent from %s", record.SymName(id), c.In))
+	}
+	return v
+}
+
 // Tag returns the input tag value; it panics when absent.
 func (c *BoxCall) Tag(name string) int { return c.In.MustTag(name) }
+
+// TagSym returns the input tag value by interned symbol; it panics when
+// absent.
+func (c *BoxCall) TagSym(id record.Sym) int {
+	v, ok := c.In.TagSym(id)
+	if !ok {
+		panic(fmt.Sprintf("record: tag <%s> absent from %s", record.SymName(id), c.In))
+	}
+	return v
+}
 
 // HasTag reports whether the input record carries the tag (useful for
 // optional, flow-inherited tags).
 func (c *BoxCall) HasTag(name string) bool { return c.In.HasTag(name) }
 
+// HasTagSym reports whether the input record carries the tag symbol.
+func (c *BoxCall) HasTagSym(id record.Sym) bool { return c.In.HasTagSym(id) }
+
 // HasField reports whether the input record carries the field.
 func (c *BoxCall) HasField(name string) bool { return c.In.HasField(name) }
+
+// HasFieldSym reports whether the input record carries the field symbol.
+func (c *BoxCall) HasFieldSym(id record.Sym) bool { return c.In.HasFieldSym(id) }
 
 // Node returns the abstract compute node this box execution runs on.
 func (c *BoxCall) Node() int { return c.env.node }
@@ -90,6 +121,12 @@ type boxImpl struct {
 // execution on the current platform node, and the box is only then ready
 // for the next record (boxes are sequential per instance, as in S-Net;
 // concurrency comes from replication and pipelining).
+//
+// The consumed-label sets used for flow inheritance are fixed here, at
+// construction time: each input variant's interned-symbol slices (built
+// once when the signature was constructed) are handed to the per-record
+// invocation as-is, so matching and inheritance allocate nothing per
+// record.
 func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 	b := &boxImpl{name: name, sig: sig, fn: fn}
 	return &Entity{
@@ -98,57 +135,68 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			go func() {
 				defer close(out)
+				// One reusable call context and one execution closure per
+				// box instance: boxes are sequential per instance, so both
+				// (including the pending-output buffer) are recycled across
+				// invocations rather than allocated per record.
+				call := &BoxCall{env: env, box: b}
+				run := func() {
+					defer func() {
+						if p := recover(); p != nil {
+							env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
+						}
+					}()
+					if err := b.fn(call); err != nil {
+						env.report(entityError(b.name, err))
+					}
+				}
 				for r := range in {
 					if !r.IsData() {
 						out <- r
 						continue
 					}
-					b.invoke(env, r, out)
+					b.invoke(call, run, r, out)
 				}
 			}()
 		},
 	}
 }
 
-// invoke runs one box execution for record r.
-func (b *boxImpl) invoke(env *Env, r *record.Record, out chan<- *record.Record) {
+// invoke runs one box execution for record r, reusing the instance's call
+// context and execution closure.
+func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out chan<- *record.Record) {
+	env := call.env
 	v, score := b.sig.In.BestMatch(r)
 	if score < 0 {
 		env.report(entityError(b.name, fmt.Errorf(
 			"record %s does not match input type %s", r, b.sig.In)))
 		return
 	}
-	call := &BoxCall{
-		In:       r,
-		Matched:  v,
-		env:      env,
-		box:      b,
-		consumeF: setOf(v.Fields()),
-		consumeT: setOf(v.Tags()),
-	}
-	env.exec(func() {
-		defer func() {
-			if p := recover(); p != nil {
-				env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
-			}
-		}()
-		if err := b.fn(call); err != nil {
-			env.report(entityError(b.name, err))
-		}
-	})
+	call.In = r
+	call.Matched = v
+	call.consumeF = v.FieldSyms()
+	call.consumeT = v.TagSyms()
+	call.emitted = 0
+	env.exec(run)
 	// Flush outside the platform slot: downstream backpressure must not
-	// hold a node CPU.
+	// hold a node CPU. The box consumed its input, so r is dead afterwards
+	// and returns to the pool — unless the body emitted the input record
+	// itself (identity-style bodies may).
+	reemitted := false
 	for _, o := range call.pending {
+		if o == r {
+			reemitted = true
+		}
 		out <- o
 	}
-}
-
-func setOf(names []string) map[string]bool {
-	m := make(map[string]bool, len(names))
-	for _, n := range names {
-		m[n] = true
+	// Recycle the pending buffer without retaining record references.
+	clear(call.pending)
+	call.pending = call.pending[:0]
+	call.In = nil
+	call.Matched = nil
+	if !reemitted {
+		recycle(r)
 	}
-	return m
 }
 
 // MustSig is a convenience for building a single-input-variant signature:

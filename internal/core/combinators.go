@@ -9,16 +9,25 @@ import (
 )
 
 // Serial builds the serial composition A..B: the output stream of a becomes
-// the input stream of b, so the two operate in pipeline mode.
+// the input stream of b, so the two operate in pipeline mode. An identity
+// operand is elided at instantiation time: [] .. B and A .. [] cost no
+// extra channel or goroutine.
 func Serial(a, b *Entity) *Entity {
 	return &Entity{
-		name: fmt.Sprintf("(%s..%s)", a.name, b.name),
-		sig:  rtype.NewSignature(a.sig.In, b.sig.Out),
-		kids: []*Entity{a, b},
+		nameFn: func() string { return "(" + a.Name() + ".." + b.Name() + ")" },
+		sig:    rtype.NewSignature(a.sig.In, b.sig.Out),
+		kids:   []*Entity{a, b},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			mid := env.newChan()
-			a.spawn(env, in, mid)
-			b.spawn(env, mid, out)
+			switch {
+			case a.identity:
+				b.spawn(env, in, out)
+			case b.identity:
+				a.spawn(env, in, out)
+			default:
+				mid := env.newChan()
+				a.spawn(env, in, mid)
+				b.spawn(env, mid, out)
+			}
 		},
 	}
 }
@@ -46,73 +55,105 @@ func Choice(branches ...*Entity) *Entity {
 	if len(branches) == 1 {
 		return branches[0]
 	}
-	name := "("
 	inT := rtype.NewType()
 	outT := rtype.NewType()
-	for i, b := range branches {
-		if i > 0 {
-			name += "|"
-		}
-		name += b.name
+	for _, b := range branches {
 		inT = inT.Union(b.sig.In)
 		outT = outT.Union(b.sig.Out)
 	}
-	name += ")"
-	return &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, outT),
-		kids: branches,
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			ins := make([]chan *record.Record, len(branches))
-			coll := newCollector(out, len(branches))
-			for i, b := range branches {
-				ins[i] = env.newChan()
-				bo := env.newChan()
-				b.spawn(env, ins[i], bo)
-				go coll.drainInto(bo)
+	e := &Entity{
+		nameFn: func() string { return combName(branches, "|") },
+		sig:    rtype.NewSignature(inT, outT),
+		kids:   branches,
+	}
+	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		// Identity branches (the paper's ubiquitous [] bypass) are
+		// elided: the dispatcher forwards their records straight to
+		// the merged output instead of paying two channels and two
+		// goroutines per instantiation. ins[i] == nil marks an elided
+		// branch.
+		ins := make([]chan *record.Record, len(branches))
+		spawned := 0
+		for _, b := range branches {
+			if !b.identity {
+				spawned++
 			}
-			go func() {
-				rr := 0 // round-robin cursor for tie-breaking
-				for r := range in {
-					if !r.IsData() {
+		}
+		coll := newCollector(out, spawned+1) // +1: the dispatcher
+		for i, b := range branches {
+			if b.identity {
+				continue
+			}
+			ins[i] = env.newChan()
+			bo := env.newChan()
+			b.spawn(env, ins[i], bo)
+			go coll.drainInto(bo)
+		}
+		go func() {
+			defer coll.done()
+			rr := 0 // round-robin cursor for tie-breaking
+			for r := range in {
+				if !r.IsData() {
+					if ins[0] == nil {
+						coll.send(r)
+					} else {
 						ins[0] <- r
-						continue
 					}
-					best, bestScore, ties := -1, -1, 0
+					continue
+				}
+				best, bestScore, ties := -1, -1, 0
+				for i, b := range branches {
+					if _, s := b.sig.In.BestMatch(r); s > bestScore {
+						best, bestScore, ties = i, s, 1
+					} else if s == bestScore && s >= 0 {
+						ties++
+					}
+				}
+				if best < 0 {
+					env.report(entityError(e.Name(), fmt.Errorf(
+						"record %s matches no branch input type", r)))
+					continue
+				}
+				if ties > 1 {
+					// pick the (rr mod ties)-th among the tied branches
+					k := rr % ties
+					rr++
 					for i, b := range branches {
-						if _, s := b.sig.In.BestMatch(r); s > bestScore {
-							best, bestScore, ties = i, s, 1
-						} else if s == bestScore && s >= 0 {
-							ties++
-						}
-					}
-					if best < 0 {
-						env.report(entityError(name, fmt.Errorf(
-							"record %s matches no branch input type", r)))
-						continue
-					}
-					if ties > 1 {
-						// pick the (rr mod ties)-th among the tied branches
-						k := rr % ties
-						rr++
-						for i, b := range branches {
-							if _, s := b.sig.In.BestMatch(r); s == bestScore {
-								if k == 0 {
-									best = i
-									break
-								}
-								k--
+						if _, s := b.sig.In.BestMatch(r); s == bestScore {
+							if k == 0 {
+								best = i
+								break
 							}
+							k--
 						}
 					}
+				}
+				if ins[best] == nil {
+					coll.send(r)
+				} else {
 					ins[best] <- r
 				}
-				for _, c := range ins {
+			}
+			for _, c := range ins {
+				if c != nil {
 					close(c)
 				}
-			}()
-		},
+			}
+		}()
 	}
+	return e
+}
+
+// combName renders a combinator name like (a|b|c) lazily.
+func combName(branches []*Entity, sep string) string {
+	name := "("
+	for i, b := range branches {
+		if i > 0 {
+			name += sep
+		}
+		name += b.Name()
+	}
+	return name + ")"
 }
 
 // Star builds the serial replication A*exit, conceptually an infinite chain
@@ -123,9 +164,9 @@ func Choice(branches ...*Entity) *Entity {
 func Star(a *Entity, exit *rtype.Pattern) *Entity {
 	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
 	return &Entity{
-		name: fmt.Sprintf("(%s*%s)", a.name, exit),
-		sig:  rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
-		kids: []*Entity{a},
+		nameFn: func() string { return fmt.Sprintf("(%s*%s)", a.Name(), exit) },
+		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
+		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			coll := newCollector(out, 1)
 			go starStage(env, a, exit, in, coll)
@@ -163,7 +204,8 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Recor
 // record must carry the tag and is routed to the replica selected by its
 // value. Outputs merge nondeterministically.
 func Split(a *Entity, tag string) *Entity {
-	return splitImpl(a, tag, fmt.Sprintf("(%s!<%s>)", a.name, tag), nil)
+	return splitImpl(a, tag,
+		func() string { return fmt.Sprintf("(%s!<%s>)", a.Name(), tag) }, nil)
 }
 
 // SplitAt builds the indexed dynamic placement A!@<tag> from Distributed
@@ -172,7 +214,8 @@ func Split(a *Entity, tag string) *Entity {
 // and records are accounted as transferred to that node on entry and back
 // on exit.
 func SplitAt(a *Entity, tag string) *Entity {
-	return splitImpl(a, tag, fmt.Sprintf("(%s!@<%s>)", a.name, tag),
+	return splitImpl(a, tag,
+		func() string { return fmt.Sprintf("(%s!@<%s>)", a.Name(), tag) },
 		func(env *Env, v int) int {
 			n := env.Nodes()
 			if n <= 0 {
@@ -184,7 +227,7 @@ func SplitAt(a *Entity, tag string) *Entity {
 
 // splitImpl implements both Split and SplitAt; nodeFor is nil for the
 // non-placing variant.
-func splitImpl(a *Entity, tag, name string, nodeFor func(*Env, int) int) *Entity {
+func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, int) int) *Entity {
 	// The input type is A's input type with the index tag added to every
 	// variant (every incoming record must carry the tag).
 	inT := rtype.NewType()
@@ -194,63 +237,65 @@ func splitImpl(a *Entity, tag, name string, nodeFor func(*Env, int) int) *Entity
 	if inT.NumVariants() == 0 {
 		inT.AddVariant(rtype.NewVariant(rtype.T(tag)))
 	}
-	return &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, a.sig.Out),
-		kids: []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			coll := newCollector(out, 1)
-			go func() {
-				defer coll.done()
-				instances := make(map[int]chan *record.Record)
-				for r := range in {
-					if !r.IsData() {
-						coll.send(r)
-						continue
-					}
-					v, ok := r.Tag(tag)
-					if !ok {
-						env.report(entityError(name, fmt.Errorf(
-							"record %s lacks index tag <%s>", r, tag)))
-						continue
-					}
-					instIn, ok := instances[v]
-					if !ok {
-						instIn = env.newChan()
-						instances[v] = instIn
-						instEnv := env
-						if nodeFor != nil {
-							instEnv = env.At(nodeFor(env, v))
-						}
-						instOut := env.newChan()
-						a.spawn(instEnv, instIn, instOut)
-						coll.add(1)
-						if nodeFor != nil {
-							// Account the return path: records leaving the
-							// replica travel back to the split's node.
-							back := instEnv
-							go func() {
-								defer coll.done()
-								for o := range instOut {
-									env.transfer(back.node, env.node, o)
-									coll.send(o)
-								}
-							}()
-						} else {
-							go coll.drainInto(instOut)
-						}
-					}
-					if nodeFor != nil {
-						env.transfer(env.node, nodeFor(env, v), r)
-					}
-					instIn <- r
-				}
-				for _, c := range instances {
-					close(c)
-				}
-			}()
-		},
+	tagSym := record.Intern(tag)
+	e := &Entity{
+		nameFn: nameFn,
+		sig:    rtype.NewSignature(inT, a.sig.Out),
+		kids:   []*Entity{a},
 	}
+	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		coll := newCollector(out, 1)
+		go func() {
+			defer coll.done()
+			instances := make(map[int]chan *record.Record)
+			for r := range in {
+				if !r.IsData() {
+					coll.send(r)
+					continue
+				}
+				v, ok := r.TagSym(tagSym)
+				if !ok {
+					env.report(entityError(e.Name(), fmt.Errorf(
+						"record %s lacks index tag <%s>", r, tag)))
+					continue
+				}
+				instIn, ok := instances[v]
+				if !ok {
+					instIn = env.newChan()
+					instances[v] = instIn
+					instEnv := env
+					if nodeFor != nil {
+						instEnv = env.At(nodeFor(env, v))
+					}
+					instOut := env.newChan()
+					a.spawn(instEnv, instIn, instOut)
+					coll.add(1)
+					if nodeFor != nil {
+						// Account the return path: records leaving the
+						// replica travel back to the split's node.
+						back := instEnv
+						go func() {
+							defer coll.done()
+							for o := range instOut {
+								env.transfer(back.node, env.node, o)
+								coll.send(o)
+							}
+						}()
+					} else {
+						go coll.drainInto(instOut)
+					}
+				}
+				if nodeFor != nil {
+					env.transfer(env.node, nodeFor(env, v), r)
+				}
+				instIn <- r
+			}
+			for _, c := range instances {
+				close(c)
+			}
+		}()
+	}
+	return e
 }
 
 // At builds the static placement A@node from Distributed S-Net: the operand
@@ -258,9 +303,9 @@ func splitImpl(a *Entity, tag, name string, nodeFor func(*Env, int) int) *Entity
 // to that node on entry and back on exit.
 func At(a *Entity, node int) *Entity {
 	return &Entity{
-		name: fmt.Sprintf("(%s@%d)", a.name, node),
-		sig:  a.sig,
-		kids: []*Entity{a},
+		nameFn: func() string { return fmt.Sprintf("(%s@%d)", a.Name(), node) },
+		sig:    a.sig,
+		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			target := node
 			if n := env.Nodes(); n > 0 {
@@ -296,9 +341,9 @@ func At(a *Entity, node int) *Entity {
 func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
 	return &Entity{
-		name: fmt.Sprintf("(%s*fb%s)", a.name, exit),
-		sig:  rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
-		kids: []*Entity{a},
+		nameFn: func() string { return fmt.Sprintf("(%s*fb%s)", a.Name(), exit) },
+		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
+		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			instIn := env.newChan()
 			instOut := env.newChan()

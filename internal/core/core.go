@@ -165,14 +165,34 @@ type SpawnFunc func(env *Env, in <-chan *record.Record, out chan<- *record.Recor
 // network built from combinators. Entities are immutable descriptions and
 // may be instantiated any number of times.
 type Entity struct {
-	name  string
+	// name is the materialized diagnostic name; nameFn computes it on
+	// first use. Combinator names compose their operands' names, so eager
+	// construction is quadratic-ish string building per compile — names
+	// are only needed for diagnostics (Describe, runtime errors), so they
+	// stay latent until asked for.
+	name     string
+	nameFn   func() string
+	nameOnce sync.Once
+
 	sig   rtype.Signature
 	kids  []*Entity
 	spawn SpawnFunc
+	// identity marks the identity filter []: a pure pass-through that
+	// combinators may elide at instantiation time (no channels, no
+	// goroutine) without changing network semantics.
+	identity bool
 }
 
 // Name returns the entity's diagnostic name.
-func (e *Entity) Name() string { return e.name }
+func (e *Entity) Name() string {
+	e.nameOnce.Do(func() {
+		if e.nameFn != nil {
+			e.name = e.nameFn()
+			e.nameFn = nil
+		}
+	})
+	return e.name
+}
 
 // Signature returns the entity's (declared or inferred) type signature.
 func (e *Entity) Signature() rtype.Signature { return e.sig }
@@ -191,7 +211,7 @@ func (e *Entity) Describe() string {
 		for i := 0; i < depth; i++ {
 			b = append(b, ' ', ' ')
 		}
-		b = append(b, ent.name...)
+		b = append(b, ent.Name()...)
 		b = append(b, "  :: "...)
 		b = append(b, ent.sig.String()...)
 		b = append(b, '\n')

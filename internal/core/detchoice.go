@@ -14,6 +14,10 @@ import (
 // label.
 const seqTag = "__snet_seq"
 
+// seqTagSym is the interned form, fixed at init so stamping and stripping
+// the sequence tag never touches the symbol table's string index.
+var seqTagSym = record.Intern(seqTag)
+
 // DetChoice builds the deterministic parallel composition A||B||...:
 // records are dispatched exactly like Choice, but the output stream
 // preserves the input order — all outputs descending from input record i
@@ -34,82 +38,77 @@ func DetChoice(branches ...*Entity) *Entity {
 	if len(branches) == 1 {
 		return branches[0]
 	}
-	name := "("
 	inT := rtype.NewType()
 	outT := rtype.NewType()
-	for i, b := range branches {
-		if i > 0 {
-			name += "||"
-		}
-		name += b.name
+	for _, b := range branches {
 		inT = inT.Union(b.sig.In)
 		outT = outT.Union(b.sig.Out)
 	}
-	name += ")"
-	return &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, outT),
-		kids: branches,
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			events := make(chan detEvent, max(0, env.opts.BufferSize)+len(branches))
-			ins := make([]chan *record.Record, len(branches))
-			for i, b := range branches {
-				ins[i] = env.newChan()
-				bo := env.newChan()
-				b.spawn(env, ins[i], bo)
-				go detPump(i, bo, events)
-			}
-			go runDetMerger(events, out)
-			go func() {
-				rr := 0
-				seq := 0
-				for r := range in {
-					if !r.IsData() {
-						// Control records take a sequence slot of their
-						// own and complete immediately.
-						events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
-						events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
-						seq++
-						continue
-					}
-					best, bestScore, ties := -1, -1, 0
-					for i, b := range branches {
-						if _, s := b.sig.In.BestMatch(r); s > bestScore {
-							best, bestScore, ties = i, s, 1
-						} else if s == bestScore && s >= 0 {
-							ties++
-						}
-					}
-					if best < 0 {
-						env.report(entityError(name, fmt.Errorf(
-							"record %s matches no branch input type", r)))
-						continue
-					}
-					if ties > 1 {
-						k := rr % ties
-						rr++
-						for i, b := range branches {
-							if _, s := b.sig.In.BestMatch(r); s == bestScore {
-								if k == 0 {
-									best = i
-									break
-								}
-								k--
-							}
-						}
-					}
-					r.SetTag(seqTag, seq)
-					events <- detEvent{kind: evAssign, key: best, seq: seq}
-					seq++
-					ins[best] <- r
-				}
-				for _, c := range ins {
-					close(c)
-				}
-				events <- detEvent{kind: evNoMoreKeys, seq: len(branches)}
-			}()
-		},
+	e := &Entity{
+		nameFn: func() string { return combName(branches, "||") },
+		sig:    rtype.NewSignature(inT, outT),
+		kids:   branches,
 	}
+	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		events := make(chan detEvent, max(0, env.opts.BufferSize)+len(branches))
+		ins := make([]chan *record.Record, len(branches))
+		for i, b := range branches {
+			ins[i] = env.newChan()
+			bo := env.newChan()
+			b.spawn(env, ins[i], bo)
+			go detPump(i, bo, events)
+		}
+		go runDetMerger(events, out)
+		go func() {
+			rr := 0
+			seq := 0
+			for r := range in {
+				if !r.IsData() {
+					// Control records take a sequence slot of their
+					// own and complete immediately.
+					events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
+					events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+					seq++
+					continue
+				}
+				best, bestScore, ties := -1, -1, 0
+				for i, b := range branches {
+					if _, s := b.sig.In.BestMatch(r); s > bestScore {
+						best, bestScore, ties = i, s, 1
+					} else if s == bestScore && s >= 0 {
+						ties++
+					}
+				}
+				if best < 0 {
+					env.report(entityError(e.Name(), fmt.Errorf(
+						"record %s matches no branch input type", r)))
+					continue
+				}
+				if ties > 1 {
+					k := rr % ties
+					rr++
+					for i, b := range branches {
+						if _, s := b.sig.In.BestMatch(r); s == bestScore {
+							if k == 0 {
+								best = i
+								break
+							}
+							k--
+						}
+					}
+				}
+				r.SetTagSym(seqTagSym, seq)
+				events <- detEvent{kind: evAssign, key: best, seq: seq}
+				seq++
+				ins[best] <- r
+			}
+			for _, c := range ins {
+				close(c)
+			}
+			events <- detEvent{kind: evNoMoreKeys, seq: len(branches)}
+		}()
+	}
+	return e
 }
 
 // DetSplit builds the deterministic indexed parallel replication A!!<tag>:
@@ -124,52 +123,53 @@ func DetSplit(a *Entity, tag string) *Entity {
 	if inT.NumVariants() == 0 {
 		inT.AddVariant(rtype.NewVariant(rtype.T(tag)))
 	}
-	name := fmt.Sprintf("(%s!!<%s>)", a.name, tag)
-	return &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, a.sig.Out),
-		kids: []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			events := make(chan detEvent, max(0, env.opts.BufferSize)+4)
-			go runDetMerger(events, out)
-			go func() {
-				instances := make(map[int]chan *record.Record)
-				// Dense instance ids keep merger keys distinct from the
-				// reserved control key even for negative tag values.
-				ids := make(map[int]int)
-				seq := 0
-				for r := range in {
-					if !r.IsData() {
-						events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
-						events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
-						seq++
-						continue
-					}
-					v, ok := r.Tag(tag)
-					if !ok {
-						env.report(entityError(name, fmt.Errorf(
-							"record %s lacks index tag <%s>", r, tag)))
-						continue
-					}
-					instIn, ok := instances[v]
-					if !ok {
-						instIn = env.newChan()
-						instances[v] = instIn
-						ids[v] = len(ids)
-						instOut := env.newChan()
-						a.spawn(env, instIn, instOut)
-						go detPump(ids[v], instOut, events)
-					}
-					r.SetTag(seqTag, seq)
-					events <- detEvent{kind: evAssign, key: ids[v], seq: seq}
-					seq++
-					instIn <- r
-				}
-				for _, c := range instances {
-					close(c)
-				}
-				events <- detEvent{kind: evNoMoreKeys, seq: len(instances)}
-			}()
-		},
+	tagSym := record.Intern(tag)
+	e := &Entity{
+		nameFn: func() string { return fmt.Sprintf("(%s!!<%s>)", a.Name(), tag) },
+		sig:    rtype.NewSignature(inT, a.sig.Out),
+		kids:   []*Entity{a},
 	}
+	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		events := make(chan detEvent, max(0, env.opts.BufferSize)+4)
+		go runDetMerger(events, out)
+		go func() {
+			instances := make(map[int]chan *record.Record)
+			// Dense instance ids keep merger keys distinct from the
+			// reserved control key even for negative tag values.
+			ids := make(map[int]int)
+			seq := 0
+			for r := range in {
+				if !r.IsData() {
+					events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
+					events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+					seq++
+					continue
+				}
+				v, ok := r.TagSym(tagSym)
+				if !ok {
+					env.report(entityError(e.Name(), fmt.Errorf(
+						"record %s lacks index tag <%s>", r, tag)))
+					continue
+				}
+				instIn, ok := instances[v]
+				if !ok {
+					instIn = env.newChan()
+					instances[v] = instIn
+					ids[v] = len(ids)
+					instOut := env.newChan()
+					a.spawn(env, instIn, instOut)
+					go detPump(ids[v], instOut, events)
+				}
+				r.SetTagSym(seqTagSym, seq)
+				events <- detEvent{kind: evAssign, key: ids[v], seq: seq}
+				seq++
+				instIn <- r
+			}
+			for _, c := range instances {
+				close(c)
+			}
+			events <- detEvent{kind: evNoMoreKeys, seq: len(instances)}
+		}()
+	}
+	return e
 }

@@ -151,9 +151,9 @@ func detPump(key int, bo <-chan *record.Record, events chan<- detEvent) {
 	for r := range bo {
 		seq := -1
 		if r.IsData() {
-			if s, ok := r.Tag(seqTag); ok {
+			if s, ok := r.TagSym(seqTagSym); ok {
 				seq = s
-				r.DeleteTag(seqTag)
+				r.DeleteTagSym(seqTagSym)
 			}
 		}
 		events <- detEvent{kind: evOutput, key: key, seq: seq, rec: r}

@@ -51,13 +51,66 @@ type FilterRule struct {
 	Outputs []FilterOutput
 }
 
+// compiledOutput is a FilterOutput with every label interned, fixed at
+// NewFilter time so applying the template is pure symbol work.
+type compiledOutput struct {
+	copyFields []record.Sym
+	copyTags   []record.Sym
+	setTags    []compiledAssign
+	renames    []compiledRename
+}
+
+type compiledAssign struct {
+	id   record.Sym
+	expr TagExpr
+}
+
+type compiledRename struct {
+	from, to record.Sym
+}
+
+// compiledRule is a FilterRule lowered to interned symbols: the consumed
+// sets come straight from the pattern variant's symbol slices (no per-record
+// set construction), and templates address labels by symbol.
+type compiledRule struct {
+	pattern   *rtype.Pattern
+	consumedF []record.Sym
+	consumedT []record.Sym
+	outputs   []compiledOutput
+}
+
+func compileRule(rule FilterRule) compiledRule {
+	cr := compiledRule{
+		pattern:   rule.Pattern,
+		consumedF: rule.Pattern.Variant.FieldSyms(),
+		consumedT: rule.Pattern.Variant.TagSyms(),
+	}
+	for _, o := range rule.Outputs {
+		var co compiledOutput
+		for _, f := range o.CopyFields {
+			co.copyFields = append(co.copyFields, record.Intern(f))
+		}
+		for _, t := range o.CopyTags {
+			co.copyTags = append(co.copyTags, record.Intern(t))
+		}
+		for _, a := range o.SetTags {
+			co.setTags = append(co.setTags, compiledAssign{id: record.Intern(a.Name), expr: a.Expr})
+		}
+		for _, rn := range o.RenameFields {
+			co.renames = append(co.renames, compiledRename{
+				from: record.Intern(rn.From), to: record.Intern(rn.To)})
+		}
+		cr.outputs = append(cr.outputs, co)
+	}
+	return cr
+}
+
 // NewFilter builds a filter entity from match rules. A record is processed
 // by the first rule whose pattern it matches; a record matching no rule is
-// a runtime type error. The identity filter [] is Identity.
+// a runtime type error. The identity filter [] is Identity. Rules are
+// lowered to interned-symbol form here, once, so the per-record work is
+// symbol scans and entry copies only.
 func NewFilter(name string, rules ...FilterRule) *Entity {
-	if name == "" {
-		name = describeFilter(rules)
-	}
 	inT := rtype.NewType()
 	outT := rtype.NewType()
 	for _, rule := range rules {
@@ -79,58 +132,70 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 			outT.AddVariant(v)
 		}
 	}
-	return &Entity{
+	compiled := make([]compiledRule, len(rules))
+	for i, rule := range rules {
+		compiled[i] = compileRule(rule)
+	}
+	e := &Entity{
 		name: name,
 		sig:  rtype.NewSignature(inT, outT),
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			go func() {
-				defer close(out)
-				for r := range in {
-					if !r.IsData() {
-						out <- r
-						continue
-					}
-					applyFilter(env, name, rules, r, out)
-				}
-			}()
-		},
 	}
+	if name == "" {
+		// The S-Net-ish rendering of the rules is pure diagnostics; defer
+		// building it until someone asks.
+		e.nameFn = func() string { return describeFilter(rules) }
+	}
+	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		go func() {
+			defer close(out)
+			for r := range in {
+				if !r.IsData() {
+					out <- r
+					continue
+				}
+				applyFilter(env, e, compiled, r, out)
+			}
+		}()
+	}
+	return e
 }
 
 // applyFilter processes one record through the first matching rule.
-func applyFilter(env *Env, name string, rules []FilterRule, r *record.Record, out chan<- *record.Record) {
-	for _, rule := range rules {
-		if !rule.Pattern.Matches(r) {
+func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, out chan<- *record.Record) {
+	for i := range rules {
+		rule := &rules[i]
+		if !rule.pattern.Matches(r) {
 			continue
 		}
-		consumedF := setOf(rule.Pattern.Variant.Fields())
-		consumedT := setOf(rule.Pattern.Variant.Tags())
-		for _, o := range rule.Outputs {
-			nr := record.New()
-			for _, f := range o.CopyFields {
-				if v, ok := r.Field(f); ok {
-					nr.SetField(f, v)
+		for _, o := range rule.outputs {
+			nr := recordPool.Get()
+			for _, f := range o.copyFields {
+				if v, ok := r.FieldSym(f); ok {
+					nr.SetFieldSym(f, v)
 				}
 			}
-			for _, rn := range o.RenameFields {
-				if v, ok := r.Field(rn.From); ok {
-					nr.SetField(rn.To, v)
+			for _, rn := range o.renames {
+				if v, ok := r.FieldSym(rn.from); ok {
+					nr.SetFieldSym(rn.to, v)
 				}
 			}
-			for _, t := range o.CopyTags {
-				if v, ok := r.Tag(t); ok {
-					nr.SetTag(t, v)
+			for _, t := range o.copyTags {
+				if v, ok := r.TagSym(t); ok {
+					nr.SetTagSym(t, v)
 				}
 			}
-			for _, a := range o.SetTags {
-				nr.SetTag(a.Name, a.Expr(r))
+			for _, a := range o.setTags {
+				nr.SetTagSym(a.id, a.expr(r))
 			}
-			nr.InheritFromExcept(r, consumedF, consumedT)
+			nr.InheritFromExcept(r, rule.consumedF, rule.consumedT)
 			out <- nr
 		}
+		// The input was consumed by the rule (outputs are fresh records);
+		// recycle it.
+		recycle(r)
 		return
 	}
-	env.report(entityError(name, fmt.Errorf(
+	env.report(entityError(e.Name(), fmt.Errorf(
 		"record %s matches no filter rule", r)))
 }
 
@@ -141,8 +206,9 @@ func applyFilter(env *Env, name string, rules []FilterRule, r *record.Record, ou
 func Identity() *Entity {
 	empty := rtype.NewType(rtype.NewVariant())
 	return &Entity{
-		name: "[]",
-		sig:  rtype.NewSignature(empty, empty),
+		name:     "[]",
+		sig:      rtype.NewSignature(empty, empty),
+		identity: true,
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			go pump(in, out)
 		},

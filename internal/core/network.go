@@ -29,7 +29,9 @@ func (n *Network) Entity() *Entity { return n.entity }
 // Instance is one running instantiation of a Network.
 type Instance struct {
 	// In is the network's global input stream. Close it to initiate
-	// orderly shutdown.
+	// orderly shutdown. Sending a record transfers its ownership to the
+	// network — the runtime recycles records it consumes, so the caller
+	// must not touch a record after sending it (see Run).
 	In chan<- *record.Record
 	// Out is the network's global output stream. It is closed after the
 	// network has fully drained.
@@ -56,6 +58,13 @@ func (i *Instance) Err() error {
 // Run feeds the input records into a fresh instantiation of the network,
 // closes the input, and collects the complete output. It returns the
 // outputs in arrival order together with any runtime errors.
+//
+// Run takes ownership of the input records — the stream single-owner rule.
+// The runtime recycles records it consumes (box triggers, filter inputs,
+// synchrocell merges), so a caller must not reuse records after feeding
+// them in; build fresh ones per run, or draw them from a record.Pool and
+// return the outputs to it. Ownership of the returned records is the
+// caller's.
 func (n *Network) Run(inputs ...*record.Record) ([]*record.Record, error) {
 	inst := n.Start()
 	go func() {

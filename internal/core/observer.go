@@ -31,13 +31,15 @@ func (d ObserveDirection) String() string {
 // facility for inspecting record traffic without touching the network's
 // semantics: fn is invoked for every record entering and leaving the
 // operand, in stream order per direction. The callback must treat the
-// record as read-only and must not retain it. Observation does not change
-// routing, typing or ordering.
+// record as read-only and must not retain it past its own return: once a
+// record flows on, the consuming entity may recycle it, after which a
+// stashed pointer would observe unrelated contents. Observation does not
+// change routing, typing or ordering.
 func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity {
 	return &Entity{
-		name: fmt.Sprintf("observe(%s)", a.name),
-		sig:  a.sig,
-		kids: []*Entity{a},
+		nameFn: func() string { return fmt.Sprintf("observe(%s)", a.Name()) },
+		sig:    a.sig,
+		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			innerIn := env.newChan()
 			innerOut := env.newChan()

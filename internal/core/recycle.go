@@ -1,0 +1,26 @@
+package core
+
+import "snet/internal/record"
+
+// recordPool recycles records the runtime consumes, so steady-state
+// pipelines approach zero record allocations: a box's triggering record is
+// dead once the execution has flushed (boxes consume their input — S-Net
+// semantics), a rule filter's input is dead once its output templates have
+// fired, and a synchrocell's stored records are dead once merged into the
+// released record. Those are exactly the points where the runtime is the
+// single owner, so recycling is invisible to user code as long as boxes
+// honor the documented contract (treat BoxCall.In as read-only, do not
+// retain records after emitting them).
+//
+// Field values are never recycled — they are opaque and flow by reference
+// into emitted records; only the label-entry storage is reset.
+var recordPool = record.NewPool()
+
+// recycle returns a dead record to the pool.
+func recycle(r *record.Record) { recordPool.Put(r) }
+
+// NewRecord returns an empty data record drawn from the runtime's record
+// pool; emit it like any other record. Box bodies that build their outputs
+// with NewRecord let the network recycle label storage end to end instead
+// of allocating per message.
+func (c *BoxCall) NewRecord() *record.Record { return recordPool.Get() }

@@ -31,10 +31,9 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 		merged = merged.Union(p.Variant)
 	}
 	outT := inT.Union(rtype.NewType(merged))
-	name := syncName(patterns)
 	return &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, outT),
+		nameFn: func() string { return syncName(patterns) },
+		sig:    rtype.NewSignature(inT, outT),
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			go func() {
 				defer close(out)
@@ -69,6 +68,12 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 							m.Merge(s)
 						}
 						fired = true
+						// The stored records died in the merge; recycle
+						// them (field values flow on by reference).
+						for i, s := range stored {
+							recycle(s)
+							stored[i] = nil
+						}
 						out <- m
 					}
 				}

@@ -167,12 +167,19 @@ func appendValue(buf []byte, label string, v any) ([]byte, error) {
 }
 
 // Unmarshal decodes a record encoded by Marshal. The wire format keeps one
-// integer kind, so int and int64 field values both decode as int.
+// integer kind, so int and int64 field values both decode as int. Version 2
+// buffers (Codec) are accepted as long as they are self-contained, i.e.
+// every label carries its inline definition — true of the first record a
+// fresh Codec marshals; later records of a negotiated stream need the
+// receiving link's Codec.Unmarshal.
 func Unmarshal(data []byte) (*record.Record, error) {
 	d := &decoder{buf: data}
 	version, err := d.byte()
 	if err != nil {
 		return nil, err
+	}
+	if version == codecVersion2 {
+		return unmarshalV2(data, make(map[uint64]string))
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion)

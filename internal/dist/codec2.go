@@ -1,0 +1,350 @@
+// Wire format v2: interned labels against a negotiated per-link table.
+//
+// Version 1 (codec.go) ships every label as its full string on every
+// record. Version 2 exploits the runtime's interned-label representation
+// (record.Sym): each side of a link keeps a label table, and a label
+// crosses the wire as a varint symbol reference — its name travels exactly
+// once per link, inline with the first record that uses it. For the
+// steady-state traffic of a pipeline (thousands of records over a fixed
+// label vocabulary) the per-record label cost drops from len(name)+2 bytes
+// to one or two bytes, which is the wire-size reduction the Cluster's
+// transfer accounting charges.
+//
+// Symbols are process-local, so the encoder writes its own record.Sym
+// values and the decoder resolves them purely through the negotiated
+// table; the two processes never need to agree on symbol numbering. A
+// Codec is one direction of one link: pair the sender's Codec with the
+// receiver's, and feed them the same record sequence.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"snet/internal/record"
+)
+
+// codecVersion2 is the interned-label wire format version byte.
+const codecVersion2 = 2
+
+// Codec is a stateful encoder/decoder for one direction of one link. The
+// zero value is ready to use. All methods are safe for concurrent use (the
+// Cluster shares per-link codecs between transferring goroutines).
+type Codec struct {
+	mu    sync.Mutex
+	sent  []bool            // encoder side: sym already defined to the peer
+	names map[uint64]string // decoder side: wire sym -> label name
+}
+
+// NewCodec returns a fresh link codec with an empty negotiated table.
+func NewCodec() *Codec { return &Codec{} }
+
+// knows reports and records whether the symbol has been defined on this
+// link; the first call for a symbol returns false and marks it defined.
+// Callers hold c.mu.
+func (c *Codec) knows(id record.Sym) bool {
+	if int(id) >= len(c.sent) {
+		grown := make([]bool, int(id)+16)
+		copy(grown, c.sent)
+		c.sent = grown
+	}
+	if c.sent[id] {
+		return true
+	}
+	c.sent[id] = true
+	return false
+}
+
+// peek reports whether the symbol has been defined on this link without
+// changing the negotiation state. Callers hold c.mu.
+func (c *Codec) peek(id record.Sym) bool {
+	return int(id) < len(c.sent) && c.sent[id]
+}
+
+// sizer sizes one record's label references against a codec. In commit
+// mode it advances the codec's negotiation state exactly like writing
+// would; in predict mode it leaves the codec untouched and instead tracks
+// the names this record would define inline, so a name appearing in more
+// than one label class of the same record is charged once — matching what
+// Marshal actually emits.
+type sizer struct {
+	c       *Codec
+	commit  bool
+	defined []record.Sym // predict mode: defined earlier in this record
+}
+
+func (s *sizer) labelRefSize(id record.Sym) int {
+	ref := uint64(uint32(id)) << 1
+	var known bool
+	if s.commit {
+		known = s.c.knows(id)
+	} else {
+		known = s.c.peek(id)
+		if !known {
+			for _, d := range s.defined {
+				if d == id {
+					known = true
+					break
+				}
+			}
+			if !known {
+				s.defined = append(s.defined, id)
+			}
+		}
+	}
+	if known {
+		return uvarintLen(ref)
+	}
+	name := record.SymName(id)
+	return uvarintLen(ref|1) + uvarintLen(uint64(len(name))) + len(name)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// wireSerializable reports whether appendValue can encode the value,
+// including the size limits, so a Codec.Marshal that passes validation
+// cannot fail mid-encode.
+func wireSerializable(v any) bool {
+	switch d := v.(type) {
+	case nil, bool, int, int64, float64:
+		return true
+	case string:
+		return len(d) <= math.MaxUint32
+	case []byte:
+		return len(d) <= math.MaxUint32
+	default:
+		return false
+	}
+}
+
+// appendLabelRef writes one label reference, defining the name inline on
+// first use. Callers hold c.mu.
+func (c *Codec) appendLabelRef(buf []byte, id record.Sym) []byte {
+	ref := uint64(uint32(id)) << 1
+	if c.knows(id) {
+		return binary.AppendUvarint(buf, ref)
+	}
+	name := record.SymName(id)
+	buf = binary.AppendUvarint(buf, ref|1)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+// Size returns the wire size in bytes the next Marshal of r on this link
+// would produce, without changing the negotiated state — safe to combine
+// with a subsequent Marshal of the same record. Non-serializable field
+// values are sized by mpi.PayloadBytes, as in the stateless codec.
+func (c *Codec) Size(r *record.Record) int {
+	return c.size(r, false)
+}
+
+// Account sizes the record like Size but also commits the label
+// negotiation, exactly as if the record had been marshalled and shipped —
+// the first record that uses a label pays for its name, subsequent records
+// pay only the symbol reference. Cluster.Transfer uses Account for traffic
+// accounting of transfers that never materialize bytes. Mixing Account and
+// Marshal for the same logical send double-negotiates: use one or the
+// other per record.
+func (c *Codec) Account(r *record.Record) int {
+	return c.size(r, true)
+}
+
+func (c *Codec) size(r *record.Record, commit bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := sizer{c: c, commit: commit}
+	n := 8 // version, kind, three u16 label counts
+	r.VisitTagSyms(func(id record.Sym, _ int) {
+		n += s.labelRefSize(id) + 8
+	})
+	r.VisitBTagSyms(func(id record.Sym, _ int) {
+		n += s.labelRefSize(id) + 8
+	})
+	r.VisitFieldSyms(func(id record.Sym, v any) {
+		n += s.labelRefSize(id) + 1 + valueSize(v)
+	})
+	return n
+}
+
+// Marshal encodes a record in wire format v2 against the link's negotiated
+// label table. Like the stateless Marshal it fails on field values that are
+// not wire-serializable.
+func (c *Codec) Marshal(r *record.Record) ([]byte, error) {
+	if r.NumTags() > math.MaxUint16 || r.NumBTags() > math.MaxUint16 ||
+		r.NumFields() > math.MaxUint16 {
+		return nil, fmt.Errorf(
+			"dist: record with %d fields, %d tags, %d btags exceeds the wire limit of %d labels per kind",
+			r.NumFields(), r.NumTags(), r.NumBTags(), math.MaxUint16)
+	}
+	// Validate every field value before touching the negotiation state: a
+	// mid-encode failure after label definitions were marked as sent would
+	// desync the link (the peer never receives the dropped buffer).
+	var preErr error
+	r.VisitFieldSyms(func(id record.Sym, v any) {
+		if preErr == nil && !wireSerializable(v) {
+			preErr = fmt.Errorf("dist: field %q value of type %T is not wire-serializable",
+				record.SymName(id), v)
+		}
+	})
+	if preErr != nil {
+		return nil, preErr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, 0, 64)
+	buf = append(buf, codecVersion2, kData)
+	if !r.IsData() {
+		buf[1] = kTrigger
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumTags()))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumBTags()))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumFields()))
+	var tagErr error
+	appendTag := func(id record.Sym, v int) {
+		buf = c.appendLabelRef(buf, id)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	r.VisitTagSyms(appendTag)
+	r.VisitBTagSyms(appendTag)
+	r.VisitFieldSyms(func(id record.Sym, v any) {
+		if tagErr != nil {
+			return
+		}
+		buf = c.appendLabelRef(buf, id)
+		buf, tagErr = appendValue(buf, record.SymName(id), v)
+	})
+	if tagErr != nil {
+		return nil, tagErr
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a v2-encoded record, extending the link's label table
+// with any inline definitions. A symbol reference that was never defined on
+// this link is an error — the buffer belongs to a different link or records
+// were decoded out of order.
+func (c *Codec) Unmarshal(data []byte) (*record.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.names == nil {
+		c.names = make(map[uint64]string)
+	}
+	return unmarshalV2(data, c.names)
+}
+
+// unmarshalV2 decodes a v2 buffer against the given (mutable) label table.
+func unmarshalV2(data []byte, names map[uint64]string) (*record.Record, error) {
+	d := &decoder{buf: data}
+	version, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion2 {
+		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion2)
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	var r *record.Record
+	switch kind {
+	case kData:
+		r = record.New()
+	case kTrigger:
+		r = record.NewTrigger()
+	default:
+		return nil, fmt.Errorf("dist: unknown record kind %d", kind)
+	}
+	nTags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	nBTags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	nFields, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	label := func() (string, error) {
+		ref, err := d.uvarint()
+		if err != nil {
+			return "", err
+		}
+		sym := ref >> 1
+		if ref&1 == 0 {
+			name, ok := names[sym]
+			if !ok {
+				return "", fmt.Errorf("dist: undefined label symbol %d on this link", sym)
+			}
+			return name, nil
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return "", err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return "", err
+		}
+		name := string(b)
+		names[sym] = name
+		return name, nil
+	}
+	for i := 0; i < int(nTags); i++ {
+		k, err := label()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		r.SetTag(k, int(int64(v)))
+	}
+	for i := 0; i < int(nBTags); i++ {
+		k, err := label()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		r.SetBTag(k, int(int64(v)))
+	}
+	for i := 0; i < int(nFields); i++ {
+		k, err := label()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.value(k)
+		if err != nil {
+			return nil, err
+		}
+		r.SetField(k, v)
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("dist: %d trailing bytes after record", len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated varint at byte %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}

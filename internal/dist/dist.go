@@ -53,6 +53,13 @@ type Cluster struct {
 	trans atomic.Int64
 	bytes atomic.Int64
 
+	// links holds one wire codec per directed node pair, indexed
+	// from*nodes+to: transfers are sized against the link's negotiated
+	// label table, so a label name crosses each link once and steady-state
+	// records are charged interned-symbol prices (see codec2.go). The
+	// codecs live in one flat allocation; the zero Codec is ready to use.
+	links []Codec
+
 	// Transfer-cost model, fixed representation: latency per hop plus
 	// nanoseconds per byte. Both zero by default (accounting only).
 	latency  atomic.Int64 // ns per hop
@@ -76,6 +83,7 @@ func NewCluster(nodes, cpusPerNode int) *Cluster {
 		slots: make([]chan struct{}, nodes),
 		execs: make([]atomic.Int64, nodes),
 		busy:  make([]atomic.Int64, nodes),
+		links: make([]Codec, nodes*nodes),
 	}
 	for i := range c.slots {
 		c.slots[i] = make(chan struct{}, cpusPerNode)
@@ -114,15 +122,18 @@ func (c *Cluster) Exec(node int, fn func()) {
 }
 
 // Transfer accounts one record hop from node `from` to node `to`: the hop is
-// counted, the record is byte-sized with the wire codec, and — when a
-// transfer cost is configured — the calling goroutine is delayed by
+// counted, the record is byte-sized with the link's wire codec (v2: interned
+// labels against the link's negotiated table, so repeated shipments of the
+// same label vocabulary shrink to symbol references), and — when a transfer
+// cost is configured — the calling goroutine is delayed by
 // latency + size/bandwidth, modelling the record traveling the interconnect.
 // Same-node transfers are free and uncounted.
 func (c *Cluster) Transfer(from, to int, r *record.Record) {
-	if c.node(from) == c.node(to) {
+	f, t := c.node(from), c.node(to)
+	if f == t {
 		return
 	}
-	n := Size(r)
+	n := (&c.links[f*len(c.slots)+t]).Account(r)
 	c.trans.Add(1)
 	c.bytes.Add(int64(n))
 	if !c.costLive.Load() {

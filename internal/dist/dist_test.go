@@ -94,8 +94,32 @@ func TestTransferAccounting(t *testing.T) {
 	if s.Transfers != 2 {
 		t.Fatalf("transfers = %d, want 2", s.Transfers)
 	}
-	if want := int64(2 * dist.Size(r)); s.Bytes != want {
+	// Each hop used a distinct directed link, so both paid the first-use
+	// price of a fresh negotiated label table.
+	if want := int64(2 * dist.NewCodec().Size(r)); s.Bytes != want {
 		t.Fatalf("bytes = %d, want %d", s.Bytes, want)
+	}
+}
+
+// TestTransferNegotiatedShrink checks that repeated transfers over the same
+// link are charged interned-symbol prices: after the first hop defines the
+// labels, later hops ship only symbol references and cost strictly less.
+func TestTransferNegotiatedShrink(t *testing.T) {
+	c := dist.NewCluster(2, 1)
+	r := record.Build().T("node", 3).F("payload", []byte("0123456789")).Rec()
+	c.Transfer(0, 1, r)
+	first := c.Stats().Bytes
+	c.Transfer(0, 1, r)
+	second := c.Stats().Bytes - first
+	if second >= first {
+		t.Fatalf("negotiated hop cost %d bytes, first hop %d: label table not shared", second, first)
+	}
+	// The steady-state price must match a codec that has already seen the
+	// record once.
+	codec := dist.NewCodec()
+	codec.Account(r)
+	if want := int64(codec.Size(r)); second != want {
+		t.Fatalf("steady-state hop = %d bytes, want %d", second, want)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package record_test
+
+import "testing"
+
+func skipIfRace(t *testing.T) {}

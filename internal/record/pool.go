@@ -1,0 +1,43 @@
+package record
+
+import "sync"
+
+// Pool recycles Records so steady-state pipelines run allocation-free: a
+// record drawn from a pool, populated within its inline entry capacity and
+// later returned costs no heap allocation after warm-up.
+//
+// Pooling is strictly opt-in and rides on the stream ownership contract: a
+// record may be returned to a pool only by its current single owner, after
+// which the record must not be touched again. The runtime itself never
+// pools records behind the caller's back — records emitted into a network
+// outlive the entity that made them, so only the code that ultimately
+// consumes a record (a sink box, a driver draining Run's output) knows when
+// it is dead.
+//
+// A Pool is safe for concurrent use. The zero value is ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty record pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns an empty data record, recycling a previously Put record when
+// one is available and allocating otherwise.
+func (p *Pool) Get() *Record {
+	if r, ok := p.p.Get().(*Record); ok {
+		return r
+	}
+	return New()
+}
+
+// Put resets the record and makes it available to subsequent Get calls. The
+// caller must own the record and must not use it afterwards. Put(nil) is a
+// no-op.
+func (p *Pool) Put(r *Record) {
+	if r == nil {
+		return
+	}
+	r.Reset()
+	p.p.Put(r)
+}

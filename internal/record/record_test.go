@@ -149,8 +149,8 @@ func TestInheritFromExcept(t *testing.T) {
 	src := New().SetField("a", 1).SetField("keep", 2).SetTag("t", 3).SetTag("u", 4)
 	dst := New()
 	dst.InheritFromExcept(src,
-		map[string]bool{"a": true},
-		map[string]bool{"t": true})
+		[]Sym{Intern("a")},
+		[]Sym{Intern("t")})
 	if dst.HasField("a") {
 		t.Fatal("consumed field inherited")
 	}

@@ -1,0 +1,83 @@
+package record
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sym is an interned label identifier: a dense, process-wide integer handle
+// for a label name. All records, type variants and patterns address labels
+// by Sym, so the hot path of the runtime — matching, flow inheritance,
+// copying, wire sizing — compares and scans small integers instead of
+// hashing strings.
+//
+// Syms are assigned in interning order, never reused, and are stable for the
+// lifetime of the process. They carry no cross-process meaning: the wire
+// codec (internal/dist) negotiates a label table per link instead of
+// shipping raw Syms.
+type Sym int32
+
+// NoSym is the invalid symbol; LookupSym returns it for unknown names.
+const NoSym Sym = -1
+
+// symtab is the process-wide label symbol table. Reads (the overwhelmingly
+// common case once a workload's label vocabulary is established) take only
+// an RLock; inserting a new name takes the write lock.
+var symtab = struct {
+	sync.RWMutex
+	ids   map[string]Sym
+	names []string
+}{ids: make(map[string]Sym)}
+
+// Intern returns the symbol for a label name, assigning a fresh one on first
+// use. Interning the same name always returns the same Sym.
+func Intern(name string) Sym {
+	symtab.RLock()
+	id, ok := symtab.ids[name]
+	symtab.RUnlock()
+	if ok {
+		return id
+	}
+	symtab.Lock()
+	defer symtab.Unlock()
+	if id, ok := symtab.ids[name]; ok {
+		return id
+	}
+	id = Sym(len(symtab.names))
+	symtab.ids[name] = id
+	symtab.names = append(symtab.names, name)
+	return id
+}
+
+// LookupSym returns the symbol for a name without interning it; ok is false
+// (and the Sym is NoSym) when the name has never been interned. It never
+// allocates, making it suitable for negative-lookup hot paths.
+func LookupSym(name string) (Sym, bool) {
+	symtab.RLock()
+	id, ok := symtab.ids[name]
+	symtab.RUnlock()
+	if !ok {
+		return NoSym, false
+	}
+	return id, true
+}
+
+// SymName returns the label name a symbol was interned from. It panics on a
+// symbol that was never issued (including NoSym) — such a value cannot have
+// come from Intern.
+func SymName(id Sym) string {
+	symtab.RLock()
+	defer symtab.RUnlock()
+	if id < 0 || int(id) >= len(symtab.names) {
+		panic(fmt.Sprintf("record: SymName(%d): symbol never interned", id))
+	}
+	return symtab.names[id]
+}
+
+// NumSyms returns the number of interned label names. Symbols 0..NumSyms()-1
+// are valid; the count only ever grows.
+func NumSyms() int {
+	symtab.RLock()
+	defer symtab.RUnlock()
+	return len(symtab.names)
+}

@@ -1,0 +1,72 @@
+package record
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternStable(t *testing.T) {
+	a := Intern("sym-test-label")
+	b := Intern("sym-test-label")
+	if a != b {
+		t.Fatalf("Intern not stable: %d vs %d", a, b)
+	}
+	if got := SymName(a); got != "sym-test-label" {
+		t.Fatalf("SymName = %q", got)
+	}
+	if id, ok := LookupSym("sym-test-label"); !ok || id != a {
+		t.Fatalf("LookupSym = %d,%v", id, ok)
+	}
+	if id, ok := LookupSym("sym-test-never-interned"); ok || id != NoSym {
+		t.Fatalf("LookupSym on unknown = %d,%v", id, ok)
+	}
+}
+
+func TestSymNamePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SymName(NoSym) did not panic")
+		}
+	}()
+	SymName(NoSym)
+}
+
+// TestInternConcurrent hammers the symbol table from many goroutines with
+// overlapping vocabularies; run under -race this doubles as the data-race
+// regression for the RWMutex fast path and the lock-free name snapshot.
+func TestInternConcurrent(t *testing.T) {
+	const workers, labels = 8, 64
+	var wg sync.WaitGroup
+	ids := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]Sym, labels)
+			for i := 0; i < labels; i++ {
+				name := fmt.Sprintf("conc-%d", i)
+				id := Intern(name)
+				ids[w][i] = id
+				if got := SymName(id); got != name {
+					panic(fmt.Sprintf("SymName(%d) = %q, want %q", id, got, name))
+				}
+				// Concurrent readers exercise the snapshot path.
+				r := New().SetTagSym(id, i)
+				if v, ok := r.TagSym(id); !ok || v != i {
+					panic("tag lost")
+				}
+				_ = r.String()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < labels; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got Sym %d for label %d, worker 0 got %d",
+					w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}

@@ -11,6 +11,11 @@
 //
 // A signature maps an input type to an output type; boxes declare
 // signatures, and the compiler infers signatures for whole networks.
+//
+// Variants compile their label sets down to sorted interned-symbol slices
+// (record.Sym) at construction time, so the acceptance tests the runtime
+// runs per record — MatchesRecord, Type.Accepts, Type.BestMatch — are
+// merge-scans over small integer slices: no hashing, no allocation.
 package rtype
 
 import (
@@ -74,56 +79,148 @@ func (l Label) String() string {
 	}
 }
 
-// Variant is a set of labels, e.g. {scene, sect, <node>}.
+// Variant is a set of labels, e.g. {scene, sect, <node>}. Internally each
+// label class is a sorted slice of interned symbols, fixed at construction
+// time (Add), which is what makes record matching allocation-free.
 type Variant struct {
-	fields map[string]bool
-	tags   map[string]bool
-	btags  map[string]bool
+	fields []record.Sym
+	tags   []record.Sym
+	btags  []record.Sym
 }
 
 // NewVariant builds a variant from the given labels.
 func NewVariant(labels ...Label) *Variant {
-	v := &Variant{
-		fields: make(map[string]bool),
-		tags:   make(map[string]bool),
-		btags:  make(map[string]bool),
-	}
+	v := &Variant{}
 	for _, l := range labels {
 		v.Add(l)
 	}
 	return v
 }
 
+// insertSym inserts id into the sorted symbol set, keeping it duplicate
+// free.
+func insertSym(s []record.Sym, id record.Sym) []record.Sym {
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// containsSym reports membership in a sorted symbol set.
+func containsSym(s []record.Sym, id record.Sym) bool {
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// symSubset reports whether every symbol of a appears in b (both sorted).
+func symSubset(a, b []record.Sym) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, id := range a {
+		for j < len(b) && b[j] < id {
+			j++
+		}
+		if j >= len(b) || b[j] != id {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// symUnion merges two sorted symbol sets into a fresh sorted set.
+func symUnion(a, b []record.Sym) []record.Sym {
+	out := make([]record.Sym, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// symNames maps a symbol set to its label names in sorted (name) order.
+func symNamesSorted(s []record.Sym) []string {
+	out := make([]string, len(s))
+	for i, id := range s {
+		out[i] = record.SymName(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Add inserts a label into the variant.
 func (v *Variant) Add(l Label) *Variant {
+	id := record.Intern(l.Name)
 	switch l.Class {
 	case Field:
-		v.fields[l.Name] = true
+		v.fields = insertSym(v.fields, id)
 	case Tag:
-		v.tags[l.Name] = true
+		v.tags = insertSym(v.tags, id)
 	case BTag:
-		v.btags[l.Name] = true
+		v.btags = insertSym(v.btags, id)
 	}
 	return v
 }
 
 // HasField reports whether the variant contains the field label.
-func (v *Variant) HasField(name string) bool { return v.fields[name] }
+func (v *Variant) HasField(name string) bool {
+	id, ok := record.LookupSym(name)
+	return ok && containsSym(v.fields, id)
+}
 
 // HasTag reports whether the variant contains the tag label.
-func (v *Variant) HasTag(name string) bool { return v.tags[name] }
+func (v *Variant) HasTag(name string) bool {
+	id, ok := record.LookupSym(name)
+	return ok && containsSym(v.tags, id)
+}
 
 // HasBTag reports whether the variant contains the binding-tag label.
-func (v *Variant) HasBTag(name string) bool { return v.btags[name] }
+func (v *Variant) HasBTag(name string) bool {
+	id, ok := record.LookupSym(name)
+	return ok && containsSym(v.btags, id)
+}
 
 // Fields returns the variant's field labels in sorted order.
-func (v *Variant) Fields() []string { return sortedKeys(v.fields) }
+func (v *Variant) Fields() []string { return symNamesSorted(v.fields) }
 
 // Tags returns the variant's tag labels in sorted order.
-func (v *Variant) Tags() []string { return sortedKeys(v.tags) }
+func (v *Variant) Tags() []string { return symNamesSorted(v.tags) }
 
 // BTags returns the variant's binding-tag labels in sorted order.
-func (v *Variant) BTags() []string { return sortedKeys(v.btags) }
+func (v *Variant) BTags() []string { return symNamesSorted(v.btags) }
+
+// FieldSyms returns the variant's field label symbols, sorted ascending.
+// The slice is the variant's own storage: callers must treat it as
+// read-only. It is the allocation-free counterpart of Fields() used by the
+// runtime for consumed-label sets.
+func (v *Variant) FieldSyms() []record.Sym { return v.fields }
+
+// TagSyms returns the variant's tag label symbols, sorted ascending, as
+// read-only shared storage.
+func (v *Variant) TagSyms() []record.Sym { return v.tags }
+
+// BTagSyms returns the variant's binding-tag label symbols, sorted
+// ascending, as read-only shared storage.
+func (v *Variant) BTagSyms() []record.Sym { return v.btags }
 
 // Size returns the total number of labels in the variant.
 func (v *Variant) Size() int { return len(v.fields) + len(v.tags) + len(v.btags) }
@@ -146,80 +243,48 @@ func (v *Variant) Labels() []Label {
 
 // Copy returns an independent copy of the variant.
 func (v *Variant) Copy() *Variant {
-	c := NewVariant()
-	for f := range v.fields {
-		c.fields[f] = true
+	return &Variant{
+		fields: append([]record.Sym(nil), v.fields...),
+		tags:   append([]record.Sym(nil), v.tags...),
+		btags:  append([]record.Sym(nil), v.btags...),
 	}
-	for t := range v.tags {
-		c.tags[t] = true
-	}
-	for t := range v.btags {
-		c.btags[t] = true
-	}
-	return c
 }
 
 // Union returns a new variant containing the labels of both operands.
 func (v *Variant) Union(w *Variant) *Variant {
-	u := v.Copy()
-	for f := range w.fields {
-		u.fields[f] = true
+	return &Variant{
+		fields: symUnion(v.fields, w.fields),
+		tags:   symUnion(v.tags, w.tags),
+		btags:  symUnion(v.btags, w.btags),
 	}
-	for t := range w.tags {
-		u.tags[t] = true
-	}
-	for t := range w.btags {
-		u.btags[t] = true
-	}
-	return u
 }
 
 // SubsetOf reports whether every label of v also appears in w.
 func (v *Variant) SubsetOf(w *Variant) bool {
-	for f := range v.fields {
-		if !w.fields[f] {
-			return false
-		}
-	}
-	for t := range v.tags {
-		if !w.tags[t] {
-			return false
-		}
-	}
-	for t := range v.btags {
-		if !w.btags[t] {
-			return false
-		}
-	}
-	return true
+	return symSubset(v.fields, w.fields) &&
+		symSubset(v.tags, w.tags) &&
+		symSubset(v.btags, w.btags)
 }
 
 // SubtypeOf reports whether v is a subtype of w, i.e. w ⊆ v.
 func (v *Variant) SubtypeOf(w *Variant) bool { return w.SubsetOf(v) }
 
 // Equal reports whether two variants contain exactly the same labels.
-func (v *Variant) Equal(w *Variant) bool { return v.SubsetOf(w) && w.SubsetOf(v) }
+func (v *Variant) Equal(w *Variant) bool {
+	return len(v.fields) == len(w.fields) &&
+		len(v.tags) == len(w.tags) &&
+		len(v.btags) == len(w.btags) &&
+		v.SubsetOf(w)
+}
 
 // MatchesRecord reports whether the record's label set is a subtype of the
 // variant, i.e. the record carries at least every label of v. This is the
-// acceptance test used for routing, box triggering and synchrocell patterns.
+// acceptance test used for routing, box triggering and synchrocell
+// patterns. It is a merge-scan over interned symbols and never allocates.
 func (v *Variant) MatchesRecord(r *record.Record) bool {
-	for f := range v.fields {
-		if !r.HasField(f) {
-			return false
-		}
-	}
-	for t := range v.tags {
-		if !r.HasTag(t) {
-			return false
-		}
-	}
-	for t := range v.btags {
-		if !r.HasBTag(t) {
-			return false
-		}
-	}
-	return true
+	return r.HasAllFieldSyms(v.fields) &&
+		r.HasAllTagSyms(v.tags) &&
+		r.HasAllBTagSyms(v.btags)
 }
 
 // String renders the variant in S-Net syntax, e.g. {a, b, <t>}.
@@ -233,16 +298,16 @@ func (v *Variant) String() string {
 
 // RecordVariant returns the exact variant of a record's label set.
 func RecordVariant(r *record.Record) *Variant {
-	v := NewVariant()
-	for _, f := range r.Fields() {
-		v.Add(F(f))
+	v := &Variant{
+		fields: make([]record.Sym, 0, r.NumFields()),
+		tags:   make([]record.Sym, 0, r.NumTags()),
+		btags:  make([]record.Sym, 0, r.NumBTags()),
 	}
-	for _, t := range r.Tags() {
-		v.Add(T(t))
-	}
-	for _, t := range r.BTags() {
-		v.Add(BT(t))
-	}
+	// Record entries are already sorted by symbol, so appending keeps the
+	// variant's invariant.
+	r.VisitFieldSyms(func(id record.Sym, _ any) { v.fields = append(v.fields, id) })
+	r.VisitTagSyms(func(id record.Sym, _ int) { v.tags = append(v.tags, id) })
+	r.VisitBTagSyms(func(id record.Sym, _ int) { v.btags = append(v.btags, id) })
 	return v
 }
 
@@ -310,7 +375,8 @@ func (t *Type) SubtypeOf(u *Type) bool {
 	return true
 }
 
-// Accepts reports whether the record matches at least one variant of t.
+// Accepts reports whether the record matches at least one variant of t. It
+// never allocates.
 func (t *Type) Accepts(r *record.Record) bool {
 	for _, v := range t.variants {
 		if v.MatchesRecord(r) {
@@ -325,7 +391,7 @@ func (t *Type) Accepts(r *record.Record) bool {
 // the size of the matched variant: a larger matched variant is a more
 // specific — hence better — match. Among equally sized matches the first in
 // declaration order wins (callers that need nondeterministic tie-breaking
-// resolve ties themselves).
+// resolve ties themselves). It never allocates.
 func (t *Type) BestMatch(r *record.Record) (*Variant, int) {
 	best := -1
 	var bestV *Variant
@@ -366,13 +432,4 @@ func NewSignature(in, out *Type) Signature { return Signature{In: in, Out: out} 
 // String renders the signature in S-Net style.
 func (s Signature) String() string {
 	return fmt.Sprintf("%s -> %s", s.In, s.Out)
-}
-
-func sortedKeys(m map[string]bool) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
 }

@@ -14,6 +14,7 @@ import (
 	"snet/internal/compile"
 	"snet/internal/core"
 	"snet/internal/dist"
+	"snet/internal/lang"
 	"snet/internal/raytrace"
 	"snet/internal/record"
 	"snet/internal/sched"
@@ -168,6 +169,20 @@ net raytracing_dyn
     .. merger .. genImg
 `
 
+// The application's label vocabulary, interned once: box bodies run per
+// section per render, so they use the symbol-keyed record API.
+var (
+	symScene = record.Intern("scene")
+	symSect  = record.Intern("sect")
+	symChunk = record.Intern("chunk")
+	symPic   = record.Intern("pic")
+	symNodes = record.Intern("nodes")
+	symTasks = record.Intern("tasks")
+	symNode  = record.Intern("node")
+	symCPU   = record.Intern("cpu")
+	symFst   = record.Intern("fst")
+)
+
 // imageSink collects the pictures genImg delivers.
 type imageSink struct {
 	mu   sync.Mutex
@@ -197,35 +212,34 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 	}
 	reg := compile.NewRegistry()
 	reg.RegisterBox("splitter", func(c *core.BoxCall) error {
-		scene := c.Field("scene").(*raytrace.Scene)
-		nodes := c.Tag("nodes")
-		tasks := c.Tag("tasks")
+		scene := c.FieldSym(symScene).(*raytrace.Scene)
+		nodes := c.TagSym(symNodes)
+		tasks := c.TagSym(symTasks)
 		if nodes <= 0 || tasks <= 0 || tasks != len(spans) {
 			return fmt.Errorf("splitter: inconsistent nodes=%d tasks=%d spans=%d",
 				nodes, tasks, len(spans))
 		}
 		for i, span := range spans {
-			r := record.Build().
-				F("scene", scene).
-				F("sect", raytrace.Section{Index: i, W: cfg.W, H: cfg.H, Y0: span.Lo, Y1: span.Hi}).
-				T("tasks", tasks).
-				Rec()
+			r := c.NewRecord().
+				SetFieldSym(symScene, scene).
+				SetFieldSym(symSect, raytrace.Section{Index: i, W: cfg.W, H: cfg.H, Y0: span.Lo, Y1: span.Hi}).
+				SetTagSym(symTasks, tasks)
 			if i == 0 {
-				r.SetTag("fst", 1)
+				r.SetTagSym(symFst, 1)
 			}
 			switch cfg.Mode {
 			case Static:
-				r.SetTag("node", i%nodes)
+				r.SetTagSym(symNode, i%nodes)
 			case Static2CPU:
-				r.SetTag("node", i%nodes)
-				r.SetTag("cpu", (i/nodes)%cfg.CPUs)
+				r.SetTagSym(symNode, i%nodes)
+				r.SetTagSym(symCPU, (i/nodes)%cfg.CPUs)
 			case Dynamic:
 				// The first `tokens` sections carry distinct node-token
 				// values; the platform maps value→node modulo Nodes, so
 				// 16 tokens on 8 nodes give two solver instances per
 				// node, one per CPU — the paper's sweet spot.
 				if i < cfg.Tokens {
-					r.SetTag("node", i)
+					r.SetTagSym(symNode, i)
 				}
 			}
 			c.Emit(r)
@@ -233,29 +247,29 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 		return nil
 	})
 	solve := func(c *core.BoxCall) error {
-		scene := c.Field("scene").(*raytrace.Scene)
-		sect := c.Field("sect").(raytrace.Section)
+		scene := c.FieldSym(symScene).(*raytrace.Scene)
+		sect := c.FieldSym(symSect).(raytrace.Section)
 		chunk, _ := raytrace.RenderSection(scene, sect)
-		c.Emit(record.New().SetField("chunk", chunk))
+		c.Emit(c.NewRecord().SetFieldSym(symChunk, chunk))
 		return nil
 	}
 	reg.RegisterBox("solver", solve)
 	reg.RegisterBox("solve", solve)
 	reg.RegisterBox("init", func(c *core.BoxCall) error {
-		chunk := c.Field("chunk").(raytrace.Chunk)
+		chunk := c.FieldSym(symChunk).(raytrace.Chunk)
 		img := raytrace.NewImage(chunk.W, chunk.H)
 		img.SetChunk(chunk)
-		c.Emit(record.New().SetField("pic", img))
+		c.Emit(c.NewRecord().SetFieldSym(symPic, img))
 		return nil
 	})
 	reg.RegisterBox("merge", func(c *core.BoxCall) error {
-		chunk := c.Field("chunk").(raytrace.Chunk)
-		pic := c.Field("pic").(*raytrace.Image)
-		c.Emit(record.New().SetField("pic", pic.Merge(chunk)))
+		chunk := c.FieldSym(symChunk).(raytrace.Chunk)
+		pic := c.FieldSym(symPic).(*raytrace.Image)
+		c.Emit(c.NewRecord().SetFieldSym(symPic, pic.Merge(chunk)))
 		return nil
 	})
 	reg.RegisterBox("genImg", func(c *core.BoxCall) error {
-		sink.add(c.Field("pic").(*raytrace.Image))
+		sink.add(c.FieldSym(symPic).(*raytrace.Image))
 		return nil
 	})
 	return reg, nil
@@ -273,6 +287,23 @@ func (cfg *Config) source() string {
 	}
 }
 
+// progCache memoizes the parsed form of the (constant) network sources:
+// renders recompile against their own registry, but the AST is immutable
+// and shared, so the front end runs once per source text per process.
+var progCache sync.Map // source text -> *lang.Program
+
+func parsedSource(src string) (*lang.Program, error) {
+	if p, ok := progCache.Load(src); ok {
+		return p.(*lang.Program), nil
+	}
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := progCache.LoadOrStore(src, p)
+	return actual.(*lang.Program), nil
+}
+
 // Build compiles the configured network, returning the toplevel entity and
 // the sink that will receive the final image.
 func (cfg *Config) build() (*core.Entity, *imageSink, error) {
@@ -281,13 +312,21 @@ func (cfg *Config) build() (*core.Entity, *imageSink, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	mergerRes, err := compile.Source(MergerSource, reg)
+	mergerProg, err := parsedSource(MergerSource)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snetray: merger: %w", err)
+	}
+	mergerRes, err := compile.Program(mergerProg, reg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snetray: merger: %w", err)
 	}
 	merger, _ := mergerRes.Net("merger")
 	reg.RegisterNet("merger", merger)
-	res, err := compile.Source(cfg.source(), reg)
+	prog, err := parsedSource(cfg.source())
+	if err != nil {
+		return nil, nil, fmt.Errorf("snetray: %w", err)
+	}
+	res, err := compile.Program(prog, reg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snetray: %w", err)
 	}

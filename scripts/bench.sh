@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench.sh — run the live raytrace benchmarks with -benchmem and record the
+# perf trajectory in BENCH_records.json, so successive PRs can compare
+# ns/op and allocs/op for the sequential kernel versus the S-Net variants.
+#
+# Usage:
+#   scripts/bench.sh                 # refresh the "current" section
+#   scripts/bench.sh --set-baseline  # also reset the "baseline" section
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 3x)
+#   BENCH_OUT  output file (default BENCH_records.json)
+#
+# The JSON layout is line-oriented on purpose (one benchmark per line) so
+# this script can re-read its own baseline with awk and CI can diff it
+# without tooling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+BENCH_OUT="${BENCH_OUT:-BENCH_records.json}"
+SET_BASELINE=0
+[ "${1:-}" = "--set-baseline" ] && SET_BASELINE=1
+
+raw="$(go test -run xxx -bench 'BenchmarkLive(Sequential|SNet)' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 .)"
+printf '%s\n' "$raw"
+
+# "name ns bytes allocs" per line, CPU-count suffix stripped.
+current="$(printf '%s\n' "$raw" | awk '
+	/^BenchmarkLive/ && /ns\/op/ && /allocs\/op/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op")     ns = $(i-1)
+			if ($i == "B/op")      bytes = $(i-1)
+			if ($i == "allocs/op") allocs = $(i-1)
+		}
+		print name, ns, bytes, allocs
+	}')"
+if [ -z "$current" ]; then
+	echo "bench.sh: no benchmark results parsed" >&2
+	exit 1
+fi
+
+# Reuse the committed baseline unless asked to reset (or none exists).
+baseline=""
+if [ "$SET_BASELINE" -eq 0 ] && [ -f "$BENCH_OUT" ]; then
+	baseline="$(awk '
+		/"baseline":/ { inb = 1; next }
+		inb && /^  \}/ { inb = 0 }
+		inb && /"Benchmark/ {
+			line = $0
+			gsub(/[",:{}]/, " ", line)
+			n = split(line, f, /[ \t]+/)
+			name = ""; ns = ""; bytes = ""; allocs = ""
+			for (i = 1; i <= n; i++) {
+				if (f[i] ~ /^Benchmark/) name = f[i]
+				if (f[i] == "ns_op")     ns = f[i+1]
+				if (f[i] == "bytes_op")  bytes = f[i+1]
+				if (f[i] == "allocs_op") allocs = f[i+1]
+			}
+			if (name != "") print name, ns, bytes, allocs
+		}' "$BENCH_OUT")"
+fi
+[ -z "$baseline" ] && baseline="$current"
+
+emit_section() { # $1 = "name ns bytes allocs" lines
+	printf '%s\n' "$1" | awk '
+		{ lines[NR] = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", $1, $2, $3, $4) }
+		END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "") }'
+}
+
+{
+	echo '{'
+	echo "  \"benchtime\": \"$BENCHTIME\","
+	echo '  "baseline": {'
+	emit_section "$baseline"
+	echo '  },'
+	echo '  "current": {'
+	emit_section "$current"
+	echo '  }'
+	echo '}'
+} >"$BENCH_OUT"
+echo "wrote $BENCH_OUT"
+
+# Report the headline delta this file exists to track.
+printf '%s\n' "$baseline" | awk 'NR==FNR { base[$1] = $4; next }
+	($1 in base) && base[$1] > 0 {
+		printf "%-36s allocs/op %8s -> %8s  (%+.1f%%)\n",
+			$1, base[$1], $4, 100 * ($4 - base[$1]) / base[$1]
+	}' - <(printf '%s\n' "$current")

@@ -54,6 +54,24 @@ type Record = record.Record
 // RecordBuilder assembles records fluently.
 type RecordBuilder = record.Builder
 
+// Sym is an interned label identifier: a dense process-wide integer handle
+// for a label name. Hot-path code interns its labels once (InternLabel) and
+// uses the Sym-keyed record and BoxCall accessors, turning label matching
+// and access into integer scans.
+type Sym = record.Sym
+
+// RecordPool recycles records so steady-state pipelines run
+// allocation-free. Pooling is opt-in and follows the stream ownership
+// contract: only a record's current single owner may return it.
+type RecordPool = record.Pool
+
+// InternLabel returns the symbol for a label name, assigning one on first
+// use.
+func InternLabel(name string) Sym { return record.Intern(name) }
+
+// NewRecordPool returns an empty record pool.
+func NewRecordPool() *RecordPool { return record.NewPool() }
+
 // NewRecord returns an empty record.
 func NewRecord() *Record { return record.New() }
 
