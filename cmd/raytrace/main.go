@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,8 +38,16 @@ func main() {
 		seed    = flag.Int64("seed", 2010, "scene seed")
 		unbal   = flag.Bool("unbalanced", true, "use the unbalanced scene")
 		outFile = flag.String("o", "", "output image (.png or .ppm)")
+		timeout = flag.Duration("timeout", 0, "abort the render after this long (snet engines; 0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var scene *raytrace.Scene
 	if *unbal {
@@ -103,8 +112,10 @@ func main() {
 				cfg.Policy = snetray.FactoringPolicy
 			}
 		}
-		res, err := snetray.Render(cfg)
+		res, err := snetray.RenderContext(ctx, cfg)
 		if err != nil {
+			// A deadline abort reclaims the whole network (no goroutine
+			// or cluster-slot leaks); report it as an ordinary outcome.
 			log.Fatal(err)
 		}
 		img = res.Image

@@ -133,7 +133,7 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 		name: name,
 		sig:  sig,
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			go func() {
+			env.start(func() {
 				defer close(out)
 				// One reusable call context and one execution closure per
 				// box instance: boxes are sequential per instance, so both
@@ -150,53 +150,75 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 						env.report(entityError(b.name, err))
 					}
 				}
-				for r := range in {
+				for {
+					r, ok := env.recv(in)
+					if !ok {
+						return
+					}
 					if !r.IsData() {
-						out <- r
+						if !env.send(out, r) {
+							return
+						}
 						continue
 					}
-					b.invoke(call, run, r, out)
+					if !b.invoke(call, run, r, out) {
+						return
+					}
 				}
-			}()
+			})
 		},
 	}
 }
 
 // invoke runs one box execution for record r, reusing the instance's call
-// context and execution closure.
-func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out chan<- *record.Record) {
+// context and execution closure. It reports false when the instance was
+// stopped (while waiting for a CPU slot or flushing output), in which case
+// the box goroutine must unwind.
+func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out chan<- *record.Record) bool {
 	env := call.env
 	v, score := b.sig.In.BestMatch(r)
 	if score < 0 {
 		env.report(entityError(b.name, fmt.Errorf(
 			"record %s does not match input type %s", r, b.sig.In)))
-		return
+		// The record matched nothing and is dead; reclaim it.
+		recycle(r)
+		return true
 	}
 	call.In = r
 	call.Matched = v
 	call.consumeF = v.FieldSyms()
 	call.consumeT = v.TagSyms()
 	call.emitted = 0
-	env.exec(run)
+	if !env.exec(run) {
+		// Stopped while queued for a platform CPU slot; the body never
+		// ran. Drop the record (stopped instances do not recycle).
+		call.In = nil
+		call.Matched = nil
+		return false
+	}
 	// Flush outside the platform slot: downstream backpressure must not
 	// hold a node CPU. The box consumed its input, so r is dead afterwards
 	// and returns to the pool — unless the body emitted the input record
 	// itself (identity-style bodies may).
 	reemitted := false
+	delivered := true
 	for _, o := range call.pending {
 		if o == r {
 			reemitted = true
 		}
-		out <- o
+		if delivered && !env.send(out, o) {
+			delivered = false
+		}
 	}
 	// Recycle the pending buffer without retaining record references.
 	clear(call.pending)
 	call.pending = call.pending[:0]
 	call.In = nil
 	call.Matched = nil
-	if !reemitted {
+	if !reemitted && delivered {
 		recycle(r)
 	}
+	return delivered
 }
 
 // MustSig is a convenience for building a single-input-variant signature:

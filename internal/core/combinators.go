@@ -79,7 +79,7 @@ func Choice(branches ...*Entity) *Entity {
 				spawned++
 			}
 		}
-		coll := newCollector(out, spawned+1) // +1: the dispatcher
+		coll := newCollector(env, out, spawned+1) // +1: the dispatcher
 		for i, b := range branches {
 			if b.identity {
 				continue
@@ -87,61 +87,98 @@ func Choice(branches ...*Entity) *Entity {
 			ins[i] = env.newChan()
 			bo := env.newChan()
 			b.spawn(env, ins[i], bo)
-			go coll.drainInto(bo)
+			env.start(func() { coll.drainInto(bo) })
 		}
-		go func() {
+		// Control records traverse the first non-elided branch so they
+		// keep FIFO order with the data records routed there; they bypass
+		// straight to the merge only when every branch is the (elided)
+		// identity — whichever branch index 0 happens to be.
+		var ctrlIn chan *record.Record
+		for _, c := range ins {
+			if c != nil {
+				ctrlIn = c
+				break
+			}
+		}
+		env.start(func() {
 			defer coll.done()
+			defer func() {
+				for _, c := range ins {
+					if c != nil {
+						close(c)
+					}
+				}
+			}()
 			rr := 0 // round-robin cursor for tie-breaking
-			for r := range in {
+			// Scratch for bestBranch: one allocation per instantiation,
+			// not per record.
+			scores := make([]int, len(branches))
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					return
+				}
 				if !r.IsData() {
-					if ins[0] == nil {
-						coll.send(r)
-					} else {
-						ins[0] <- r
+					if ctrlIn == nil {
+						if !coll.send(r) {
+							return
+						}
+					} else if !env.send(ctrlIn, r) {
+						return
 					}
 					continue
 				}
-				best, bestScore, ties := -1, -1, 0
-				for i, b := range branches {
-					if _, s := b.sig.In.BestMatch(r); s > bestScore {
-						best, bestScore, ties = i, s, 1
-					} else if s == bestScore && s >= 0 {
-						ties++
-					}
-				}
+				best := bestBranch(branches, scores, r, &rr)
 				if best < 0 {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s matches no branch input type", r)))
+					// The dropped record is dead; reclaim it.
+					recycle(r)
 					continue
 				}
-				if ties > 1 {
-					// pick the (rr mod ties)-th among the tied branches
-					k := rr % ties
-					rr++
-					for i, b := range branches {
-						if _, s := b.sig.In.BestMatch(r); s == bestScore {
-							if k == 0 {
-								best = i
-								break
-							}
-							k--
-						}
-					}
-				}
 				if ins[best] == nil {
-					coll.send(r)
-				} else {
-					ins[best] <- r
+					if !coll.send(r) {
+						return
+					}
+				} else if !env.send(ins[best], r) {
+					return
 				}
 			}
-			for _, c := range ins {
-				if c != nil {
-					close(c)
-				}
-			}
-		}()
+		})
 	}
 	return e
+}
+
+// bestBranch picks the branch whose input type matches r best (the most
+// specific matched variant wins); ties break round-robin via the cursor at
+// rr. scores is per-dispatcher scratch of len(branches), reused so
+// BestMatch runs exactly once per (record, branch) — the tie-break scan
+// reads the cached scores instead of re-scoring. Returns -1 when no branch
+// matches. Shared by Choice and DetChoice.
+func bestBranch(branches []*Entity, scores []int, r *record.Record, rr *int) int {
+	best, bestScore, ties := -1, -1, 0
+	for i, b := range branches {
+		_, s := b.sig.In.BestMatch(r)
+		scores[i] = s
+		if s > bestScore {
+			best, bestScore, ties = i, s, 1
+		} else if s == bestScore && s >= 0 {
+			ties++
+		}
+	}
+	if best >= 0 && ties > 1 {
+		k := *rr % ties
+		*rr++
+		for i, s := range scores {
+			if s == bestScore {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+	}
+	return best
 }
 
 // combName renders a combinator name like (a|b|c) lazily.
@@ -168,8 +205,8 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			coll := newCollector(out, 1)
-			go starStage(env, a, exit, in, coll)
+			coll := newCollector(env, out, 1)
+			env.start(func() { starStage(env, a, exit, in, coll) })
 		},
 	}
 }
@@ -180,9 +217,20 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Record, coll *collector) {
 	defer coll.done()
 	var instIn chan *record.Record
-	for r := range in {
+	defer func() {
+		if instIn != nil {
+			close(instIn)
+		}
+	}()
+	for {
+		r, ok := env.recv(in)
+		if !ok {
+			return
+		}
 		if !r.IsData() || exit.Matches(r) {
-			coll.send(r)
+			if !coll.send(r) {
+				return
+			}
 			continue
 		}
 		if instIn == nil {
@@ -190,12 +238,11 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Recor
 			instOut := env.newChan()
 			a.spawn(env, instIn, instOut)
 			coll.add(1)
-			go starStage(env, a, exit, instOut, coll)
+			env.start(func() { starStage(env, a, exit, instOut, coll) })
 		}
-		instIn <- r
-	}
-	if instIn != nil {
-		close(instIn)
+		if !env.send(instIn, r) {
+			return
+		}
 	}
 }
 
@@ -244,19 +291,32 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 		kids:   []*Entity{a},
 	}
 	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-		coll := newCollector(out, 1)
-		go func() {
+		coll := newCollector(env, out, 1)
+		env.start(func() {
 			defer coll.done()
 			instances := make(map[int]chan *record.Record)
-			for r := range in {
+			defer func() {
+				for _, c := range instances {
+					close(c)
+				}
+			}()
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					return
+				}
 				if !r.IsData() {
-					coll.send(r)
+					if !coll.send(r) {
+						return
+					}
 					continue
 				}
 				v, ok := r.TagSym(tagSym)
 				if !ok {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s lacks index tag <%s>", r, tag)))
+					// The dropped record is dead; reclaim it.
+					recycle(r)
 					continue
 				}
 				instIn, ok := instances[v]
@@ -274,26 +334,31 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 						// Account the return path: records leaving the
 						// replica travel back to the split's node.
 						back := instEnv
-						go func() {
+						env.start(func() {
 							defer coll.done()
-							for o := range instOut {
+							for {
+								o, ok := env.recv(instOut)
+								if !ok {
+									return
+								}
 								env.transfer(back.node, env.node, o)
-								coll.send(o)
+								if !coll.send(o) {
+									return
+								}
 							}
-						}()
+						})
 					} else {
-						go coll.drainInto(instOut)
+						env.start(func() { coll.drainInto(instOut) })
 					}
 				}
 				if nodeFor != nil {
 					env.transfer(env.node, nodeFor(env, v), r)
 				}
-				instIn <- r
+				if !env.send(instIn, r) {
+					return
+				}
 			}
-			for _, c := range instances {
-				close(c)
-			}
-		}()
+		})
 	}
 	return e
 }
@@ -313,21 +378,33 @@ func At(a *Entity, node int) *Entity {
 			}
 			innerIn := env.newChan()
 			innerOut := env.newChan()
-			go func() {
-				for r := range in {
+			env.start(func() {
+				defer close(innerIn)
+				for {
+					r, ok := env.recv(in)
+					if !ok {
+						return
+					}
 					env.transfer(env.node, target, r)
-					innerIn <- r
+					if !env.send(innerIn, r) {
+						return
+					}
 				}
-				close(innerIn)
-			}()
+			})
 			a.spawn(env.At(target), innerIn, innerOut)
-			go func() {
-				for r := range innerOut {
+			env.start(func() {
+				defer close(out)
+				for {
+					r, ok := env.recv(innerOut)
+					if !ok {
+						return
+					}
 					env.transfer(target, env.node, r)
-					out <- r
+					if !env.send(out, r) {
+						return
+					}
 				}
-				close(out)
-			}()
+			})
 		},
 	}
 }
@@ -338,6 +415,18 @@ func At(a *Entity, node int) *Entity {
 // ablation benchmark comparing unrolling against feedback (DESIGN.md); the
 // compiler never emits it. Deadlock-freedom is ensured by an unbounded
 // internal queue.
+//
+// Termination does not assume the operand preserves record counts: a box
+// may consume a record without emitting anything, or emit several exit
+// records per input. Instead of per-record accounting, shutdown drains in
+// generations — once the external input is closed and the queue is empty,
+// the operand's input is closed; the operand flushes all in-flight work and
+// closes its output (the universal S-Net quiescence signal); any feedback
+// records that emerged during the flush go through a freshly instantiated
+// operand, repeating until a flush produces no feedback. Operands must be
+// stateless across records (boxes, filters, compositions thereof): a
+// partially filled synchrocell would lose its storage at a generation
+// boundary.
 func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
 	return &Entity{
@@ -345,53 +434,42 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			instIn := env.newChan()
-			instOut := env.newChan()
-			a.spawn(env, instIn, instOut)
-
 			var mu sync.Mutex
 			var queue []*record.Record // unbounded feedback queue
-			pending := 0               // records inside the operand or queued
 			inClosed := false
 			kick := make(chan struct{}, 1)
-
 			poke := func() {
 				select {
 				case kick <- struct{}{}:
 				default:
 				}
 			}
-			// Feeder: moves records from the queue into the operand.
-			go func() {
-				for range kick {
-					for {
-						mu.Lock()
-						if len(queue) == 0 {
-							done := inClosed && pending == 0
-							mu.Unlock()
-							if done {
-								close(instIn)
-								return
-							}
+			// Out has three kinds of senders — intake, per-generation
+			// outlets, the feeder's lifetime — so its close must be gated
+			// on all of them signing off (a direct close could race a
+			// sender's non-blocking fast path during Stop). The collector
+			// provides exactly that discipline. Initial producers: intake,
+			// feeder, first outlet.
+			coll := newCollector(env, out, 3)
+
+			// Intake: external exit records leave immediately; everything
+			// else joins the queue. Runs to input close, so once inClosed
+			// is observed no further intake sends to out can occur.
+			env.start(func() {
+				defer coll.done()
+				for {
+					r, ok := env.recv(in)
+					if !ok {
+						break
+					}
+					if !r.IsData() || exit.Matches(r) {
+						if !coll.send(r) {
 							break
 						}
-						r := queue[0]
-						queue = queue[1:]
-						mu.Unlock()
-						instIn <- r
-					}
-				}
-			}()
-			// Intake: external records join the queue.
-			go func() {
-				for r := range in {
-					if !r.IsData() || exit.Matches(r) {
-						out <- r
 						continue
 					}
 					mu.Lock()
 					queue = append(queue, r)
-					pending++
 					mu.Unlock()
 					poke()
 				}
@@ -399,25 +477,93 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 				inClosed = true
 				mu.Unlock()
 				poke()
-			}()
-			// Outlet: operand outputs either exit or feed back.
-			go func() {
-				for r := range instOut {
-					if r.IsData() && !exit.Matches(r) {
-						mu.Lock()
-						queue = append(queue, r)
-						mu.Unlock()
-						poke()
-						continue
+			})
+
+			// Outlet (one per operand generation): exit records flow out,
+			// feedback records rejoin the queue. Closes done when the
+			// generation's output is exhausted. The caller registers the
+			// outlet with the collector before starting it.
+			startOutlet := func(src chan *record.Record, done chan struct{}) {
+				env.start(func() {
+					defer coll.done()
+					defer close(done)
+					for {
+						r, ok := env.recv(src)
+						if !ok {
+							return
+						}
+						if r.IsData() && !exit.Matches(r) {
+							mu.Lock()
+							queue = append(queue, r)
+							mu.Unlock()
+							poke()
+							continue
+						}
+						if !coll.send(r) {
+							return
+						}
 					}
-					mu.Lock()
-					pending--
-					mu.Unlock()
-					out <- r
-					poke()
+				})
+			}
+
+			// Feeder: owns the operand's input; moves queued records into
+			// the operand and runs the generation-drain shutdown.
+			env.start(func() {
+				defer coll.done()
+				instIn := env.newChan()
+				instOut := env.newChan()
+				a.spawn(env, instIn, instOut)
+				outletDone := make(chan struct{})
+				startOutlet(instOut, outletDone)
+				for {
+					for {
+						mu.Lock()
+						if len(queue) > 0 {
+							r := queue[0]
+							queue = queue[1:]
+							mu.Unlock()
+							if !env.send(instIn, r) {
+								return
+							}
+							continue
+						}
+						quiesce := inClosed
+						mu.Unlock()
+						if !quiesce {
+							break
+						}
+						// Shutdown round: close the operand and wait for
+						// it to flush everything still in flight.
+						close(instIn)
+						select {
+						case <-outletDone:
+						case <-env.done:
+							return
+						}
+						mu.Lock()
+						empty := len(queue) == 0
+						mu.Unlock()
+						if empty {
+							return
+						}
+						// The flush produced feedback; run it through a
+						// fresh operand instance. The feeder is itself a
+						// registered producer, so the add cannot race the
+						// collector's close.
+						instIn = env.newChan()
+						instOut = env.newChan()
+						a.spawn(env, instIn, instOut)
+						coll.add(1)
+						outletDone = make(chan struct{})
+						startOutlet(instOut, outletDone)
+					}
+					select {
+					case <-kick:
+					case <-env.done:
+						return
+					}
 				}
-				close(out)
-			}()
+			})
 		},
 	}
 }

@@ -10,6 +10,13 @@
 // goroutines. An entity owns its output channel and closes it once its input
 // is drained and all in-flight work has finished, so network shutdown
 // cascades naturally from closing the toplevel input.
+//
+// Beyond the orderly drain, every instance is cancellable: the environment
+// carries a done channel closed by Instance.Stop, every blocking channel
+// operation an entity performs selects on it, and every runtime goroutine
+// is tracked by a WaitGroup, so an aborted network — even one wedged
+// against an unread output or a saturated platform — unwinds completely
+// and leaks nothing.
 package core
 
 import (
@@ -36,6 +43,17 @@ type Platform interface {
 	// `to`. Implementations may account for or delay the transfer. It is
 	// never called with from == to.
 	Transfer(from, to int, r *record.Record)
+}
+
+// CancellablePlatform is optionally implemented by platforms whose Exec can
+// abandon waiting for a CPU slot. The runtime uses it when an instance is
+// stopped: a box queued behind a busy node must not strand the stopping
+// network (nor, for bounded platforms such as dist.Cluster, consume a slot
+// it will never use). ExecCancel returns false — without running fn — when
+// cancel fires before a slot was acquired; once fn has started it always
+// runs to completion and the slot is released normally.
+type CancellablePlatform interface {
+	ExecCancel(node int, cancel <-chan struct{}, fn func()) bool
 }
 
 // LocalPlatform is the trivial single-node platform.
@@ -78,12 +96,17 @@ const DefaultBufferSize = 32
 
 // Env is the per-network runtime context threaded through entity spawning.
 // It carries the platform, the current placement node, the shared error
-// sink and the options.
+// sink, the options, and the instance's lifecycle state: a done channel
+// closed when the instance is stopped and a WaitGroup tracking every
+// runtime goroutine, so Stop can wait for full reclamation.
 type Env struct {
 	platform Platform
+	cancPlat CancellablePlatform // platform, when it supports cancellation
 	node     int
 	opts     Options
 	errs     *errSink
+	done     chan struct{}   // closed by Instance.Stop; nil never happens
+	wg       *sync.WaitGroup // counts every goroutine started via start
 }
 
 // newEnv builds the root environment.
@@ -91,12 +114,16 @@ func newEnv(opts Options) *Env {
 	if opts.Platform == nil {
 		opts.Platform = LocalPlatform{}
 	}
-	return &Env{
+	e := &Env{
 		platform: opts.Platform,
 		node:     0,
 		opts:     opts,
 		errs:     &errSink{},
+		done:     make(chan struct{}),
+		wg:       &sync.WaitGroup{},
 	}
+	e.cancPlat, _ = opts.Platform.(CancellablePlatform)
+	return e
 }
 
 // At returns a copy of the environment placed on the given node.
@@ -112,8 +139,69 @@ func (e *Env) Node() int { return e.node }
 // Nodes returns the platform's node count.
 func (e *Env) Nodes() int { return e.platform.Nodes() }
 
-// exec runs fn as a box execution on the environment's node.
-func (e *Env) exec(fn func()) { e.platform.Exec(e.node, fn) }
+// start launches fn as an instance goroutine tracked by the lifecycle
+// WaitGroup. Every goroutine the runtime spawns goes through here, so
+// Instance.Stop can wait for all of them to be reclaimed.
+func (e *Env) start(fn func()) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		fn()
+	}()
+}
+
+// send delivers r on out unless the instance has been stopped. It reports
+// whether the record was delivered; on false the caller must unwind (its
+// output is no longer wanted). The buffered fast path stays a single
+// non-blocking channel operation so steady-state throughput does not pay
+// for cancellability.
+func (e *Env) send(out chan<- *record.Record, r *record.Record) bool {
+	select {
+	case out <- r:
+		return true
+	default:
+	}
+	select {
+	case out <- r:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// recv takes the next record from in, giving up when the instance is
+// stopped. The leading done poll makes a stopped instance stop consuming
+// buffered backlog immediately instead of processing it to the next
+// blocking point.
+func (e *Env) recv(in <-chan *record.Record) (*record.Record, bool) {
+	select {
+	case <-e.done:
+		return nil, false
+	default:
+	}
+	select {
+	case r, ok := <-in:
+		return r, ok
+	default:
+	}
+	select {
+	case r, ok := <-in:
+		return r, ok
+	case <-e.done:
+		return nil, false
+	}
+}
+
+// exec runs fn as a box execution on the environment's node. It reports
+// false — without having run fn — when the instance was stopped while
+// waiting for the platform to grant a CPU slot.
+func (e *Env) exec(fn func()) bool {
+	if e.cancPlat != nil {
+		return e.cancPlat.ExecCancel(e.node, e.done, fn)
+	}
+	e.platform.Exec(e.node, fn)
+	return true
+}
 
 // transfer accounts a record moving between nodes.
 func (e *Env) transfer(from, to int, r *record.Record) {
@@ -133,10 +221,22 @@ func (e *Env) newChan() chan *record.Record {
 // report records a runtime error.
 func (e *Env) report(err error) { e.errs.add(err) }
 
-// errSink accumulates runtime errors from concurrently executing entities.
+// maxRetainedErrors bounds the error sink: under a sustained flood of
+// malformed input the sink keeps the first maxRetainedErrors errors (the
+// ones that tell the story) plus a count of everything dropped, so a
+// long-lived instance cannot grow memory without limit.
+const maxRetainedErrors = 64
+
+// errSink accumulates runtime errors from concurrently executing entities,
+// retaining at most maxRetainedErrors of them. The stopped marker lives
+// outside the capped retention: ErrStopped must surface from Err even when
+// an error flood has already filled the sink.
 type errSink struct {
-	mu   sync.Mutex
-	errs []error
+	mu      sync.Mutex
+	errs    []error
+	total   int // every error ever reported, retained or not
+	dropped int // errors beyond the retention cap
+	stopped bool
 }
 
 func (s *errSink) add(err error) {
@@ -144,16 +244,44 @@ func (s *errSink) add(err error) {
 		return
 	}
 	s.mu.Lock()
-	s.errs = append(s.errs, err)
+	s.total++
+	if len(s.errs) < maxRetainedErrors {
+		s.errs = append(s.errs, err)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// markStopped records the instance abort; it counts as one reported error
+// but is never subject to the retention cap.
+func (s *errSink) markStopped() {
+	s.mu.Lock()
+	s.stopped = true
+	s.total++
 	s.mu.Unlock()
 }
 
 func (s *errSink) all() []error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]error, len(s.errs))
-	copy(out, s.errs)
+	out := make([]error, 0, len(s.errs)+2)
+	if s.stopped {
+		out = append(out, ErrStopped)
+	}
+	out = append(out, s.errs...)
+	if s.dropped > 0 {
+		out = append(out, fmt.Errorf(
+			"snet: %d further errors dropped (first %d retained)",
+			s.dropped, maxRetainedErrors))
+	}
 	return out
+}
+
+func (s *errSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
 }
 
 // SpawnFunc instantiates an entity: it must start whatever goroutines the
@@ -225,20 +353,23 @@ func (e *Entity) Describe() string {
 
 // collector lets a dynamic set of producers (star unfoldings, split
 // instances, parallel branches) share one output channel. The channel is
-// closed once every registered producer has finished.
+// closed once every registered producer has finished — producers only send
+// while registered, so the close can never race a send even during an
+// abort.
 type collector struct {
+	env *Env
 	out chan<- *record.Record
 	wg  sync.WaitGroup
 }
 
 // newCollector registers `initial` producers and starts the closer.
-func newCollector(out chan<- *record.Record, initial int) *collector {
-	c := &collector{out: out}
+func newCollector(env *Env, out chan<- *record.Record, initial int) *collector {
+	c := &collector{env: env, out: out}
 	c.wg.Add(initial)
-	go func() {
+	env.start(func() {
 		c.wg.Wait()
 		close(out)
-	}()
+	})
 	return c
 }
 
@@ -250,23 +381,37 @@ func (c *collector) add(n int) { c.wg.Add(n) }
 // done signs off one producer.
 func (c *collector) done() { c.wg.Done() }
 
-// send forwards a record to the shared output.
-func (c *collector) send(r *record.Record) { c.out <- r }
+// send forwards a record to the shared output; false means the instance
+// was stopped and the producer must unwind.
+func (c *collector) send(r *record.Record) bool { return c.env.send(c.out, r) }
 
 // drainInto forwards everything from src to the collector, then signs off.
 func (c *collector) drainInto(src <-chan *record.Record) {
 	defer c.done()
-	for r := range src {
-		c.out <- r
+	for {
+		r, ok := c.env.recv(src)
+		if !ok {
+			return
+		}
+		if !c.env.send(c.out, r) {
+			return
+		}
 	}
 }
 
-// pump copies src to dst and closes dst when src is exhausted.
-func pump(src <-chan *record.Record, dst chan<- *record.Record) {
-	for r := range src {
-		dst <- r
+// pump copies src to dst and closes dst when src is exhausted or the
+// instance is stopped.
+func (e *Env) pump(src <-chan *record.Record, dst chan<- *record.Record) {
+	defer close(dst)
+	for {
+		r, ok := e.recv(src)
+		if !ok {
+			return
+		}
+		if !e.send(dst, r) {
+			return
+		}
 	}
-	close(dst)
 }
 
 // entityError annotates a runtime error with the entity that raised it.

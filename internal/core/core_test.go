@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"snet/internal/leakcheck"
 	"snet/internal/record"
 	"snet/internal/rtype"
 )
@@ -238,6 +239,7 @@ func TestChoiceSingleBranchIsOperand(t *testing.T) {
 }
 
 func TestStarUnrolls(t *testing.T) {
+	leakcheck.Check(t)
 	// Operand increments <n>; exit when <n> carries value via guard n>=5.
 	sig := MustSig([]rtype.Label{rtype.T("n")}, []rtype.Label{rtype.T("n")})
 	inc := NewBox("incn", sig, func(c *BoxCall) error {
@@ -281,6 +283,7 @@ func TestStarExitPatternOnly(t *testing.T) {
 }
 
 func TestSplitPerTagInstance(t *testing.T) {
+	leakcheck.Check(t)
 	// The box records which instance processed the record by echoing a
 	// per-instance counter: instances are sequential, so per-tag ordering
 	// is preserved.
@@ -635,6 +638,7 @@ func TestDescribeTree(t *testing.T) {
 }
 
 func TestFeedbackStarConverges(t *testing.T) {
+	leakcheck.Check(t)
 	sig := MustSig([]rtype.Label{rtype.T("n")}, []rtype.Label{rtype.T("n")})
 	inc := NewBox("incn", sig, func(c *BoxCall) error {
 		c.Emit(record.New().SetTag("n", c.Tag("n")+1))
@@ -758,6 +762,7 @@ func TestMergerFig3SingleTask(t *testing.T) {
 }
 
 func TestMergerFig3ManyTasksStress(t *testing.T) {
+	leakcheck.Check(t)
 	const n = 64
 	var ins []*record.Record
 	for i := 0; i < n; i++ {
@@ -836,6 +841,7 @@ func TestErrorInsideSplitDoesNotHang(t *testing.T) {
 }
 
 func TestTinyBuffersNoDeadlock(t *testing.T) {
+	leakcheck.Check(t)
 	// Fully synchronous channels across a deep composition: the acyclic
 	// dataflow must still drain.
 	e := SerialAll(

@@ -56,57 +56,53 @@ func DetChoice(branches ...*Entity) *Entity {
 			ins[i] = env.newChan()
 			bo := env.newChan()
 			b.spawn(env, ins[i], bo)
-			go detPump(i, bo, events)
+			env.start(func() { detPump(env, i, bo, events) })
 		}
-		go runDetMerger(events, out)
-		go func() {
+		env.start(func() { runDetMerger(env, events, out) })
+		env.start(func() {
+			defer func() {
+				for _, c := range ins {
+					close(c)
+				}
+			}()
 			rr := 0
 			seq := 0
-			for r := range in {
+			scores := make([]int, len(branches)) // bestBranch scratch
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					break
+				}
 				if !r.IsData() {
 					// Control records take a sequence slot of their
 					// own and complete immediately.
-					events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
-					events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+					if !sendEvent(env, events, detEvent{kind: evAssign, key: ctrlKey, seq: seq}) {
+						return
+					}
+					if !sendEvent(env, events, detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}) {
+						return
+					}
 					seq++
 					continue
 				}
-				best, bestScore, ties := -1, -1, 0
-				for i, b := range branches {
-					if _, s := b.sig.In.BestMatch(r); s > bestScore {
-						best, bestScore, ties = i, s, 1
-					} else if s == bestScore && s >= 0 {
-						ties++
-					}
-				}
+				best := bestBranch(branches, scores, r, &rr)
 				if best < 0 {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s matches no branch input type", r)))
+					recycle(r)
 					continue
 				}
-				if ties > 1 {
-					k := rr % ties
-					rr++
-					for i, b := range branches {
-						if _, s := b.sig.In.BestMatch(r); s == bestScore {
-							if k == 0 {
-								best = i
-								break
-							}
-							k--
-						}
-					}
-				}
 				r.SetTagSym(seqTagSym, seq)
-				events <- detEvent{kind: evAssign, key: best, seq: seq}
+				if !sendEvent(env, events, detEvent{kind: evAssign, key: best, seq: seq}) {
+					return
+				}
 				seq++
-				ins[best] <- r
+				if !env.send(ins[best], r) {
+					return
+				}
 			}
-			for _, c := range ins {
-				close(c)
-			}
-			events <- detEvent{kind: evNoMoreKeys, seq: len(branches)}
-		}()
+			sendEvent(env, events, detEvent{kind: evNoMoreKeys, seq: len(branches)})
+		})
 	}
 	return e
 }
@@ -131,17 +127,30 @@ func DetSplit(a *Entity, tag string) *Entity {
 	}
 	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 		events := make(chan detEvent, max(0, env.opts.BufferSize)+4)
-		go runDetMerger(events, out)
-		go func() {
+		env.start(func() { runDetMerger(env, events, out) })
+		env.start(func() {
 			instances := make(map[int]chan *record.Record)
+			defer func() {
+				for _, c := range instances {
+					close(c)
+				}
+			}()
 			// Dense instance ids keep merger keys distinct from the
 			// reserved control key even for negative tag values.
 			ids := make(map[int]int)
 			seq := 0
-			for r := range in {
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					break
+				}
 				if !r.IsData() {
-					events <- detEvent{kind: evAssign, key: ctrlKey, seq: seq}
-					events <- detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}
+					if !sendEvent(env, events, detEvent{kind: evAssign, key: ctrlKey, seq: seq}) {
+						return
+					}
+					if !sendEvent(env, events, detEvent{kind: evOutput, key: ctrlKey, seq: seq, rec: r}) {
+						return
+					}
 					seq++
 					continue
 				}
@@ -149,6 +158,7 @@ func DetSplit(a *Entity, tag string) *Entity {
 				if !ok {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s lacks index tag <%s>", r, tag)))
+					recycle(r)
 					continue
 				}
 				instIn, ok := instances[v]
@@ -158,18 +168,20 @@ func DetSplit(a *Entity, tag string) *Entity {
 					ids[v] = len(ids)
 					instOut := env.newChan()
 					a.spawn(env, instIn, instOut)
-					go detPump(ids[v], instOut, events)
+					id := ids[v]
+					env.start(func() { detPump(env, id, instOut, events) })
 				}
 				r.SetTagSym(seqTagSym, seq)
-				events <- detEvent{kind: evAssign, key: ids[v], seq: seq}
+				if !sendEvent(env, events, detEvent{kind: evAssign, key: ids[v], seq: seq}) {
+					return
+				}
 				seq++
-				instIn <- r
+				if !env.send(instIn, r) {
+					return
+				}
 			}
-			for _, c := range instances {
-				close(c)
-			}
-			events <- detEvent{kind: evNoMoreKeys, seq: len(instances)}
-		}()
+			sendEvent(env, events, detEvent{kind: evNoMoreKeys, seq: len(instances)})
+		})
 	}
 	return e
 }

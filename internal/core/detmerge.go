@@ -33,6 +33,7 @@ const ctrlKey = -1
 // channel before handing the record to the branch), and a key's outputs
 // arrive in its input order (branches are FIFO).
 type detMerger struct {
+	env       *Env
 	out       chan<- *record.Record
 	nextSeq   int
 	buffered  map[int][]*record.Record
@@ -43,8 +44,9 @@ type detMerger struct {
 	expected  int // -1 until evNoMoreKeys announces the key count
 }
 
-func newDetMerger(out chan<- *record.Record) *detMerger {
+func newDetMerger(env *Env, out chan<- *record.Record) *detMerger {
 	return &detMerger{
+		env:       env,
 		out:       out,
 		buffered:  map[int][]*record.Record{},
 		completed: map[int]bool{},
@@ -71,10 +73,10 @@ func (m *detMerger) handle(ev detEvent) bool {
 		case ev.seq < 0:
 			// untagged output (sequence tag lost inside the branch):
 			// ordering responsibility is void, emit immediately.
-			m.out <- ev.rec
+			m.env.send(m.out, ev.rec)
 		case ev.seq == m.nextSeq:
 			m.flushBuffer(m.nextSeq)
-			m.out <- ev.rec
+			m.env.send(m.out, ev.rec)
 		default:
 			m.buffered[ev.seq] = append(m.buffered[ev.seq], ev.rec)
 		}
@@ -113,7 +115,7 @@ func (m *detMerger) completeThrough(key, seq int) {
 func (m *detMerger) flushBuffer(seq int) {
 	if rs, ok := m.buffered[seq]; ok {
 		for _, r := range rs {
-			m.out <- r
+			m.env.send(m.out, r)
 		}
 		delete(m.buffered, seq)
 	}
@@ -134,21 +136,48 @@ func (m *detMerger) advance() {
 }
 
 // runDetMerger drains the event channel into a merger and closes out when
-// the merge completes.
-func runDetMerger(events <-chan detEvent, out chan<- *record.Record) {
-	m := newDetMerger(out)
-	for ev := range events {
+// the merge completes or the instance is stopped. The event channel is
+// never closed (it has several producers); the dispatcher's evNoMoreKeys
+// plus per-key evClose events mark completion, and env.done covers aborts.
+func runDetMerger(env *Env, events <-chan detEvent, out chan<- *record.Record) {
+	defer close(out)
+	m := newDetMerger(env, out)
+	for {
+		var ev detEvent
+		select {
+		case ev = <-events:
+		case <-env.done:
+			return
+		}
 		if m.handle(ev) {
-			break
+			return
 		}
 	}
-	close(out)
+}
+
+// sendEvent delivers ev unless the instance is stopped.
+func sendEvent(env *Env, events chan<- detEvent, ev detEvent) bool {
+	select {
+	case events <- ev:
+		return true
+	default:
+	}
+	select {
+	case events <- ev:
+		return true
+	case <-env.done:
+		return false
+	}
 }
 
 // detPump forwards a branch's outputs as events, stripping the hidden
 // sequence tag.
-func detPump(key int, bo <-chan *record.Record, events chan<- detEvent) {
-	for r := range bo {
+func detPump(env *Env, key int, bo <-chan *record.Record, events chan<- detEvent) {
+	for {
+		r, ok := env.recv(bo)
+		if !ok {
+			break
+		}
 		seq := -1
 		if r.IsData() {
 			if s, ok := r.TagSym(seqTagSym); ok {
@@ -156,7 +185,9 @@ func detPump(key int, bo <-chan *record.Record, events chan<- detEvent) {
 				r.DeleteTagSym(seqTagSym)
 			}
 		}
-		events <- detEvent{kind: evOutput, key: key, seq: seq, rec: r}
+		if !sendEvent(env, events, detEvent{kind: evOutput, key: key, seq: seq, rec: r}) {
+			return
+		}
 	}
-	events <- detEvent{kind: evClose, key: key}
+	sendEvent(env, events, detEvent{kind: evClose, key: key})
 }

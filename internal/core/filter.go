@@ -146,22 +146,31 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 		e.nameFn = func() string { return describeFilter(rules) }
 	}
 	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-		go func() {
+		env.start(func() {
 			defer close(out)
-			for r := range in {
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					return
+				}
 				if !r.IsData() {
-					out <- r
+					if !env.send(out, r) {
+						return
+					}
 					continue
 				}
-				applyFilter(env, e, compiled, r, out)
+				if !applyFilter(env, e, compiled, r, out) {
+					return
+				}
 			}
-		}()
+		})
 	}
 	return e
 }
 
-// applyFilter processes one record through the first matching rule.
-func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, out chan<- *record.Record) {
+// applyFilter processes one record through the first matching rule. It
+// reports false when the instance was stopped mid-emission.
+func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, out chan<- *record.Record) bool {
 	for i := range rules {
 		rule := &rules[i]
 		if !rule.pattern.Matches(r) {
@@ -188,15 +197,20 @@ func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, ou
 				nr.SetTagSym(a.id, a.expr(r))
 			}
 			nr.InheritFromExcept(r, rule.consumedF, rule.consumedT)
-			out <- nr
+			if !env.send(out, nr) {
+				return false
+			}
 		}
 		// The input was consumed by the rule (outputs are fresh records);
 		// recycle it.
 		recycle(r)
-		return
+		return true
 	}
 	env.report(entityError(e.Name(), fmt.Errorf(
 		"record %s matches no filter rule", r)))
+	// The unmatched record was dropped; reclaim it.
+	recycle(r)
+	return true
 }
 
 // Identity builds the identity filter [], which passes every record through
@@ -210,7 +224,7 @@ func Identity() *Entity {
 		sig:      rtype.NewSignature(empty, empty),
 		identity: true,
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			go pump(in, out)
+			env.start(func() { env.pump(in, out) })
 		},
 	}
 }

@@ -1,10 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"sync"
 
 	"snet/internal/record"
 )
+
+// ErrStopped is reported by instances aborted with Instance.Stop (directly
+// or via a cancelled RunContext): the network did not run to completion and
+// in-flight records were discarded.
+var ErrStopped = errors.New("snet: instance stopped")
 
 // Network is an instantiable S-Net: a toplevel entity plus runtime options.
 // A Network may be instantiated many times; each Start/Run creates a fresh
@@ -26,18 +33,31 @@ func NewNetwork(e *Entity, opts Options) *Network {
 // Entity returns the underlying toplevel entity.
 func (n *Network) Entity() *Entity { return n.entity }
 
-// Instance is one running instantiation of a Network.
+// Instance is one running network instantiation. It terminates in one of
+// two ways:
+//
+//   - orderly: close In (or call Close) and drain Out; the shutdown
+//     cascades entity by entity and Out closes after the last record;
+//   - abort: call Stop; every runtime goroutine — including those blocked
+//     sending to an unread Out or waiting for a platform CPU slot — is
+//     unwound and reclaimed before Stop returns. Records in flight are
+//     discarded.
 type Instance struct {
 	// In is the network's global input stream. Close it to initiate
 	// orderly shutdown. Sending a record transfers its ownership to the
 	// network — the runtime recycles records it consumes, so the caller
-	// must not touch a record after sending it (see Run).
+	// must not touch a record after sending it (see Run). After Stop, a
+	// plain send on In can block forever; producers that may race a Stop
+	// should use Send or select on Done themselves.
 	In chan<- *record.Record
 	// Out is the network's global output stream. It is closed after the
-	// network has fully drained.
+	// network has fully drained — or fully unwound, after Stop.
 	Out <-chan *record.Record
 
-	env *Env
+	env       *Env
+	in        chan *record.Record
+	stopOnce  sync.Once
+	closeOnce sync.Once
 }
 
 // Start instantiates the network and returns its global input and output
@@ -47,12 +67,76 @@ func (n *Network) Start() *Instance {
 	in := env.newChan()
 	out := env.newChan()
 	n.entity.Spawn(env, in, out)
-	return &Instance{In: in, Out: out, env: env}
+	return &Instance{In: in, Out: out, env: env, in: in}
 }
 
-// Err returns all runtime errors reported so far, joined, or nil.
+// Err returns all runtime errors reported so far, joined, or nil. After
+// Stop the result includes ErrStopped.
 func (i *Instance) Err() error {
 	return errors.Join(i.env.errs.all()...)
+}
+
+// ErrCount returns the number of runtime errors reported so far, including
+// those beyond the sink's retention cap (Err keeps the first
+// maxRetainedErrors plus a dropped-count summary).
+func (i *Instance) ErrCount() int { return i.env.errs.count() }
+
+// Done returns a channel closed when the instance is stopped. Producers
+// feeding In from their own goroutines select on it (or use Send) so a
+// Stop cannot strand them mid-send.
+func (i *Instance) Done() <-chan struct{} { return i.env.done }
+
+// Send delivers a record to In unless the instance has been stopped; it
+// reports whether the record was accepted. Unlike a plain channel send it
+// cannot block past a Stop, and once Stop has returned it always refuses.
+// Send guards against Stop only: Close (and closing In by hand) follows
+// the usual Go channel rule that the input may only be closed once all
+// producers have finished — a Send racing a Close panics, exactly like a
+// raw send would.
+func (i *Instance) Send(r *record.Record) bool {
+	select {
+	case <-i.env.done:
+		return false
+	default:
+	}
+	return i.env.send(i.in, r)
+}
+
+// Stop aborts the instance: all entity goroutines — wherever they are
+// blocked — unwind, platform CPU slots being waited on are released, Out is
+// closed and drained, and every runtime goroutine is reclaimed before Stop
+// returns. Records still in flight are discarded, not recycled; ownership
+// of records already received from Out stays with the caller. Stop is
+// idempotent and always returns ErrStopped.
+func (i *Instance) Stop() error {
+	i.stopOnce.Do(func() {
+		i.env.errs.markStopped()
+		close(i.env.done)
+	})
+	i.env.wg.Wait()
+	// The cascade has closed Out; empty whatever it still buffers so the
+	// instance leaves no records behind even when nobody was reading.
+	for r := range i.Out {
+		recycle(r)
+	}
+	return ErrStopped
+}
+
+// Close shuts the instance down in an orderly fashion: it closes In, drains
+// (and recycles) any output the caller has not consumed, waits for every
+// runtime goroutine to finish and returns the instance's accumulated error.
+// Callers that want the output should drain Out themselves before calling
+// Close. Close must not be combined with closing In by hand, and — like
+// closing any Go channel — must only be called once every producer has
+// stopped sending (use Stop to abort past live producers). It is safe to
+// call after Stop, and calling Stop after Close is safe too.
+func (i *Instance) Close() error {
+	i.closeOnce.Do(func() { close(i.in) })
+	for r := range i.Out {
+		recycle(r)
+	}
+	i.env.wg.Wait()
+	return i.Err()
 }
 
 // Run feeds the input records into a fresh instantiation of the network,
@@ -66,16 +150,32 @@ func (i *Instance) Err() error {
 // return the outputs to it. Ownership of the returned records is the
 // caller's.
 func (n *Network) Run(inputs ...*record.Record) ([]*record.Record, error) {
+	return n.RunContext(context.Background(), inputs...)
+}
+
+// RunContext is Run with a lifetime: when ctx is cancelled before the
+// network has drained, the instance is stopped, all goroutines are
+// reclaimed, and the records produced so far are returned together with an
+// error wrapping ctx's cause and ErrStopped.
+func (n *Network) RunContext(ctx context.Context, inputs ...*record.Record) ([]*record.Record, error) {
 	inst := n.Start()
+	unwatch := context.AfterFunc(ctx, func() { inst.Stop() })
+	defer unwatch()
 	go func() {
 		for _, r := range inputs {
-			inst.In <- r
+			if !inst.Send(r) {
+				return
+			}
 		}
-		close(inst.In)
+		inst.closeOnce.Do(func() { close(inst.in) })
 	}()
 	var outs []*record.Record
 	for r := range inst.Out {
 		outs = append(outs, r)
+	}
+	inst.env.wg.Wait()
+	if ctx.Err() != nil {
+		return outs, errors.Join(ctx.Err(), inst.Err())
 	}
 	return outs, inst.Err()
 }

@@ -43,21 +43,33 @@ func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
 			innerIn := env.newChan()
 			innerOut := env.newChan()
-			go func() {
-				for r := range in {
+			env.start(func() {
+				defer close(innerIn)
+				for {
+					r, ok := env.recv(in)
+					if !ok {
+						return
+					}
 					fn(ObserveIn, r)
-					innerIn <- r
+					if !env.send(innerIn, r) {
+						return
+					}
 				}
-				close(innerIn)
-			}()
+			})
 			a.spawn(env, innerIn, innerOut)
-			go func() {
-				for r := range innerOut {
+			env.start(func() {
+				defer close(out)
+				for {
+					r, ok := env.recv(innerOut)
+					if !ok {
+						return
+					}
 					fn(ObserveOut, r)
-					out <- r
+					if !env.send(out, r) {
+						return
+					}
 				}
-				close(out)
-			}()
+			})
 		},
 	}
 }

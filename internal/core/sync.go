@@ -35,18 +35,31 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 		nameFn: func() string { return syncName(patterns) },
 		sig:    rtype.NewSignature(inT, outT),
 		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			go func() {
+			env.start(func() {
 				defer close(out)
 				stored := make([]*record.Record, len(patterns))
 				filled := 0
 				fired := false
-				for r := range in {
-					if !r.IsData() {
-						out <- r
-						continue
+				// Storage discarded at close (no flush, or a stopped
+				// instance mid-flush) is dead — the cell is its only
+				// owner — so it goes back to the pool instead of leaking.
+				defer func() {
+					for i, s := range stored {
+						if s != nil {
+							recycle(s)
+							stored[i] = nil
+						}
 					}
-					if fired {
-						out <- r
+				}()
+				for {
+					r, ok := env.recv(in)
+					if !ok {
+						break
+					}
+					if !r.IsData() || fired {
+						if !env.send(out, r) {
+							return
+						}
 						continue
 					}
 					idx := -1
@@ -57,7 +70,9 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 						}
 					}
 					if idx < 0 {
-						out <- r
+						if !env.send(out, r) {
+							return
+						}
 						continue
 					}
 					stored[idx] = r
@@ -74,17 +89,22 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 							recycle(s)
 							stored[i] = nil
 						}
-						out <- m
-					}
-				}
-				if !fired && env.opts.FlushSyncOnClose {
-					for _, s := range stored {
-						if s != nil {
-							out <- s
+						if !env.send(out, m) {
+							return
 						}
 					}
 				}
-			}()
+				if !fired && env.opts.FlushSyncOnClose {
+					for i, s := range stored {
+						if s != nil {
+							if !env.send(out, s) {
+								return
+							}
+							stored[i] = nil
+						}
+					}
+				}
+			})
 		},
 	}
 }

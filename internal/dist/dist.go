@@ -110,8 +110,22 @@ func (c *Cluster) node(n int) int {
 // slot is free and until fn has returned. This is the Platform contract: box
 // calls on a fully busy node queue behind the node's CPUs.
 func (c *Cluster) Exec(node int, fn func()) {
+	c.ExecCancel(node, nil, fn)
+}
+
+// ExecCancel is Exec with an abort path (core.CancellablePlatform): when
+// cancel fires before a CPU slot has been granted, the wait is abandoned
+// and ExecCancel returns false without running fn, so a stopped network
+// never strands queued work on — or leaks slots of — a shared cluster. An
+// execution that has already acquired its slot runs to completion and
+// releases the slot normally, cancelled or not. A nil cancel never fires.
+func (c *Cluster) ExecCancel(node int, cancel <-chan struct{}, fn func()) bool {
 	n := c.node(node)
-	c.slots[n] <- struct{}{}
+	select {
+	case c.slots[n] <- struct{}{}:
+	case <-cancel:
+		return false
+	}
 	start := time.Now()
 	defer func() {
 		c.busy[n].Add(int64(time.Since(start)))
@@ -119,6 +133,7 @@ func (c *Cluster) Exec(node int, fn func()) {
 		<-c.slots[n]
 	}()
 	fn()
+	return true
 }
 
 // Transfer accounts one record hop from node `from` to node `to`: the hop is

@@ -1,0 +1,109 @@
+package dist_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/leakcheck"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// The cluster must satisfy the runtime's cancellation contract.
+var _ core.CancellablePlatform = (*dist.Cluster)(nil)
+
+func TestExecCancelAbandonsSlotWait(t *testing.T) {
+	c := dist.NewCluster(1, 1)
+	// Occupy the node's only slot.
+	occupied := make(chan struct{})
+	release := make(chan struct{})
+	go c.Exec(0, func() {
+		close(occupied)
+		<-release
+	})
+	<-occupied
+
+	cancel := make(chan struct{})
+	ret := make(chan bool, 1)
+	go func() { ret <- c.ExecCancel(0, cancel, func() { t.Error("fn ran after cancel") }) }()
+	select {
+	case <-ret:
+		t.Fatal("ExecCancel returned while the slot was still busy")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case ok := <-ret:
+		if ok {
+			t.Fatal("ExecCancel reported true after cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ExecCancel did not honor cancellation")
+	}
+	close(release)
+
+	// The abandoned wait must not have consumed capacity: a fresh Exec
+	// acquires the slot normally.
+	done := make(chan struct{})
+	go c.Exec(0, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot stranded after cancelled ExecCancel")
+	}
+}
+
+// TestStopReleasesClusterCapacity runs a network against a fully busy
+// cluster, stops it while boxes are queued for slots, and verifies the
+// cluster remains usable — a stopped network must not strand CPU slots.
+func TestStopReleasesClusterCapacity(t *testing.T) {
+	leakcheck.Check(t)
+	cluster := dist.NewCluster(1, 1)
+	sig := core.MustSig([]rtype.Label{rtype.F("x")}, []rtype.Label{rtype.F("x")})
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	blocking := core.NewBox("blocking", sig, func(c *core.BoxCall) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	inst := core.NewNetwork(blocking, core.Options{Platform: cluster}).Start()
+	// First record holds the node's only CPU; the rest queue behind it,
+	// some of them inside ExecCancel waiting for the slot.
+	for i := 0; i < 4; i++ {
+		if !inst.Send(record.New().SetField("x", i)) {
+			t.Fatal("Send refused")
+		}
+	}
+	<-started
+
+	stopRet := make(chan error, 1)
+	go func() { stopRet <- inst.Stop() }()
+	// Let Stop cancel the queued ExecCancel waiters, then release the
+	// one execution actually holding the slot.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-stopRet:
+		if !errors.Is(err, core.ErrStopped) {
+			t.Fatalf("Stop = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on a saturated cluster")
+	}
+
+	// All slots must be free again: an independent network on the same
+	// cluster runs to completion.
+	quick := core.NewBox("quick", sig, func(c *core.BoxCall) error {
+		c.Emit(record.New().SetField("x", 1))
+		return nil
+	})
+	outs, err := core.NewNetwork(quick, core.Options{Platform: cluster}).Run(
+		record.New().SetField("x", 0))
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("cluster unusable after Stop: outs=%v err=%v", outs, err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package leakcheck is a test harness asserting that the S-Net runtime
+// reclaims every goroutine it starts. The lifecycle contract (core's
+// package doc) promises that both orderly shutdown and Instance.Stop leave
+// zero runtime goroutines behind; tests enforce it by calling Check at the
+// top of the test body and letting the registered cleanup diff the live
+// goroutine set.
+//
+// Detection is by stack inspection: a goroutine belongs to the runtime when
+// any frame of its stack lies in an snet package. Goroutines take a moment
+// to be descheduled after their work is logically done (a collector's
+// closer between wg.Wait and its return, a test's own feeder draining), so
+// the cleanup polls with a grace period before declaring a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long the cleanup waits for in-flight goroutines to finish
+// unwinding before declaring them leaked. Reclamation after Stop or a full
+// drain is prompt; the window only absorbs scheduler latency.
+const grace = 5 * time.Second
+
+// Check registers a cleanup that fails the test if any snet runtime
+// goroutine is still alive once the test body (and the grace period) has
+// passed. Call it first thing in a test that instantiates networks.
+func Check(t testing.TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = Leaked()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d runtime goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// Leaked returns the stacks of live goroutines that have an snet frame,
+// excluding test-runner goroutines (the test function itself runs snet
+// code) and this package's own polling.
+func Leaked() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "snet/internal/") && !strings.Contains(g, "\nsnet.") {
+			continue
+		}
+		if strings.Contains(g, "testing.tRunner") ||
+			strings.Contains(g, "leakcheck.Leaked") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}

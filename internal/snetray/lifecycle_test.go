@@ -1,0 +1,130 @@
+package snetray
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"snet/internal/compile"
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/leakcheck"
+	"snet/internal/raytrace"
+	"snet/internal/record"
+)
+
+// headSource is the front half of the paper's Fig. 2 network — splitter and
+// placed solvers, no merger and no genImg — so every rendered chunk heads
+// for the network's global output. Feeding it and not reading Out is the
+// canonical saturation scenario: solvers block on the output path while
+// further sections queue behind the cluster's CPU slots.
+const headSource = `
+net raytracing_head
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <node>, <tasks>, <fst>)
+                   | (scene, sect, <node>, <tasks> ));
+    box solver ( (scene, sect) -> (chunk));
+} connect
+    splitter .. solver!@<node>
+`
+
+// TestStopSaturatedRaytraceNetwork is the PR's acceptance scenario: a
+// raytrace network wedged against an unread Out must be fully reclaimed by
+// Stop — every goroutine gone, every cluster CPU slot released.
+func TestStopSaturatedRaytraceNetwork(t *testing.T) {
+	leakcheck.Check(t)
+	scene := raytrace.UnbalancedScene(40, 7)
+	cfg := Config{Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 16, Mode: Static}
+	sink := &imageSink{}
+	reg, err := cfg.registry(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compile.Source(headSource, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := res.Net("raytracing_head")
+	if !ok {
+		t.Fatal("headSource did not compile a net")
+	}
+	cluster := dist.NewCluster(cfg.Nodes, cfg.CPUs)
+	// Tiny buffers: a couple of chunks wedge the whole path.
+	net := core.NewNetwork(ent, core.Options{Platform: cluster, BufferSize: 1})
+	inst := net.Start()
+	if !inst.Send(record.Build().
+		F("scene", scene).T("nodes", cfg.Nodes).T("tasks", cfg.Tasks).Rec()) {
+		t.Fatal("Send refused")
+	}
+	// Wait until solvers have actually rendered chunks nobody is reading.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := cluster.Stats()
+		var execs int64
+		for _, e := range s.Execs {
+			execs += e
+		}
+		if execs >= 3 && len(inst.Out) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("network never saturated: stats=%+v buffered=%d", s, len(inst.Out))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stopRet := make(chan error, 1)
+	go func() { stopRet <- inst.Stop() }()
+	select {
+	case err := <-stopRet:
+		if !errors.Is(err, core.ErrStopped) {
+			t.Fatalf("Stop = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not reclaim the saturated raytrace network")
+	}
+
+	// The cluster keeps serving: a full render on the same platform
+	// completes and matches the sequential reference.
+	cfg.Cluster = cluster
+	full, err := Render(cfg)
+	if err != nil {
+		t.Fatalf("render after Stop: %v", err)
+	}
+	want, _ := raytrace.Render(scene, testW, testH)
+	if !full.Image.Equal(want) {
+		t.Fatal("post-Stop render differs from sequential reference")
+	}
+}
+
+func TestRenderContextCancelled(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the render must abort promptly
+	_, err := RenderContext(ctx, Config{
+		Scene: raytrace.BalancedScene(30, 1), W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 8, Mode: Static,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRenderContextCompletes(t *testing.T) {
+	leakcheck.Check(t)
+	scene := raytrace.BalancedScene(30, 1)
+	res, err := RenderContext(context.Background(), Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 8, Mode: Static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := raytrace.Render(scene, testW, testH)
+	if !res.Image.Equal(want) {
+		t.Fatal("image differs from sequential reference")
+	}
+}

@@ -8,6 +8,7 @@
 package snetray
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -345,6 +346,15 @@ type Result struct {
 // Render compiles and runs the configured network on a cluster platform and
 // returns the assembled image.
 func Render(cfg Config) (*Result, error) {
+	return RenderContext(context.Background(), cfg)
+}
+
+// RenderContext is Render with a lifetime: when ctx is cancelled before the
+// render completes, the coordinated network is stopped — all of its
+// goroutines are reclaimed and its queued box executions release their
+// cluster CPU slots — and the context's error is returned. Use it to bound
+// renders serving interactive requests.
+func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Nodes <= 0 || cfg.CPUs <= 0 {
 		return nil, fmt.Errorf("snetray: need positive Nodes and CPUs")
 	}
@@ -360,7 +370,7 @@ func Render(cfg Config) (*Result, error) {
 		cluster = dist.NewCluster(cfg.Nodes, cfg.CPUs)
 	}
 	net := core.NewNetwork(ent, core.Options{Platform: cluster})
-	outs, err := net.Run(record.Build().
+	outs, err := net.RunContext(ctx, record.Build().
 		F("scene", cfg.Scene).
 		T("nodes", cfg.Nodes).
 		T("tasks", cfg.Tasks).

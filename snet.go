@@ -124,12 +124,23 @@ type (
 	BoxFunc = core.BoxFunc
 	// Options configure a network instantiation.
 	Options = core.Options
-	// Network is an instantiable S-Net.
+	// Network is an instantiable S-Net. Beyond Run, it offers
+	// RunContext (Run bounded by a context: cancellation stops the
+	// instance and reclaims every goroutine) and Start, which returns an
+	// Instance for streaming use.
 	Network = core.Network
-	// Instance is one running network instantiation.
+	// Instance is one running network instantiation. Orderly shutdown:
+	// close In (or call Close) and drain Out. Abort: call Stop — every
+	// runtime goroutine, including those blocked on an unread Out or
+	// queued for a platform CPU slot, is reclaimed before Stop returns,
+	// and in-flight records are discarded.
 	Instance = core.Instance
 	// Platform abstracts the compute substrate (see dist.Cluster).
 	Platform = core.Platform
+	// CancellablePlatform is optionally implemented by platforms whose
+	// Exec can abandon a pending CPU-slot wait when an instance is
+	// stopped; dist.Cluster implements it.
+	CancellablePlatform = core.CancellablePlatform
 	// LocalPlatform is the trivial single-node platform.
 	LocalPlatform = core.LocalPlatform
 	// FilterRule, FilterOutput and TagAssign describe filters
@@ -140,6 +151,11 @@ type (
 	// TagAssign sets a tag from an expression in a filter output.
 	TagAssign = core.TagAssign
 )
+
+// ErrStopped is reported by instances aborted with Instance.Stop or a
+// cancelled RunContext: the network did not run to completion and records
+// in flight were discarded. Test with errors.Is.
+var ErrStopped = core.ErrStopped
 
 // MustSig builds a single-input-variant signature from label lists.
 func MustSig(in []Label, outs ...[]Label) Signature { return core.MustSig(in, outs...) }
@@ -190,9 +206,11 @@ func NewSync(patterns ...*Pattern) *Entity { return core.NewSync(patterns...) }
 
 // FeedbackStar is an extension beyond the paper: a feedback variant of the
 // star combinator that re-circulates non-exit records through a single
-// operand instance instead of unrolling replicas. It requires a
-// record-preserving operand (one output per input) and exists for the
-// unroll-versus-feedback ablation benchmark; the compiler never emits it.
+// operand instance instead of unrolling replicas. Operands may consume
+// records without emitting or emit several exits per input (shutdown
+// drains in generations, see core.FeedbackStar), but must be stateless
+// across records — no synchrocells. It exists for the unroll-versus-
+// feedback ablation benchmark; the compiler never emits it.
 func FeedbackStar(a *Entity, exit *Pattern) *Entity { return core.FeedbackStar(a, exit) }
 
 // ObserveDirection tells an observer callback whether a record was entering
