@@ -186,8 +186,9 @@ func BenchmarkLiveMPIMasterWorker(b *testing.B) {
 
 // benchClusterShape runs the same dynamic network on a given cluster shape
 // (total CPU budget held constant by the caller), optionally charging a
-// transfer cost, and reports the cross-node traffic the shape induces.
-func benchClusterShape(b *testing.B, nodes, cpus int, latency time.Duration, bandwidth float64) {
+// transfer cost, and reports the cross-node traffic the shape induces:
+// record hops, wire messages (batched hops share a message), and bytes.
+func benchClusterShape(b *testing.B, nodes, cpus, tasks, tokens int, latency time.Duration, bandwidth float64) {
 	scene := liveScene()
 	b.ReportAllocs()
 	var stats dist.Stats
@@ -196,7 +197,7 @@ func benchClusterShape(b *testing.B, nodes, cpus int, latency time.Duration, ban
 		cluster.SetTransferCost(latency, bandwidth)
 		_, err := snetray.Render(snetray.Config{
 			Scene: scene, W: liveW, H: liveH,
-			Nodes: nodes, CPUs: cpus, Tasks: 16, Tokens: 8,
+			Nodes: nodes, CPUs: cpus, Tasks: tasks, Tokens: tokens,
 			Mode: snetray.Dynamic, Policy: snetray.BlockPolicy,
 			Cluster: cluster,
 		})
@@ -206,20 +207,21 @@ func benchClusterShape(b *testing.B, nodes, cpus int, latency time.Duration, ban
 		stats = cluster.Stats()
 	}
 	b.ReportMetric(float64(stats.Transfers), "transfers/op")
+	b.ReportMetric(float64(stats.Batches), "messages/op")
 	b.ReportMetric(float64(stats.Bytes)/1024, "KiB/op")
 }
 
 // BenchmarkLiveClusterOneWideNode runs the dynamic network on a single
 // 8-CPU node: all placement is local, so no transfers are charged.
 func BenchmarkLiveClusterOneWideNode(b *testing.B) {
-	benchClusterShape(b, 1, 8, 0, 0)
+	benchClusterShape(b, 1, 8, 16, 8, 0, 0)
 }
 
 // BenchmarkLiveClusterEightSlimNodes runs the identical network and CPU
 // budget as eight 1-CPU nodes: every section now hops across nodes, making
 // the coordination traffic visible in the reported metrics.
 func BenchmarkLiveClusterEightSlimNodes(b *testing.B) {
-	benchClusterShape(b, 8, 1, 0, 0)
+	benchClusterShape(b, 8, 1, 16, 8, 0, 0)
 }
 
 // BenchmarkLiveClusterEightSlimNodesCostedLink repeats the eight-node shape
@@ -227,7 +229,18 @@ func BenchmarkLiveClusterEightSlimNodes(b *testing.B) {
 // sensitive the design is to communication cost — a regime the paper's
 // compute-bound figures do not reach.
 func BenchmarkLiveClusterEightSlimNodesCostedLink(b *testing.B) {
-	benchClusterShape(b, 8, 1, 200*time.Microsecond, 100e6)
+	benchClusterShape(b, 8, 1, 16, 8, 200*time.Microsecond, 100e6)
+}
+
+// BenchmarkLiveClusterCommBoundCostedLink is the communication-bound
+// regime the batched transport exists for: 64 fine-grained sections on the
+// costed interconnect, so section solve time no longer dominates the
+// per-hop latency. While a placement relay serves one modelled hop,
+// further records queue behind it and cross as one batched message — the
+// per-hop latency is paid per message, not per record (see
+// dist.Stats.Batches in the reported messages/op metric).
+func BenchmarkLiveClusterCommBoundCostedLink(b *testing.B) {
+	benchClusterShape(b, 8, 1, 64, 16, 200*time.Microsecond, 100e6)
 }
 
 // --- Ablations ------------------------------------------------------------

@@ -4,17 +4,45 @@
 // static fork–join network and once with the token-based dynamic network.
 // The per-node busy times show the static schedule leaving most nodes idle
 // while the dynamic schedule spreads the expensive band across the cluster.
+//
+// Expected output: a header line with the scene and cluster shape, one
+// line per engine of the form
+//
+//	S-Net Static       123ms   busy/node:  95ms   2ms   1ms   1ms
+//	S-Net Dynamic       45ms   busy/node:  25ms  24ms  23ms  24ms
+//
+// (wall time and per-node busy times vary with the host; the static
+// render's busy times are skewed toward one node, the dynamic ones are
+// even), then "static and dynamic renders are pixel-identical". On a
+// render failure the command prints the number of runtime errors the
+// coordination layer reported and the first errors, then exits non-zero.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"snet/internal/raytrace"
 	"snet/internal/snetray"
 )
+
+// describeErr renders a (possibly joined) runtime error as a count plus
+// the first errors: Network.Run joins every error the instance's sink
+// retained (Instance.ErrCount's view), so the unwrapped length is the
+// retained error count.
+func describeErr(err error) string {
+	var joined interface{ Unwrap() []error }
+	if errors.As(err, &joined) {
+		errs := joined.Unwrap()
+		first := errs[0]
+		return fmt.Sprintf("%d runtime error(s); first: %v", len(errs), first)
+	}
+	return fmt.Sprintf("1 runtime error: %v", err)
+}
 
 func main() {
 	var (
@@ -41,7 +69,8 @@ func main() {
 		start := time.Now()
 		res, err := snetray.Render(cfg)
 		if err != nil {
-			log.Fatalf("%s: %v", cfg.Mode, err)
+			fmt.Fprintf(os.Stderr, "%s: render failed: %s\n", cfg.Mode, describeErr(err))
+			os.Exit(1)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("%-18s %8v   busy/node:", cfg.Mode, elapsed.Round(time.Millisecond))
@@ -65,7 +94,8 @@ func main() {
 	})
 
 	if !staticRes.Image.Equal(dynRes.Image) {
-		log.Fatal("static and dynamic renders differ — coordination bug")
+		fmt.Fprintln(os.Stderr, "static and dynamic renders differ — coordination bug")
+		os.Exit(1)
 	}
 	fmt.Println("static and dynamic renders are pixel-identical")
 	if *out != "" {

@@ -6,12 +6,23 @@
 // through the alert box, everything else bypasses. The example exercises
 // split !<tag>, synchrocells, type-driven choice and flow inheritance with
 // no hand-written synchronization at all.
+//
+// Expected output (the scene is seeded, so it is deterministic): one line
+// per sequence number 0..7 in order, either
+//
+//	seq N: reading R        — fused reading, not flagged hot
+//	seq N: heat alarm: …    — fused reading above the alert threshold
+//
+// followed by a one-line traffic summary. On a runtime error the command
+// prints the instance's error count and the first errors to stderr and
+// exits non-zero; a healthy run reports "0 runtime errors".
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 
 	"snet"
@@ -66,10 +77,31 @@ func main() {
 	}
 	rng.Shuffle(len(inputs), func(i, j int) { inputs[i], inputs[j] = inputs[j], inputs[i] })
 
-	outs, err := net.Run(inputs...)
-	if err != nil {
-		log.Fatal(err)
+	// Drive the network through the streaming Instance API so the error
+	// surface is visible: ErrCount counts every runtime error (unmatched
+	// records, box failures), Err carries the first ones.
+	inst := net.Start()
+	go func() {
+		for _, r := range inputs {
+			if !inst.Send(r) {
+				return
+			}
+		}
+		close(inst.In)
+	}()
+	var outs []*snet.Record
+	for r := range inst.Out {
+		outs = append(outs, r)
 	}
+	if n := inst.ErrCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "pipeline: %d runtime error(s); first errors:\n%v\n", n, inst.Err())
+		os.Exit(1)
+	}
+	if len(outs) != n {
+		fmt.Fprintf(os.Stderr, "pipeline: %d outputs, want %d (records lost without a reported error)\n", len(outs), n)
+		os.Exit(1)
+	}
+
 	sort.Slice(outs, func(i, j int) bool {
 		a, _ := outs[i].Tag("seq")
 		b, _ := outs[j].Tag("seq")
@@ -84,4 +116,5 @@ func main() {
 		reading, _ := r.Field("reading")
 		fmt.Printf("seq %d: reading %.1f\n", seq, reading)
 	}
+	fmt.Printf("%d readings fused, 0 runtime errors\n", len(outs))
 }

@@ -5,6 +5,7 @@ import (
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // BoxCall is the context handed to a box function for one triggering record.
@@ -132,9 +133,9 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 	return &Entity{
 		name: name,
 		sig:  sig,
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() {
-				defer close(out)
+				defer env.closeLink(out)
 				// One reusable call context and one execution closure per
 				// box instance: boxes are sequential per instance, so both
 				// (including the pending-output buffer) are recycled across
@@ -174,7 +175,7 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 // context and execution closure. It reports false when the instance was
 // stopped (while waiting for a CPU slot or flushing output), in which case
 // the box goroutine must unwind.
-func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out chan<- *record.Record) bool {
+func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *stream.Link) bool {
 	env := call.env
 	v, score := b.sig.In.BestMatch(r)
 	if score < 0 {
@@ -197,19 +198,19 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out chan<-
 		return false
 	}
 	// Flush outside the platform slot: downstream backpressure must not
-	// hold a node CPU. The box consumed its input, so r is dead afterwards
-	// and returns to the pool — unless the body emitted the input record
-	// itself (identity-style bodies may).
+	// hold a node CPU. The whole emission set goes out in one link
+	// operation (SendMany batches it under a single lock), and the
+	// pending buffer stays the box's — records are appended into the
+	// link's own batches. The box consumed its input, so r is dead
+	// afterwards and returns to the pool — unless the body emitted the
+	// input record itself (identity-style bodies may).
 	reemitted := false
-	delivered := true
 	for _, o := range call.pending {
 		if o == r {
 			reemitted = true
 		}
-		if delivered && !env.send(out, o) {
-			delivered = false
-		}
 	}
+	delivered := env.sendMany(out, call.pending)
 	// Recycle the pending buffer without retaining record references.
 	clear(call.pending)
 	call.pending = call.pending[:0]

@@ -6,6 +6,7 @@ import (
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // Serial builds the serial composition A..B: the output stream of a becomes
@@ -17,14 +18,14 @@ func Serial(a, b *Entity) *Entity {
 		nameFn: func() string { return "(" + a.Name() + ".." + b.Name() + ")" },
 		sig:    rtype.NewSignature(a.sig.In, b.sig.Out),
 		kids:   []*Entity{a, b},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			switch {
 			case a.identity:
 				b.spawn(env, in, out)
 			case b.identity:
 				a.spawn(env, in, out)
 			default:
-				mid := env.newChan()
+				mid := env.newLink()
 				a.spawn(env, in, mid)
 				b.spawn(env, mid, out)
 			}
@@ -66,13 +67,13 @@ func Choice(branches ...*Entity) *Entity {
 		sig:    rtype.NewSignature(inT, outT),
 		kids:   branches,
 	}
-	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn = func(env *Env, in, out *stream.Link) {
 		// Identity branches (the paper's ubiquitous [] bypass) are
 		// elided: the dispatcher forwards their records straight to
 		// the merged output instead of paying two channels and two
 		// goroutines per instantiation. ins[i] == nil marks an elided
 		// branch.
-		ins := make([]chan *record.Record, len(branches))
+		ins := make([]*stream.Link, len(branches))
 		spawned := 0
 		for _, b := range branches {
 			if !b.identity {
@@ -84,8 +85,8 @@ func Choice(branches ...*Entity) *Entity {
 			if b.identity {
 				continue
 			}
-			ins[i] = env.newChan()
-			bo := env.newChan()
+			ins[i] = env.newLink()
+			bo := env.newLink()
 			b.spawn(env, ins[i], bo)
 			env.start(func() { coll.drainInto(bo) })
 		}
@@ -93,7 +94,7 @@ func Choice(branches ...*Entity) *Entity {
 		// keep FIFO order with the data records routed there; they bypass
 		// straight to the merge only when every branch is the (elided)
 		// identity — whichever branch index 0 happens to be.
-		var ctrlIn chan *record.Record
+		var ctrlIn *stream.Link
 		for _, c := range ins {
 			if c != nil {
 				ctrlIn = c
@@ -105,7 +106,7 @@ func Choice(branches ...*Entity) *Entity {
 			defer func() {
 				for _, c := range ins {
 					if c != nil {
-						close(c)
+						env.closeLink(c)
 					}
 				}
 			}()
@@ -204,7 +205,7 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 		nameFn: func() string { return fmt.Sprintf("(%s*%s)", a.Name(), exit) },
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			coll := newCollector(env, out, 1)
 			env.start(func() { starStage(env, a, exit, in, coll) })
 		},
@@ -214,12 +215,12 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 // starStage is one unfolding of a star: the tap in front of replica k. It
 // emits exit-matching records to the shared collector and lazily creates
 // replica k plus the next stage when the first non-exit record arrives.
-func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Record, coll *collector) {
+func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *collector) {
 	defer coll.done()
-	var instIn chan *record.Record
+	var instIn *stream.Link
 	defer func() {
 		if instIn != nil {
-			close(instIn)
+			env.closeLink(instIn)
 		}
 	}()
 	for {
@@ -234,8 +235,8 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in <-chan *record.Recor
 			continue
 		}
 		if instIn == nil {
-			instIn = env.newChan()
-			instOut := env.newChan()
+			instIn = env.newLink()
+			instOut := env.newLink()
 			a.spawn(env, instIn, instOut)
 			coll.add(1)
 			env.start(func() { starStage(env, a, exit, instOut, coll) })
@@ -290,73 +291,106 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 		sig:    rtype.NewSignature(inT, a.sig.Out),
 		kids:   []*Entity{a},
 	}
-	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn = func(env *Env, in, out *stream.Link) {
 		coll := newCollector(env, out, 1)
 		env.start(func() {
 			defer coll.done()
-			instances := make(map[int]chan *record.Record)
+			instances := make(map[int]*stream.Link)
 			defer func() {
 				for _, c := range instances {
-					close(c)
+					env.closeLink(c)
 				}
 			}()
+			// ensure lazily instantiates the replica for tag value v.
+			ensure := func(v int) *stream.Link {
+				instIn, ok := instances[v]
+				if ok {
+					return instIn
+				}
+				instIn = env.newLink()
+				instances[v] = instIn
+				instEnv := env
+				if nodeFor != nil {
+					instEnv = env.At(nodeFor(env, v))
+				}
+				instOut := env.newLink()
+				a.spawn(instEnv, instIn, instOut)
+				coll.add(1)
+				if nodeFor != nil {
+					// Account the return path: records leaving the
+					// replica travel back to the split's node, a whole
+					// batch per hop so the platform amortizes
+					// per-message framing and per-hop latency.
+					back := instEnv
+					env.start(func() {
+						defer coll.done()
+						for {
+							b, ok := instOut.RecvBatch(env.done)
+							if !ok {
+								return
+							}
+							env.transferBatch(back.node, env.node, b.Recs)
+							if !coll.out.SendBatch(b, env.done) {
+								return
+							}
+						}
+					})
+				} else {
+					env.start(func() { coll.drainInto(instOut) })
+				}
+				return instIn
+			}
+			// The dispatcher routes whole input batches, forwarding each
+			// run of consecutive same-destination records as one unit:
+			// one platform transfer and one link operation per run,
+			// stream order fully preserved, no per-batch allocation. A
+			// workload whose index tags arrive value-interleaved still
+			// pays one message per record; one that blocks them (or whose
+			// replicas see bursts) amortizes automatically.
 			for {
-				r, ok := env.recv(in)
+				b, ok := in.RecvBatch(env.done)
 				if !ok {
 					return
 				}
-				if !r.IsData() {
-					if !coll.send(r) {
+				recs := b.Recs
+				i := 0
+				for i < len(recs) {
+					r := recs[i]
+					if !r.IsData() {
+						if !coll.send(r) {
+							return
+						}
+						i++
+						continue
+					}
+					v, ok := r.TagSym(tagSym)
+					if !ok {
+						env.report(entityError(e.Name(), fmt.Errorf(
+							"record %s lacks index tag <%s>", r, tag)))
+						// The dropped record is dead; reclaim it.
+						recycle(r)
+						i++
+						continue
+					}
+					j := i + 1
+					for j < len(recs) && recs[j].IsData() {
+						v2, ok2 := recs[j].TagSym(tagSym)
+						if !ok2 || v2 != v {
+							break
+						}
+						j++
+					}
+					run := recs[i:j]
+					instIn := ensure(v)
+					if nodeFor != nil {
+						env.transferBatch(env.node, nodeFor(env, v), run)
+					}
+					if !instIn.SendMany(run, env.done) {
 						return
 					}
-					continue
+					i = j
 				}
-				v, ok := r.TagSym(tagSym)
-				if !ok {
-					env.report(entityError(e.Name(), fmt.Errorf(
-						"record %s lacks index tag <%s>", r, tag)))
-					// The dropped record is dead; reclaim it.
-					recycle(r)
-					continue
-				}
-				instIn, ok := instances[v]
-				if !ok {
-					instIn = env.newChan()
-					instances[v] = instIn
-					instEnv := env
-					if nodeFor != nil {
-						instEnv = env.At(nodeFor(env, v))
-					}
-					instOut := env.newChan()
-					a.spawn(instEnv, instIn, instOut)
-					coll.add(1)
-					if nodeFor != nil {
-						// Account the return path: records leaving the
-						// replica travel back to the split's node.
-						back := instEnv
-						env.start(func() {
-							defer coll.done()
-							for {
-								o, ok := env.recv(instOut)
-								if !ok {
-									return
-								}
-								env.transfer(back.node, env.node, o)
-								if !coll.send(o) {
-									return
-								}
-							}
-						})
-					} else {
-						env.start(func() { coll.drainInto(instOut) })
-					}
-				}
-				if nodeFor != nil {
-					env.transfer(env.node, nodeFor(env, v), r)
-				}
-				if !env.send(instIn, r) {
-					return
-				}
+				stream.FreeBatch(b)
 			}
 		})
 	}
@@ -371,36 +405,38 @@ func At(a *Entity, node int) *Entity {
 		nameFn: func() string { return fmt.Sprintf("(%s@%d)", a.Name(), node) },
 		sig:    a.sig,
 		kids:   []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			target := node
 			if n := env.Nodes(); n > 0 {
 				target = ((node % n) + n) % n
 			}
-			innerIn := env.newChan()
-			innerOut := env.newChan()
+			innerIn := env.newLink()
+			innerOut := env.newLink()
+			// Both relays move whole batches: one platform transfer and
+			// one link operation per batch, not per record.
 			env.start(func() {
-				defer close(innerIn)
+				defer env.closeLink(innerIn)
 				for {
-					r, ok := env.recv(in)
+					b, ok := in.RecvBatch(env.done)
 					if !ok {
 						return
 					}
-					env.transfer(env.node, target, r)
-					if !env.send(innerIn, r) {
+					env.transferBatch(env.node, target, b.Recs)
+					if !innerIn.SendBatch(b, env.done) {
 						return
 					}
 				}
 			})
 			a.spawn(env.At(target), innerIn, innerOut)
 			env.start(func() {
-				defer close(out)
+				defer env.closeLink(out)
 				for {
-					r, ok := env.recv(innerOut)
+					b, ok := innerOut.RecvBatch(env.done)
 					if !ok {
 						return
 					}
-					env.transfer(target, env.node, r)
-					if !env.send(out, r) {
+					env.transferBatch(target, env.node, b.Recs)
+					if !out.SendBatch(b, env.done) {
 						return
 					}
 				}
@@ -433,7 +469,7 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 		nameFn: func() string { return fmt.Sprintf("(%s*fb%s)", a.Name(), exit) },
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			var mu sync.Mutex
 			var queue []*record.Record // unbounded feedback queue
 			inClosed := false
@@ -483,7 +519,7 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 			// feedback records rejoin the queue. Closes done when the
 			// generation's output is exhausted. The caller registers the
 			// outlet with the collector before starting it.
-			startOutlet := func(src chan *record.Record, done chan struct{}) {
+			startOutlet := func(src *stream.Link, done chan struct{}) {
 				env.start(func() {
 					defer coll.done()
 					defer close(done)
@@ -510,8 +546,8 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 			// the operand and runs the generation-drain shutdown.
 			env.start(func() {
 				defer coll.done()
-				instIn := env.newChan()
-				instOut := env.newChan()
+				instIn := env.newLink()
+				instOut := env.newLink()
 				a.spawn(env, instIn, instOut)
 				outletDone := make(chan struct{})
 				startOutlet(instOut, outletDone)
@@ -534,7 +570,7 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 						}
 						// Shutdown round: close the operand and wait for
 						// it to flush everything still in flight.
-						close(instIn)
+						env.closeLink(instIn)
 						select {
 						case <-outletDone:
 						case <-env.done:
@@ -550,8 +586,8 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 						// fresh operand instance. The feeder is itself a
 						// registered producer, so the add cannot race the
 						// collector's close.
-						instIn = env.newChan()
-						instOut = env.newChan()
+						instIn = env.newLink()
+						instOut = env.newLink()
 						a.spawn(env, instIn, instOut)
 						coll.add(1)
 						outletDone = make(chan struct{})

@@ -22,9 +22,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // Platform abstracts the compute substrate underneath a network: where box
@@ -56,6 +58,17 @@ type CancellablePlatform interface {
 	ExecCancel(node int, cancel <-chan struct{}, fn func()) bool
 }
 
+// BatchPlatform is optionally implemented by platforms that can account a
+// whole batch of records crossing between nodes in one operation, so
+// per-message framing and per-hop fixed costs (codec locking, modelled
+// link latency) are amortized over the batch. The runtime uses it whenever
+// a placement relay moves an entire stream batch across a node boundary;
+// platforms without it see the same records as individual Transfer calls.
+// It is never called with from == to or with an empty batch.
+type BatchPlatform interface {
+	TransferBatch(from, to int, rs []*record.Record)
+}
+
 // LocalPlatform is the trivial single-node platform.
 type LocalPlatform struct{}
 
@@ -70,10 +83,21 @@ func (LocalPlatform) Transfer(from, to int, r *record.Record) {}
 
 // Options configure a network instantiation.
 type Options struct {
-	// BufferSize is the capacity of every stream channel. Zero selects
-	// DefaultBufferSize; a negative value makes every stream fully
-	// synchronous (unbuffered).
+	// BufferSize is the capacity of every stream link in records — the
+	// backpressure bound between adjacent entities. Zero selects
+	// DefaultBufferSize; a negative value makes every link fully
+	// synchronous (unbuffered, record-at-a-time).
 	BufferSize int
+	// BatchSize is the records-per-batch ceiling of every stream link.
+	// Zero selects stream.DefaultBatchSize; one disables batching
+	// (every record is its own channel operation, the pre-batching
+	// behavior). Values above BufferSize are clamped to it.
+	BatchSize int
+	// FlushInterval bounds how long a record may linger in a partial
+	// batch while its receiver is busy. Zero selects
+	// stream.DefaultFlushInterval; a negative value disables the timer
+	// flush (fill-up, downstream-idle and close flushes still apply).
+	FlushInterval time.Duration
 	// Platform is the compute substrate; nil means LocalPlatform.
 	Platform Platform
 	// CheckTypes enables runtime verification that every record emitted
@@ -100,13 +124,15 @@ const DefaultBufferSize = 32
 // closed when the instance is stopped and a WaitGroup tracking every
 // runtime goroutine, so Stop can wait for full reclamation.
 type Env struct {
-	platform Platform
-	cancPlat CancellablePlatform // platform, when it supports cancellation
-	node     int
-	opts     Options
-	errs     *errSink
-	done     chan struct{}   // closed by Instance.Stop; nil never happens
-	wg       *sync.WaitGroup // counts every goroutine started via start
+	platform  Platform
+	cancPlat  CancellablePlatform // platform, when it supports cancellation
+	batchPlat BatchPlatform       // platform, when it supports batch transfer
+	node      int
+	opts      Options
+	errs      *errSink
+	done      chan struct{}   // closed by Instance.Stop; nil never happens
+	wg        *sync.WaitGroup // counts every goroutine started via start
+	links     *linkReg        // every stream link of the instance
 }
 
 // newEnv builds the root environment.
@@ -121,9 +147,102 @@ func newEnv(opts Options) *Env {
 		errs:     &errSink{},
 		done:     make(chan struct{}),
 		wg:       &sync.WaitGroup{},
+		links:    &linkReg{},
 	}
 	e.cancPlat, _ = opts.Platform.(CancellablePlatform)
+	e.batchPlat, _ = opts.Platform.(BatchPlatform)
 	return e
+}
+
+// linkReg tracks every stream link an instance creates, so Instance can
+// expose per-link depth and throughput counters. Links are registered at
+// creation time, which happens both at instantiation and dynamically
+// (star unfoldings, split replicas), hence the lock. The registry is also
+// the links' allocator: Link structs are carved out of fixed-size slabs
+// (a slab is never reallocated once handed out, so the pointers stay
+// stable), which keeps deep networks — a star unrolling one stage per
+// record wave — at roughly one allocation per link, the channel itself.
+//
+// A long-lived instance keeps creating links (every feedback-star
+// generation and star unfolding makes two), so the registry must not pin
+// them all forever: alloc periodically sweeps links whose receiver has
+// observed end-of-stream (their counters are final) into a cumulative
+// aggregate and drops the references, bounding live registry size by the
+// number of links still carrying traffic. The sweep threshold doubles
+// with the surviving population, keeping the amortized sweep cost per
+// alloc constant.
+type linkReg struct {
+	mu      sync.Mutex
+	links   []*stream.Link
+	slab    []stream.Link // current slab; grown slot by slot up to its cap
+	sweepAt int           // next sweep when len(links) reaches this
+	retired stream.Stats  // folded counters of swept (exhausted) links
+	nswept  int           // how many links the aggregate covers
+}
+
+// linkSlabSize is how many Link structs share one slab allocation.
+const linkSlabSize = 16
+
+// linkSweepMin is the registry size below which no sweep happens.
+const linkSweepMin = 64
+
+func (lr *linkReg) alloc(cfg stream.Config) *stream.Link {
+	lr.mu.Lock()
+	if len(lr.slab) == cap(lr.slab) {
+		lr.slab = make([]stream.Link, 0, linkSlabSize)
+	}
+	lr.slab = lr.slab[:len(lr.slab)+1]
+	l := &lr.slab[len(lr.slab)-1]
+	l.Init(cfg)
+	lr.links = append(lr.links, l)
+	if lr.sweepAt < linkSweepMin {
+		lr.sweepAt = linkSweepMin
+	}
+	if len(lr.links) >= lr.sweepAt {
+		lr.sweep()
+	}
+	lr.mu.Unlock()
+	return l
+}
+
+// sweep folds exhausted links into the retired aggregate. Callers hold mu.
+func (lr *linkReg) sweep() {
+	kept := lr.links[:0]
+	for _, l := range lr.links {
+		if !l.Exhausted() {
+			kept = append(kept, l)
+			continue
+		}
+		s := l.Stats()
+		lr.retired.SentRecords += s.SentRecords
+		lr.retired.RecvRecords += s.RecvRecords
+		lr.retired.SentBatches += s.SentBatches
+		lr.retired.FullFlushes += s.FullFlushes
+		lr.retired.IdleFlushes += s.IdleFlushes
+		lr.retired.TimerFlushes += s.TimerFlushes
+		lr.retired.Steals += s.Steals
+		lr.nswept++
+	}
+	clear(lr.links[len(kept):])
+	lr.links = kept
+	lr.sweepAt = max(linkSweepMin, 2*len(kept))
+}
+
+func (lr *linkReg) snapshot() []stream.Stats {
+	lr.mu.Lock()
+	// Copy: sweep compacts lr.links in place, so a shared view would race.
+	links := make([]*stream.Link, len(lr.links))
+	copy(links, lr.links)
+	retired, nswept := lr.retired, lr.nswept
+	lr.mu.Unlock()
+	out := make([]stream.Stats, 0, len(links)+1)
+	if nswept > 0 {
+		out = append(out, retired)
+	}
+	for _, l := range links {
+		out = append(out, l.Stats())
+	}
+	return out
 }
 
 // At returns a copy of the environment placed on the given node.
@@ -152,44 +271,24 @@ func (e *Env) start(fn func()) {
 
 // send delivers r on out unless the instance has been stopped. It reports
 // whether the record was delivered; on false the caller must unwind (its
-// output is no longer wanted). The buffered fast path stays a single
-// non-blocking channel operation so steady-state throughput does not pay
-// for cancellability.
-func (e *Env) send(out chan<- *record.Record, r *record.Record) bool {
-	select {
-	case out <- r:
-		return true
-	default:
-	}
-	select {
-	case out <- r:
-		return true
-	case <-e.done:
-		return false
-	}
+// output is no longer wanted).
+func (e *Env) send(out *stream.Link, r *record.Record) bool {
+	return out.Send(r, e.done)
+}
+
+// sendMany delivers rs in order on out under one link-lock acquisition;
+// the slice stays the caller's. False means the instance was stopped
+// mid-delivery and the caller must unwind.
+func (e *Env) sendMany(out *stream.Link, rs []*record.Record) bool {
+	return out.SendMany(rs, e.done)
 }
 
 // recv takes the next record from in, giving up when the instance is
-// stopped. The leading done poll makes a stopped instance stop consuming
-// buffered backlog immediately instead of processing it to the next
-// blocking point.
-func (e *Env) recv(in <-chan *record.Record) (*record.Record, bool) {
-	select {
-	case <-e.done:
-		return nil, false
-	default:
-	}
-	select {
-	case r, ok := <-in:
-		return r, ok
-	default:
-	}
-	select {
-	case r, ok := <-in:
-		return r, ok
-	case <-e.done:
-		return nil, false
-	}
+// stopped. Stop promptness is batch-granular: a stopped instance finishes
+// the batch it already holds (at most BatchSize records) and gives up at
+// the next batch boundary.
+func (e *Env) recv(in *stream.Link) (*record.Record, bool) {
+	return in.Recv(e.done)
 }
 
 // exec runs fn as a box execution on the environment's node. It reports
@@ -203,20 +302,36 @@ func (e *Env) exec(fn func()) bool {
 	return true
 }
 
-// transfer accounts a record moving between nodes.
-func (e *Env) transfer(from, to int, r *record.Record) {
-	if from != to {
+// transferBatch accounts a whole batch moving between nodes, in one
+// platform operation when the platform supports it (dist.Cluster sizes the
+// batch against the link codec under a single lock and charges modelled
+// link latency once per batch, not once per record).
+func (e *Env) transferBatch(from, to int, rs []*record.Record) {
+	if from == to || len(rs) == 0 {
+		return
+	}
+	if e.batchPlat != nil {
+		e.batchPlat.TransferBatch(from, to, rs)
+		return
+	}
+	for _, r := range rs {
 		e.platform.Transfer(from, to, r)
 	}
 }
 
-// newChan allocates a stream channel with the configured buffering.
-func (e *Env) newChan() chan *record.Record {
-	if e.opts.BufferSize < 0 {
-		return make(chan *record.Record)
-	}
-	return make(chan *record.Record, e.opts.BufferSize)
+// newLink allocates a stream link with the configured capacity and
+// batching, registered for Instance.LinkStats.
+func (e *Env) newLink() *stream.Link {
+	return e.links.alloc(stream.Config{
+		Capacity:      e.opts.BufferSize,
+		BatchSize:     e.opts.BatchSize,
+		FlushInterval: e.opts.FlushInterval,
+	})
 }
+
+// closeLink ends a link: pending records are flushed (or dropped, when the
+// instance is already stopped) and the receiver observes end-of-stream.
+func (e *Env) closeLink(l *stream.Link) { l.Close(e.done) }
 
 // report records a runtime error.
 func (e *Env) report(err error) { e.errs.add(err) }
@@ -286,8 +401,10 @@ func (s *errSink) count() int {
 
 // SpawnFunc instantiates an entity: it must start whatever goroutines the
 // entity needs, consume `in` until it is closed, and close `out` once all
-// output has been produced.
-type SpawnFunc func(env *Env, in <-chan *record.Record, out chan<- *record.Record)
+// output has been produced. Entities exchange records over batched stream
+// links (stream.Link); an entity is its input link's single receiver and
+// may share its output link with sibling producers under a collector.
+type SpawnFunc func(env *Env, in, out *stream.Link)
 
 // Entity is a SISO network component: a box, filter, synchrocell, or a
 // network built from combinators. Entities are immutable descriptions and
@@ -326,7 +443,7 @@ func (e *Entity) Name() string {
 func (e *Entity) Signature() rtype.Signature { return e.sig }
 
 // Spawn instantiates the entity in the given environment.
-func (e *Entity) Spawn(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+func (e *Entity) Spawn(env *Env, in, out *stream.Link) {
 	e.spawn(env, in, out)
 }
 
@@ -352,23 +469,22 @@ func (e *Entity) Describe() string {
 }
 
 // collector lets a dynamic set of producers (star unfoldings, split
-// instances, parallel branches) share one output channel. The channel is
-// closed once every registered producer has finished — producers only send
-// while registered, so the close can never race a send even during an
-// abort.
+// instances, parallel branches) share one output link. The link is closed
+// once every registered producer has finished — producers only send while
+// registered, so the close can never race a send even during an abort.
 type collector struct {
 	env *Env
-	out chan<- *record.Record
+	out *stream.Link
 	wg  sync.WaitGroup
 }
 
 // newCollector registers `initial` producers and starts the closer.
-func newCollector(env *Env, out chan<- *record.Record, initial int) *collector {
+func newCollector(env *Env, out *stream.Link, initial int) *collector {
 	c := &collector{env: env, out: out}
 	c.wg.Add(initial)
 	env.start(func() {
 		c.wg.Wait()
-		close(out)
+		env.closeLink(out)
 	})
 	return c
 }
@@ -385,30 +501,32 @@ func (c *collector) done() { c.wg.Done() }
 // was stopped and the producer must unwind.
 func (c *collector) send(r *record.Record) bool { return c.env.send(c.out, r) }
 
-// drainInto forwards everything from src to the collector, then signs off.
-func (c *collector) drainInto(src <-chan *record.Record) {
+// drainInto forwards everything from src to the collector in whole
+// batches (a batch formed upstream crosses the merge as one operation),
+// then signs off.
+func (c *collector) drainInto(src *stream.Link) {
 	defer c.done()
 	for {
-		r, ok := c.env.recv(src)
+		b, ok := src.RecvBatch(c.env.done)
 		if !ok {
 			return
 		}
-		if !c.env.send(c.out, r) {
+		if !c.out.SendBatch(b, c.env.done) {
 			return
 		}
 	}
 }
 
-// pump copies src to dst and closes dst when src is exhausted or the
-// instance is stopped.
-func (e *Env) pump(src <-chan *record.Record, dst chan<- *record.Record) {
-	defer close(dst)
+// pump copies src to dst in whole batches and closes dst when src is
+// exhausted or the instance is stopped.
+func (e *Env) pump(src, dst *stream.Link) {
+	defer e.closeLink(dst)
 	for {
-		r, ok := e.recv(src)
+		b, ok := src.RecvBatch(e.done)
 		if !ok {
 			return
 		}
-		if !e.send(dst, r) {
+		if !dst.SendBatch(b, e.done) {
 			return
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // seqTag is the reserved tag used by deterministic combinators to track
@@ -49,12 +50,12 @@ func DetChoice(branches ...*Entity) *Entity {
 		sig:    rtype.NewSignature(inT, outT),
 		kids:   branches,
 	}
-	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn = func(env *Env, in, out *stream.Link) {
 		events := make(chan detEvent, max(0, env.opts.BufferSize)+len(branches))
-		ins := make([]chan *record.Record, len(branches))
+		ins := make([]*stream.Link, len(branches))
 		for i, b := range branches {
-			ins[i] = env.newChan()
-			bo := env.newChan()
+			ins[i] = env.newLink()
+			bo := env.newLink()
 			b.spawn(env, ins[i], bo)
 			env.start(func() { detPump(env, i, bo, events) })
 		}
@@ -62,7 +63,7 @@ func DetChoice(branches ...*Entity) *Entity {
 		env.start(func() {
 			defer func() {
 				for _, c := range ins {
-					close(c)
+					env.closeLink(c)
 				}
 			}()
 			rr := 0
@@ -125,14 +126,14 @@ func DetSplit(a *Entity, tag string) *Entity {
 		sig:    rtype.NewSignature(inT, a.sig.Out),
 		kids:   []*Entity{a},
 	}
-	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn = func(env *Env, in, out *stream.Link) {
 		events := make(chan detEvent, max(0, env.opts.BufferSize)+4)
 		env.start(func() { runDetMerger(env, events, out) })
 		env.start(func() {
-			instances := make(map[int]chan *record.Record)
+			instances := make(map[int]*stream.Link)
 			defer func() {
 				for _, c := range instances {
-					close(c)
+					env.closeLink(c)
 				}
 			}()
 			// Dense instance ids keep merger keys distinct from the
@@ -163,10 +164,10 @@ func DetSplit(a *Entity, tag string) *Entity {
 				}
 				instIn, ok := instances[v]
 				if !ok {
-					instIn = env.newChan()
+					instIn = env.newLink()
 					instances[v] = instIn
 					ids[v] = len(ids)
-					instOut := env.newChan()
+					instOut := env.newLink()
 					a.spawn(env, instIn, instOut)
 					id := ids[v]
 					env.start(func() { detPump(env, id, instOut, events) })

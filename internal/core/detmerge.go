@@ -1,6 +1,9 @@
 package core
 
-import "snet/internal/record"
+import (
+	"snet/internal/record"
+	"snet/internal/stream"
+)
 
 // detEvent is one message into the deterministic reordering merger shared
 // by DetChoice and DetSplit.
@@ -34,7 +37,7 @@ const ctrlKey = -1
 // arrive in its input order (branches are FIFO).
 type detMerger struct {
 	env       *Env
-	out       chan<- *record.Record
+	out       *stream.Link
 	nextSeq   int
 	buffered  map[int][]*record.Record
 	completed map[int]bool
@@ -44,7 +47,7 @@ type detMerger struct {
 	expected  int // -1 until evNoMoreKeys announces the key count
 }
 
-func newDetMerger(env *Env, out chan<- *record.Record) *detMerger {
+func newDetMerger(env *Env, out *stream.Link) *detMerger {
 	return &detMerger{
 		env:       env,
 		out:       out,
@@ -139,8 +142,8 @@ func (m *detMerger) advance() {
 // the merge completes or the instance is stopped. The event channel is
 // never closed (it has several producers); the dispatcher's evNoMoreKeys
 // plus per-key evClose events mark completion, and env.done covers aborts.
-func runDetMerger(env *Env, events <-chan detEvent, out chan<- *record.Record) {
-	defer close(out)
+func runDetMerger(env *Env, events <-chan detEvent, out *stream.Link) {
+	defer env.closeLink(out)
 	m := newDetMerger(env, out)
 	for {
 		var ev detEvent
@@ -172,7 +175,7 @@ func sendEvent(env *Env, events chan<- detEvent, ev detEvent) bool {
 
 // detPump forwards a branch's outputs as events, stripping the hidden
 // sequence tag.
-func detPump(env *Env, key int, bo <-chan *record.Record, events chan<- detEvent) {
+func detPump(env *Env, key int, bo *stream.Link, events chan<- detEvent) {
 	for {
 		r, ok := env.recv(bo)
 		if !ok {

@@ -6,6 +6,7 @@ import (
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // TagExpr computes an integer from a record's tag values; it is the runtime
@@ -145,9 +146,14 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 		// building it until someone asks.
 		e.nameFn = func() string { return describeFilter(rules) }
 	}
-	e.spawn = func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+	e.spawn = func(env *Env, in, out *stream.Link) {
 		env.start(func() {
-			defer close(out)
+			defer env.closeLink(out)
+			// One reusable emission buffer per instance: a rule's outputs
+			// leave as a single link operation, so a multi-template rule
+			// (one input record fanning into several outputs) travels
+			// downstream as one batch.
+			var pending []*record.Record
 			for {
 				r, ok := env.recv(in)
 				if !ok {
@@ -159,7 +165,9 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 					}
 					continue
 				}
-				if !applyFilter(env, e, compiled, r, out) {
+				delivered := false
+				pending, delivered = applyFilter(env, e, compiled, r, out, pending[:0])
+				if !delivered {
 					return
 				}
 			}
@@ -168,49 +176,67 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 	return e
 }
 
-// applyFilter processes one record through the first matching rule. It
-// reports false when the instance was stopped mid-emission.
-func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, out chan<- *record.Record) bool {
+// applyFilter processes one record through the first matching rule. A
+// single-output rule emits directly; a multi-template rule builds its
+// outputs in scratch and emits them as one batched link operation, so the
+// fan-out travels downstream as a unit (scratch only grows for such
+// rules). It returns the scratch for reuse and reports false when the
+// instance was stopped mid-emission.
+func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, out *stream.Link, scratch []*record.Record) ([]*record.Record, bool) {
 	for i := range rules {
 		rule := &rules[i]
 		if !rule.pattern.Matches(r) {
 			continue
 		}
-		for _, o := range rule.outputs {
-			nr := recordPool.Get()
-			for _, f := range o.copyFields {
-				if v, ok := r.FieldSym(f); ok {
-					nr.SetFieldSym(f, v)
-				}
+		var delivered bool
+		if len(rule.outputs) == 1 {
+			delivered = env.send(out, buildOutput(&rule.outputs[0], rule, r))
+		} else {
+			for oi := range rule.outputs {
+				scratch = append(scratch, buildOutput(&rule.outputs[oi], rule, r))
 			}
-			for _, rn := range o.renames {
-				if v, ok := r.FieldSym(rn.from); ok {
-					nr.SetFieldSym(rn.to, v)
-				}
-			}
-			for _, t := range o.copyTags {
-				if v, ok := r.TagSym(t); ok {
-					nr.SetTagSym(t, v)
-				}
-			}
-			for _, a := range o.setTags {
-				nr.SetTagSym(a.id, a.expr(r))
-			}
-			nr.InheritFromExcept(r, rule.consumedF, rule.consumedT)
-			if !env.send(out, nr) {
-				return false
-			}
+			delivered = env.sendMany(out, scratch)
+			clear(scratch)
+		}
+		if !delivered {
+			return scratch, false
 		}
 		// The input was consumed by the rule (outputs are fresh records);
 		// recycle it.
 		recycle(r)
-		return true
+		return scratch, true
 	}
 	env.report(entityError(e.Name(), fmt.Errorf(
 		"record %s matches no filter rule", r)))
 	// The unmatched record was dropped; reclaim it.
 	recycle(r)
-	return true
+	return scratch, true
+}
+
+// buildOutput instantiates one output template against the input record,
+// flow inheritance included.
+func buildOutput(o *compiledOutput, rule *compiledRule, r *record.Record) *record.Record {
+	nr := recordPool.Get()
+	for _, f := range o.copyFields {
+		if v, ok := r.FieldSym(f); ok {
+			nr.SetFieldSym(f, v)
+		}
+	}
+	for _, rn := range o.renames {
+		if v, ok := r.FieldSym(rn.from); ok {
+			nr.SetFieldSym(rn.to, v)
+		}
+	}
+	for _, t := range o.copyTags {
+		if v, ok := r.TagSym(t); ok {
+			nr.SetTagSym(t, v)
+		}
+	}
+	for _, a := range o.setTags {
+		nr.SetTagSym(a.id, a.expr(r))
+	}
+	nr.InheritFromExcept(r, rule.consumedF, rule.consumedT)
+	return nr
 }
 
 // Identity builds the identity filter [], which passes every record through
@@ -223,7 +249,7 @@ func Identity() *Entity {
 		name:     "[]",
 		sig:      rtype.NewSignature(empty, empty),
 		identity: true,
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() { env.pump(in, out) })
 		},
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"snet/internal/record"
+	"snet/internal/stream"
 )
 
 // ErrStopped is reported by instances aborted with Instance.Stop (directly
@@ -61,14 +62,79 @@ type Instance struct {
 }
 
 // Start instantiates the network and returns its global input and output
-// streams.
+// streams. The public In and Out are plain record channels; two boundary
+// pumps batch records entering the first link and unbatch records leaving
+// the last one, so callers keep the channel API while every interior hop
+// runs on the batched transport.
 func (n *Network) Start() *Instance {
 	env := newEnv(n.opts)
-	in := env.newChan()
-	out := env.newChan()
-	n.entity.Spawn(env, in, out)
+	in := make(chan *record.Record, max(0, n.opts.BufferSize))
+	out := make(chan *record.Record, max(0, n.opts.BufferSize))
+	first := env.newLink()
+	last := env.newLink()
+	n.entity.Spawn(env, first, last)
+	// Intake: channel -> first link. The link's own flush policy decides
+	// batch boundaries; closing In cascades into the network.
+	env.start(func() {
+		defer env.closeLink(first)
+		for {
+			var r *record.Record
+			var ok bool
+			select {
+			case r, ok = <-in:
+			case <-env.done:
+				return
+			}
+			if !ok {
+				return
+			}
+			if !first.Send(r, env.done) {
+				return
+			}
+		}
+	})
+	// Outlet: last link -> channel. Records are delivered one at a time
+	// (the public contract), whole batches are drained per wakeup.
+	env.start(func() {
+		defer close(out)
+		for {
+			b, ok := last.RecvBatch(env.done)
+			if !ok {
+				return
+			}
+			for _, r := range b.Recs {
+				select {
+				case out <- r: // buffered fast path
+				default:
+					select {
+					case out <- r:
+					case <-env.done:
+						return
+					}
+				}
+			}
+			stream.FreeBatch(b)
+		}
+	})
 	return &Instance{In: in, Out: out, env: env, in: in}
 }
+
+// LinkStats is a snapshot of one stream link's traffic counters: records
+// and batches sent, current queued depth, and the flush-cause breakdown.
+type LinkStats = stream.Stats
+
+// LinkStats returns a snapshot of every stream link in the instance, in
+// creation order (links appear as their entities are instantiated,
+// including dynamically unfolded star stages and split replicas). Summing
+// SentBatches against SentRecords gives the batching amortization the
+// instance achieved; Depth localizes where records are queued.
+//
+// A long-running instance keeps creating links (star unfoldings,
+// feedback-star generations), so links whose receiver has observed
+// end-of-stream — their counters are final — are periodically folded
+// into one cumulative entry to bound memory; when any have been folded,
+// that aggregate is the first element of the result.
+func (i *Instance) LinkStats() []LinkStats { return i.env.links.snapshot() }
 
 // Err returns all runtime errors reported so far, joined, or nil. After
 // Stop the result includes ErrStopped.
@@ -99,7 +165,17 @@ func (i *Instance) Send(r *record.Record) bool {
 		return false
 	default:
 	}
-	return i.env.send(i.in, r)
+	select {
+	case i.in <- r:
+		return true
+	default:
+	}
+	select {
+	case i.in <- r:
+		return true
+	case <-i.env.done:
+		return false
+	}
 }
 
 // Stop aborts the instance: all entity goroutines — wherever they are

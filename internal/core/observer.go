@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"snet/internal/record"
+	"snet/internal/stream"
 )
 
 // ObserveDirection tells an observer callback whether a record was entering
@@ -40,11 +41,11 @@ func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity
 		nameFn: func() string { return fmt.Sprintf("observe(%s)", a.Name()) },
 		sig:    a.sig,
 		kids:   []*Entity{a},
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
-			innerIn := env.newChan()
-			innerOut := env.newChan()
+		spawn: func(env *Env, in, out *stream.Link) {
+			innerIn := env.newLink()
+			innerOut := env.newLink()
 			env.start(func() {
-				defer close(innerIn)
+				defer env.closeLink(innerIn)
 				for {
 					r, ok := env.recv(in)
 					if !ok {
@@ -58,7 +59,7 @@ func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity
 			})
 			a.spawn(env, innerIn, innerOut)
 			env.start(func() {
-				defer close(out)
+				defer env.closeLink(out)
 				for {
 					r, ok := env.recv(innerOut)
 					if !ok {

@@ -5,6 +5,7 @@ import (
 
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // NewSync builds a synchrocell [| p1, p2, ... |] — the only stateful entity
@@ -34,9 +35,9 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 	return &Entity{
 		nameFn: func() string { return syncName(patterns) },
 		sig:    rtype.NewSignature(inT, outT),
-		spawn: func(env *Env, in <-chan *record.Record, out chan<- *record.Record) {
+		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() {
-				defer close(out)
+				defer env.closeLink(out)
 				stored := make([]*record.Record, len(patterns))
 				filled := 0
 				fired := false

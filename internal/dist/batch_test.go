@@ -1,0 +1,95 @@
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"snet/internal/dist"
+	"snet/internal/record"
+)
+
+// TestTransferBatchAccounting pins the batch amortization contract:
+// a TransferBatch of k records counts k hops but one wire message, and —
+// past the 4-record break-even of the frame format (a 4-byte batch frame
+// plus a kind byte per record, versus 2 framing bytes per single-record
+// message) — its byte total is strictly below k individual transfers of
+// the same records on a fresh link.
+func TestTransferBatchAccounting(t *testing.T) {
+	const k = 8
+	rs := make([]*record.Record, k)
+	for i := range rs {
+		rs[i] = record.Build().F("chunk", []byte{1, 2, 3}).T("node", i).Rec()
+	}
+
+	single := dist.NewCluster(2, 1)
+	for _, r := range rs {
+		single.Transfer(0, 1, r)
+	}
+	ss := single.Stats()
+	if ss.Transfers != k || ss.Batches != k {
+		t.Fatalf("single-record transfers: %d hops, %d messages", ss.Transfers, ss.Batches)
+	}
+
+	batched := dist.NewCluster(2, 1)
+	batched.TransferBatch(0, 1, rs)
+	bs := batched.Stats()
+	if bs.Transfers != k {
+		t.Fatalf("batched transfers: %d hops, want %d", bs.Transfers, k)
+	}
+	if bs.Batches != 1 {
+		t.Fatalf("batched transfers: %d messages, want 1", bs.Batches)
+	}
+	if bs.Bytes >= ss.Bytes {
+		t.Fatalf("batched %d bytes not below %d unbatched bytes", bs.Bytes, ss.Bytes)
+	}
+}
+
+// TestTransferBatchSameNodeFree mirrors Transfer's same-node rule.
+func TestTransferBatchSameNodeFree(t *testing.T) {
+	c := dist.NewCluster(2, 1)
+	c.TransferBatch(1, 1, []*record.Record{record.New().SetTag("x", 1)})
+	c.TransferBatch(0, 1, nil)
+	if s := c.Stats(); s.Transfers != 0 || s.Batches != 0 || s.Bytes != 0 {
+		t.Fatalf("same-node/empty batch was charged: %+v", s)
+	}
+}
+
+// TestTransferBatchCostChargedPerMessage checks the latency model: one
+// batched hop sleeps roughly once, not once per record.
+func TestTransferBatchCostChargedPerMessage(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	rs := make([]*record.Record, 8)
+	for i := range rs {
+		rs[i] = record.New().SetTag("i", i)
+	}
+	c := dist.NewCluster(2, 1)
+	c.SetTransferCost(lat, 0)
+	start := time.Now()
+	c.TransferBatch(0, 1, rs)
+	elapsed := time.Since(start)
+	if elapsed < lat {
+		t.Fatalf("batch hop took %v, below the %v link latency", elapsed, lat)
+	}
+	if elapsed > 4*lat {
+		t.Fatalf("batch hop took %v; per-record latency charged instead of per-message", elapsed)
+	}
+}
+
+// TestAccountBatchCommitsNegotiation verifies that a batch consumes label
+// definitions exactly like the records shipped individually: a follow-up
+// record on the same link pays only symbol references.
+func TestAccountBatchCommitsNegotiation(t *testing.T) {
+	mk := func() *record.Record { return record.Build().F("pay", "x").T("seq", 1).Rec() }
+	c := dist.NewCodec()
+	first := c.AccountBatch([]*record.Record{mk(), mk()})
+	followUp := c.Account(mk())
+	if followUp >= first {
+		t.Fatalf("follow-up record (%dB) not cheaper than defining batch (%dB)", followUp, first)
+	}
+	// A second identical batch must also be cheaper than the first: all
+	// labels are negotiated.
+	second := c.AccountBatch([]*record.Record{mk(), mk()})
+	if second >= first {
+		t.Fatalf("second batch (%dB) not cheaper than first (%dB)", second, first)
+	}
+}

@@ -161,8 +161,14 @@ func (c *Codec) Account(r *record.Record) int {
 func (c *Codec) size(r *record.Record, commit bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return 2 + c.sizeBody(r, commit) // version, kind
+}
+
+// sizeBody sizes one record without its per-message framing (version and
+// kind bytes). Callers hold c.mu.
+func (c *Codec) sizeBody(r *record.Record, commit bool) int {
 	s := sizer{c: c, commit: commit}
-	n := 8 // version, kind, three u16 label counts
+	n := 6 // three u16 label counts
 	r.VisitTagSyms(func(id record.Sym, _ int) {
 		n += s.labelRefSize(id) + 8
 	})
@@ -172,6 +178,23 @@ func (c *Codec) size(r *record.Record, commit bool) int {
 	r.VisitFieldSyms(func(id record.Sym, v any) {
 		n += s.labelRefSize(id) + 1 + valueSize(v)
 	})
+	return n
+}
+
+// AccountBatch sizes a whole stream batch as one wire message, committing
+// the label negotiation for every record: the message carries one frame
+// (version, batch kind, u16 record count) plus, per record, a kind byte
+// and the record body — the per-record version byte of single-record
+// messages is amortized away, and the negotiated label table is consulted
+// under a single lock acquisition for the entire batch.
+// Cluster.TransferBatch uses it for traffic accounting of batched hops.
+func (c *Codec) AccountBatch(rs []*record.Record) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 4 // version, batch kind, u16 record count
+	for _, r := range rs {
+		n += 1 + c.sizeBody(r, true) // kind byte + body
+	}
 	return n
 }
 

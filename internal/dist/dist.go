@@ -34,9 +34,16 @@ type Stats struct {
 	Execs []int64
 	// Busy is the accumulated box-execution wall time per node.
 	Busy []time.Duration
-	// Transfers counts cross-node record hops.
+	// Transfers counts cross-node record hops. A batch transfer counts
+	// one hop per record it carries, so Transfers is comparable across
+	// batched and unbatched runs.
 	Transfers int64
-	// Bytes is the accumulated wire size of all transferred records.
+	// Batches counts cross-node wire messages: one per TransferBatch
+	// call and one per single-record Transfer. Transfers/Batches is the
+	// average number of records per wire message.
+	Batches int64
+	// Bytes is the accumulated wire size of everything transferred;
+	// batched records share one message frame (see Codec.AccountBatch).
 	Bytes int64
 }
 
@@ -46,12 +53,13 @@ type Stats struct {
 // network runs (the counters then accumulate) and between an S-Net network
 // and an MPI program competing for the same resources.
 type Cluster struct {
-	cpus  int
-	slots []chan struct{} // per-node counting semaphore, capacity cpus
-	execs []atomic.Int64
-	busy  []atomic.Int64 // nanoseconds
-	trans atomic.Int64
-	bytes atomic.Int64
+	cpus    int
+	slots   []chan struct{} // per-node counting semaphore, capacity cpus
+	execs   []atomic.Int64
+	busy    []atomic.Int64 // nanoseconds
+	trans   atomic.Int64
+	batches atomic.Int64
+	bytes   atomic.Int64
 
 	// links holds one wire codec per directed node pair, indexed
 	// from*nodes+to: transfers are sized against the link's negotiated
@@ -150,7 +158,37 @@ func (c *Cluster) Transfer(from, to int, r *record.Record) {
 	}
 	n := (&c.links[f*len(c.slots)+t]).Account(r)
 	c.trans.Add(1)
+	c.batches.Add(1)
 	c.bytes.Add(int64(n))
+	c.chargeCost(n)
+}
+
+// TransferBatch accounts a whole stream batch crossing from node `from` to
+// node `to` as one wire message (core.BatchPlatform): the records share a
+// single message frame and one codec-lock acquisition
+// (Codec.AccountBatch), every record still counts as one hop in Transfers,
+// and — when a transfer cost is configured — the modelled per-hop latency
+// is charged once for the batch plus the bandwidth delay for its total
+// size. This is the amortization that makes batched links cheaper on a
+// costed interconnect. Same-node batches are free and uncounted.
+func (c *Cluster) TransferBatch(from, to int, rs []*record.Record) {
+	if len(rs) == 0 {
+		return
+	}
+	f, t := c.node(from), c.node(to)
+	if f == t {
+		return
+	}
+	n := (&c.links[f*len(c.slots)+t]).AccountBatch(rs)
+	c.trans.Add(int64(len(rs)))
+	c.batches.Add(1)
+	c.bytes.Add(int64(n))
+	c.chargeCost(n)
+}
+
+// chargeCost delays the calling goroutine by the modelled cost of one wire
+// message of n bytes, when a transfer cost is configured.
+func (c *Cluster) chargeCost(n int) {
 	if !c.costLive.Load() {
 		return
 	}
@@ -185,6 +223,7 @@ func (c *Cluster) Stats() Stats {
 		Execs:     make([]int64, len(c.execs)),
 		Busy:      make([]time.Duration, len(c.busy)),
 		Transfers: c.trans.Load(),
+		Batches:   c.batches.Load(),
 		Bytes:     c.bytes.Load(),
 	}
 	for i := range c.execs {

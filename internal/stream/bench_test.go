@@ -1,0 +1,114 @@
+package stream
+
+// Micro-benchmarks of the batched transport against the raw channel
+// handoff it replaced. BenchmarkLinkHop/batch=1 approximates the old
+// one-record-per-channel-op runtime (plus the link's bookkeeping);
+// the larger batch sizes show the amortization the runtime actually runs
+// with. CI's bench smoke runs these with -benchmem.
+
+import (
+	"fmt"
+	"testing"
+
+	"snet/internal/record"
+)
+
+// hop pushes n records through a producer→consumer link and waits for the
+// consumer to drain them.
+func benchHop(b *testing.B, batch int) {
+	r := record.New().SetTag("i", 1)
+	done := make(chan struct{})
+	const n = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := NewLink(Config{Capacity: 64, BatchSize: batch})
+		drained := make(chan struct{})
+		go func() {
+			for {
+				if _, ok := l.Recv(done); !ok {
+					close(drained)
+					return
+				}
+			}
+		}()
+		for j := 0; j < n; j++ {
+			l.Send(r, done)
+		}
+		l.Close(done)
+		<-drained
+	}
+	b.ReportMetric(float64(n), "records/op")
+}
+
+func BenchmarkLinkHop(b *testing.B) {
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchHop(b, batch)
+		})
+	}
+}
+
+// BenchmarkRawChannelHop is the pre-batching reference: the same traffic
+// over a bare buffered channel with the runtime's old non-blocking
+// fast-path send.
+func BenchmarkRawChannelHop(b *testing.B) {
+	r := record.New().SetTag("i", 1)
+	done := make(chan struct{})
+	const n = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := make(chan *record.Record, 32)
+		drained := make(chan struct{})
+		go func() {
+			for range ch {
+			}
+			close(drained)
+		}()
+		for j := 0; j < n; j++ {
+			select {
+			case ch <- r:
+			default:
+				select {
+				case ch <- r:
+				case <-done:
+				}
+			}
+		}
+		close(ch)
+		<-drained
+	}
+	b.ReportMetric(float64(n), "records/op")
+}
+
+// BenchmarkLinkSendMany measures the box-emission path: bursts delivered
+// under one lock acquisition.
+func BenchmarkLinkSendMany(b *testing.B) {
+	r := record.New().SetTag("i", 1)
+	burst := make([]*record.Record, 8)
+	for i := range burst {
+		burst[i] = r
+	}
+	done := make(chan struct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := NewLink(Config{Capacity: 256, BatchSize: 16})
+		drained := make(chan struct{})
+		go func() {
+			for {
+				if _, ok := l.Recv(done); !ok {
+					close(drained)
+					return
+				}
+			}
+		}()
+		for j := 0; j < 128; j++ {
+			l.SendMany(burst, done)
+		}
+		l.Close(done)
+		<-drained
+	}
+	b.ReportMetric(float64(128*len(burst)), "records/op")
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the live raytrace benchmarks with -benchmem and record the
-# perf trajectory in BENCH_records.json, so successive PRs can compare
+# perf trajectory in a committed JSON file, so successive PRs can compare
 # ns/op and allocs/op for the sequential kernel versus the S-Net variants.
 #
 # Usage:
@@ -8,8 +8,14 @@
 #   scripts/bench.sh --set-baseline  # also reset the "baseline" section
 #
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 3x)
-#   BENCH_OUT  output file (default BENCH_records.json)
+#   BENCHTIME      go test -benchtime value (default 3x)
+#   BENCH_OUT      output file (default BENCH_records.json)
+#   BENCH_PATTERN  go test -bench regexp (default the live render variants);
+#                  only benchmarks whose names start with "BenchmarkLive"
+#                  are recorded. The batched-transport trajectory is kept
+#                  separately:
+#                    BENCH_OUT=BENCH_stream.json \
+#                    BENCH_PATTERN='BenchmarkLive(Cluster|SNet)' scripts/bench.sh
 #
 # The JSON layout is line-oriented on purpose (one benchmark per line) so
 # this script can re-read its own baseline with awk and CI can diff it
@@ -19,10 +25,11 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 BENCH_OUT="${BENCH_OUT:-BENCH_records.json}"
+BENCH_PATTERN="${BENCH_PATTERN:-BenchmarkLive(Sequential|SNet)}"
 SET_BASELINE=0
 [ "${1:-}" = "--set-baseline" ] && SET_BASELINE=1
 
-raw="$(go test -run xxx -bench 'BenchmarkLive(Sequential|SNet)' \
+raw="$(go test -run xxx -bench "$BENCH_PATTERN" \
 	-benchmem -benchtime "$BENCHTIME" -count 1 .)"
 printf '%s\n' "$raw"
 
@@ -43,8 +50,14 @@ if [ -z "$current" ]; then
 fi
 
 # Reuse the committed baseline unless asked to reset (or none exists).
+# The baseline keeps its own benchtime stamp: reusing it must not relabel
+# its provenance with the current run's BENCHTIME.
 baseline=""
+baseline_benchtime="$BENCHTIME"
 if [ "$SET_BASELINE" -eq 0 ] && [ -f "$BENCH_OUT" ]; then
+	prior="$(sed -n 's/.*"baseline_benchtime": *"\([^"]*\)".*/\1/p' "$BENCH_OUT")"
+	[ -z "$prior" ] && prior="$(sed -n 's/.*"benchtime": *"\([^"]*\)".*/\1/p' "$BENCH_OUT" | head -1)"
+	[ -n "$prior" ] && baseline_benchtime="$prior"
 	baseline="$(awk '
 		/"baseline":/ { inb = 1; next }
 		inb && /^  \}/ { inb = 0 }
@@ -73,6 +86,7 @@ emit_section() { # $1 = "name ns bytes allocs" lines
 {
 	echo '{'
 	echo "  \"benchtime\": \"$BENCHTIME\","
+	echo "  \"baseline_benchtime\": \"$baseline_benchtime\","
 	echo '  "baseline": {'
 	emit_section "$baseline"
 	echo '  },'

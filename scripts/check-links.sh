@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check-links.sh — markdown link check over README.md and docs/, with no
+# tooling beyond grep/sed. Relative links must resolve to an existing file
+# or directory (anchors are stripped); absolute URLs are only
+# format-checked. Exits non-zero listing every broken link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+	[ -f "$f" ] || continue
+	dir=$(dirname "$f")
+	# Inline links [text](target), one per line; titles and anchors cut.
+	while IFS= read -r target; do
+		case "$target" in
+		http://* | https://*)
+			# No network in CI for this check; just reject whitespace.
+			case "$target" in
+			*" "*) echo "$f: malformed URL: $target"; fail=1 ;;
+			esac
+			;;
+		"#"*) ;; # intra-document anchor
+		*)
+			path="${target%%#*}"
+			[ -z "$path" ] && continue
+			if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+				echo "$f: broken link: $target"
+				fail=1
+			fi
+			;;
+		esac
+	done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$f" | sed -E 's/^\[[^]]*\]\(//; s/\)$//; s/ "[^"]*"$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check-links: broken links found" >&2
+	exit 1
+fi
+echo "check-links: all links resolve"

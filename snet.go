@@ -9,9 +9,14 @@
 // The package is a facade over the implementation packages:
 //
 //   - records and the type system (internal/record, internal/rtype),
+//   - the batched stream transport between entities (internal/stream),
 //   - the streaming runtime and combinators (internal/core),
 //   - the language front end and compiler (internal/lang, internal/compile),
 //   - the multi-node platform (internal/dist).
+//
+// See docs/architecture.md for the layer map, docs/combinators.md for
+// combinator semantics, and docs/performance.md for the transport's
+// batching model and tuning.
 //
 // # Building networks
 //
@@ -45,6 +50,7 @@ import (
 	"snet/internal/lang"
 	"snet/internal/record"
 	"snet/internal/rtype"
+	"snet/internal/stream"
 )
 
 // Record is an S-Net record: a set of label–value pairs with opaque fields
@@ -122,7 +128,10 @@ type (
 	BoxCall = core.BoxCall
 	// BoxFunc is the body of a box.
 	BoxFunc = core.BoxFunc
-	// Options configure a network instantiation.
+	// Options configure a network instantiation: the platform, stream
+	// capacity (BufferSize, in records), transport batching (BatchSize,
+	// FlushInterval — see docs/performance.md), runtime type checking and
+	// synchrocell flushing.
 	Options = core.Options
 	// Network is an instantiable S-Net. Beyond Run, it offers
 	// RunContext (Run bounded by a context: cancellation stops the
@@ -133,14 +142,24 @@ type (
 	// close In (or call Close) and drain Out. Abort: call Stop — every
 	// runtime goroutine, including those blocked on an unread Out or
 	// queued for a platform CPU slot, is reclaimed before Stop returns,
-	// and in-flight records are discarded.
+	// and in-flight records are discarded. LinkStats snapshots the
+	// per-link depth and throughput counters of the batched transport.
 	Instance = core.Instance
+	// LinkStats is a snapshot of one stream link's traffic counters —
+	// records and batches sent, current queued depth, and the flush-cause
+	// breakdown (fill-up, downstream-idle, timer, steal) — as returned by
+	// Instance.LinkStats, one entry per link in creation order.
+	LinkStats = core.LinkStats
 	// Platform abstracts the compute substrate (see dist.Cluster).
 	Platform = core.Platform
 	// CancellablePlatform is optionally implemented by platforms whose
 	// Exec can abandon a pending CPU-slot wait when an instance is
 	// stopped; dist.Cluster implements it.
 	CancellablePlatform = core.CancellablePlatform
+	// BatchPlatform is optionally implemented by platforms that can
+	// account a whole batch of records crossing between nodes as one wire
+	// message; dist.Cluster implements it (see Cluster.TransferBatch).
+	BatchPlatform = core.BatchPlatform
 	// LocalPlatform is the trivial single-node platform.
 	LocalPlatform = core.LocalPlatform
 	// FilterRule, FilterOutput and TagAssign describe filters
@@ -156,6 +175,18 @@ type (
 // cancelled RunContext: the network did not run to completion and records
 // in flight were discarded. Test with errors.Is.
 var ErrStopped = core.ErrStopped
+
+// Batched-transport defaults, selected when the corresponding Options
+// field is zero (see docs/performance.md for the model and tuning).
+const (
+	// DefaultBatchSize is the records-per-batch ceiling of every stream
+	// link when Options.BatchSize is zero.
+	DefaultBatchSize = stream.DefaultBatchSize
+	// DefaultFlushInterval bounds how long a record may linger in a
+	// partial batch behind a busy consumer when Options.FlushInterval is
+	// zero.
+	DefaultFlushInterval = stream.DefaultFlushInterval
+)
 
 // MustSig builds a single-input-variant signature from label lists.
 func MustSig(in []Label, outs ...[]Label) Signature { return core.MustSig(in, outs...) }
