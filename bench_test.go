@@ -115,8 +115,9 @@ func BenchmarkLiveSequential(b *testing.B) {
 func benchLiveSNet(b *testing.B, mode snetray.Mode, tasks, tokens int, policy snetray.Policy) {
 	scene := liveScene()
 	b.ReportAllocs()
+	var busy []time.Duration
 	for i := 0; i < b.N; i++ {
-		_, err := snetray.Render(snetray.Config{
+		res, err := snetray.Render(snetray.Config{
 			Scene: scene, W: liveW, H: liveH,
 			Nodes: 4, CPUs: 2, Tasks: tasks, Tokens: tokens,
 			Mode: mode, Policy: policy,
@@ -124,6 +125,42 @@ func benchLiveSNet(b *testing.B, mode snetray.Mode, tasks, tokens int, policy sn
 		if err != nil {
 			b.Fatal(err)
 		}
+		busy = accumBusy(busy, res.Cluster.Busy)
+	}
+	reportBusyImbalance(b, busy)
+}
+
+// accumBusy folds one render's per-node busy times into the benchmark's
+// running totals, so reported metrics average over every iteration rather
+// than sampling the last one.
+func accumBusy(acc []time.Duration, busy []time.Duration) []time.Duration {
+	if acc == nil {
+		acc = make([]time.Duration, len(busy))
+	}
+	for i, d := range busy {
+		acc[i] += d
+	}
+	return acc
+}
+
+// reportBusyImbalance reports max/mean per-node busy time, accumulated
+// over all iterations — the scheduling signal that stays meaningful on
+// hosts whose core count cannot physically parallelize the render (this
+// container has one core, so ns/op of every live variant is pinned at
+// roughly the sequential render time; see docs/performance.md,
+// "Scheduling & placement"). 1.0 is a perfectly even load; nodes·1.0 is
+// one node doing everything.
+func reportBusyImbalance(b *testing.B, busy []time.Duration) {
+	var total, max time.Duration
+	for _, d := range busy {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if total > 0 {
+		mean := total / time.Duration(len(busy))
+		b.ReportMetric(float64(max)/float64(mean), "busy-imbalance")
 	}
 }
 
@@ -241,6 +278,94 @@ func BenchmarkLiveClusterEightSlimNodesCostedLink(b *testing.B) {
 // dist.Stats.Batches in the reported messages/op metric).
 func BenchmarkLiveClusterCommBoundCostedLink(b *testing.B) {
 	benchClusterShape(b, 8, 1, 64, 16, 200*time.Microsecond, 100e6)
+}
+
+// --- Skewed-load scheduling: block vs factoring vs work stealing ---------
+
+// The skewed benches reproduce the paper's central performance claim on the
+// live runtime: block scheduling loses to dynamic load balancing precisely
+// because per-section cost is uneven and placement is fixed at split time.
+// raytrace.SkewedScene concentrates nearly all geometry in one reflective
+// shelf, so per-section render cost varies by roughly an order of
+// magnitude; SolveScale (see snetray.Config) multiplies every section's
+// cost in virtual time while the section holds its node's CPU slot, so the
+// cluster's 4-node × 2-slot resource model — not the host's core count —
+// determines the makespan, and scheduling quality shows up in ns/op even
+// on a single-core host.
+const (
+	skewTasks  = 32
+	skewTokens = 8
+	skewScale  = 8
+)
+
+func skewedScene() *raytrace.Scene {
+	return raytrace.SkewedScene(liveObjects, liveSeed)
+}
+
+func benchLiveSkewed(b *testing.B, scene *raytrace.Scene, mode snetray.Mode, tokens int, policy snetray.Policy) {
+	b.ReportAllocs()
+	var steals, migrated int64
+	var busy []time.Duration
+	for i := 0; i < b.N; i++ {
+		cluster := dist.NewCluster(4, 2)
+		_, err := snetray.Render(snetray.Config{
+			Scene: scene, W: liveW, H: liveH,
+			Nodes: 4, CPUs: 2, Tasks: skewTasks, Tokens: tokens,
+			Mode: mode, Policy: policy, SolveScale: skewScale,
+			Cluster: cluster,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := cluster.Stats()
+		steals += stats.Steals
+		migrated += stats.Migrated
+		busy = accumBusy(busy, stats.Busy)
+	}
+	// Averages over every iteration, not a last-iteration sample: the
+	// recorded steals/op in BENCH_steal.json is the migration evidence.
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+	b.ReportMetric(float64(migrated)/float64(b.N), "migrated/op")
+	reportBusyImbalance(b, busy)
+}
+
+// BenchmarkLiveClusterSkewedBlock is the static block-scheduling baseline
+// (the Fig. 2 design): the splitter stamps <node> tags round-robin, one
+// solver replica per node works its queue in order, and the sections
+// covering the expensive shelf saturate their nodes while others idle.
+func BenchmarkLiveClusterSkewedBlock(b *testing.B) {
+	benchLiveSkewed(b, skewedScene(), snetray.Static, 0, snetray.BlockPolicy)
+}
+
+// BenchmarkLiveClusterSkewedFactoring is the paper's strongest contender:
+// the Fig. 4 token-dynamic network with factoring section sizes, eight
+// node tokens keeping all eight CPU slots busy.
+func BenchmarkLiveClusterSkewedFactoring(b *testing.B) {
+	benchLiveSkewed(b, skewedScene(), snetray.Dynamic, skewTokens, snetray.FactoringPolicy)
+}
+
+// BenchmarkLiveClusterSkewedSteal is the load-aware scheduler: untagged
+// sections placed least-loaded at dispatch time, queued solves migrating
+// to idle nodes (steals/op and migrated/op report the migration). It must
+// beat SkewedBlock by ≥20% ns/op on this scene.
+func BenchmarkLiveClusterSkewedSteal(b *testing.B) {
+	benchLiveSkewed(b, skewedScene(), snetray.DynamicSteal, 0, snetray.BlockPolicy)
+}
+
+// BenchmarkLiveClusterUniformFactoring runs the token-dynamic design on
+// the balanced scene under the same virtual-load scale: the reference for
+// "stealing matches dynamic scheduling when there is no skew to exploit".
+func BenchmarkLiveClusterUniformFactoring(b *testing.B) {
+	benchLiveSkewed(b, raytrace.BalancedScene(liveObjects, liveSeed),
+		snetray.Dynamic, skewTokens, snetray.FactoringPolicy)
+}
+
+// BenchmarkLiveClusterUniformSteal runs the load-aware scheduler on the
+// balanced scene: with even per-section cost there is little to steal, and
+// ns/op must match the token-dynamic reference within noise.
+func BenchmarkLiveClusterUniformSteal(b *testing.B) {
+	benchLiveSkewed(b, raytrace.BalancedScene(liveObjects, liveSeed),
+		snetray.DynamicSteal, 0, snetray.BlockPolicy)
 }
 
 // --- Ablations ------------------------------------------------------------

@@ -7,6 +7,9 @@
 //	-engine snet-static   Fig. 2 static fork–join S-Net
 //	-engine snet-static2  Section V (solver!<cpu>)!@<node> variant
 //	-engine snet-dynamic  Fig. 4 token-based dynamic S-Net
+//	-engine snet-steal    load-aware scheduling: untagged sections placed
+//	                      least-loaded at dispatch time, queued solves
+//	                      migrating to idle nodes (work stealing)
 package main
 
 import (
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		engine  = flag.String("engine", "snet-static", "seq|mpi|mpi-mw|snet-static|snet-static2|snet-dynamic")
+		engine  = flag.String("engine", "snet-static", "seq|mpi|mpi-mw|snet-static|snet-static2|snet-dynamic|snet-steal")
 		w       = flag.Int("w", 320, "image width")
 		h       = flag.Int("h", 240, "image height")
 		nodes   = flag.Int("nodes", 4, "cluster nodes")
@@ -94,7 +97,7 @@ func main() {
 			log.Fatal(err)
 		}
 
-	case "snet-static", "snet-static2", "snet-dynamic":
+	case "snet-static", "snet-static2", "snet-dynamic", "snet-steal":
 		cfg := snetray.Config{
 			Scene: scene, W: *w, H: *h,
 			Nodes: *nodes, CPUs: *cpus, Tasks: *tasks, Tokens: *tokens,
@@ -106,6 +109,11 @@ func main() {
 		case "snet-static2":
 			cfg.Mode = snetray.Static2CPU
 			cfg.Tasks = *nodes * *cpus
+		case "snet-steal":
+			cfg.Mode = snetray.DynamicSteal
+			if *pol == "factoring" {
+				cfg.Policy = snetray.FactoringPolicy
+			}
 		default:
 			cfg.Mode = snetray.Dynamic
 			if *pol == "factoring" {
@@ -119,8 +127,9 @@ func main() {
 			log.Fatal(err)
 		}
 		img = res.Image
-		defer fmt.Printf("cluster: %d transfers, %.1f KiB, execs/node %v\n",
-			res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs)
+		defer fmt.Printf("cluster: %d transfers, %.1f KiB, execs/node %v, %d steals (%d sections migrated)\n",
+			res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs,
+			res.Cluster.Steals, res.Cluster.Migrated)
 
 	default:
 		log.Fatalf("unknown engine %q", *engine)

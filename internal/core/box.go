@@ -32,6 +32,10 @@ type BoxCall struct {
 	consumeF []record.Sym
 	consumeT []record.Sym
 	emitted  int
+	// pendArr seeds pending: most boxes emit a handful of records per
+	// invocation, so the emission buffer lives inline in the call context
+	// and only spills to the heap when a call emits more than fits.
+	pendArr [4]*record.Record
 }
 
 // Field returns the input field value; it panics when absent (the runtime
@@ -141,6 +145,7 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 				// (including the pending-output buffer) are recycled across
 				// invocations rather than allocated per record.
 				call := &BoxCall{env: env, box: b}
+				call.pending = call.pendArr[:0]
 				run := func() {
 					defer func() {
 						if p := recover(); p != nil {
@@ -190,7 +195,7 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 	call.consumeF = v.FieldSyms()
 	call.consumeT = v.TagSyms()
 	call.emitted = 0
-	if !env.exec(run) {
+	if !env.exec(r, run) {
 		// Stopped while queued for a platform CPU slot; the body never
 		// ran. Drop the record (stopped instances do not recycle).
 		call.In = nil

@@ -71,9 +71,11 @@ func Choice(branches ...*Entity) *Entity {
 		// Identity branches (the paper's ubiquitous [] bypass) are
 		// elided: the dispatcher forwards their records straight to
 		// the merged output instead of paying two channels and two
-		// goroutines per instantiation. ins[i] == nil marks an elided
-		// branch.
-		ins := make([]*stream.Link, len(branches))
+		// goroutines per instantiation. st[i].in == nil marks an elided
+		// branch. The per-branch input links and the bestBranch score
+		// cache share one scratch slice (one allocation per
+		// instantiation, and star-unrolled choices instantiate a lot).
+		st := make([]branchState, len(branches))
 		spawned := 0
 		for _, b := range branches {
 			if !b.identity {
@@ -85,9 +87,9 @@ func Choice(branches ...*Entity) *Entity {
 			if b.identity {
 				continue
 			}
-			ins[i] = env.newLink()
+			st[i].in = env.newLink()
 			bo := env.newLink()
-			b.spawn(env, ins[i], bo)
+			b.spawn(env, st[i].in, bo)
 			env.start(func() { coll.drainInto(bo) })
 		}
 		// Control records traverse the first non-elided branch so they
@@ -95,25 +97,22 @@ func Choice(branches ...*Entity) *Entity {
 		// straight to the merge only when every branch is the (elided)
 		// identity — whichever branch index 0 happens to be.
 		var ctrlIn *stream.Link
-		for _, c := range ins {
-			if c != nil {
-				ctrlIn = c
+		for i := range st {
+			if st[i].in != nil {
+				ctrlIn = st[i].in
 				break
 			}
 		}
 		env.start(func() {
 			defer coll.done()
 			defer func() {
-				for _, c := range ins {
-					if c != nil {
-						env.closeLink(c)
+				for i := range st {
+					if st[i].in != nil {
+						env.closeLink(st[i].in)
 					}
 				}
 			}()
 			rr := 0 // round-robin cursor for tie-breaking
-			// Scratch for bestBranch: one allocation per instantiation,
-			// not per record.
-			scores := make([]int, len(branches))
 			for {
 				r, ok := env.recv(in)
 				if !ok {
@@ -129,7 +128,7 @@ func Choice(branches ...*Entity) *Entity {
 					}
 					continue
 				}
-				best := bestBranch(branches, scores, r, &rr)
+				best := bestBranch(branches, st, r, &rr)
 				if best < 0 {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s matches no branch input type", r)))
@@ -137,11 +136,11 @@ func Choice(branches ...*Entity) *Entity {
 					recycle(r)
 					continue
 				}
-				if ins[best] == nil {
+				if st[best].in == nil {
 					if !coll.send(r) {
 						return
 					}
-				} else if !env.send(ins[best], r) {
+				} else if !env.send(st[best].in, r) {
 					return
 				}
 			}
@@ -150,17 +149,25 @@ func Choice(branches ...*Entity) *Entity {
 	return e
 }
 
+// branchState is per-instantiation dispatcher scratch shared by Choice and
+// DetChoice: the branch's input link (nil for an elided identity branch in
+// Choice, always set in DetChoice) and the bestBranch score cache.
+type branchState struct {
+	in    *stream.Link
+	score int
+}
+
 // bestBranch picks the branch whose input type matches r best (the most
 // specific matched variant wins); ties break round-robin via the cursor at
-// rr. scores is per-dispatcher scratch of len(branches), reused so
-// BestMatch runs exactly once per (record, branch) — the tie-break scan
-// reads the cached scores instead of re-scoring. Returns -1 when no branch
-// matches. Shared by Choice and DetChoice.
-func bestBranch(branches []*Entity, scores []int, r *record.Record, rr *int) int {
+// rr. st is per-dispatcher scratch of len(branches), reused so BestMatch
+// runs exactly once per (record, branch) — the tie-break scan reads the
+// cached scores instead of re-scoring. Returns -1 when no branch matches.
+// Shared by Choice and DetChoice.
+func bestBranch(branches []*Entity, st []branchState, r *record.Record, rr *int) int {
 	best, bestScore, ties := -1, -1, 0
 	for i, b := range branches {
 		_, s := b.sig.In.BestMatch(r)
-		scores[i] = s
+		st[i].score = s
 		if s > bestScore {
 			best, bestScore, ties = i, s, 1
 		} else if s == bestScore && s >= 0 {
@@ -170,8 +177,8 @@ func bestBranch(branches []*Entity, scores []int, r *record.Record, rr *int) int
 	if best >= 0 && ties > 1 {
 		k := *rr % ties
 		*rr++
-		for i, s := range scores {
-			if s == bestScore {
+		for i := range st {
+			if st[i].score == bestScore {
 				if k == 0 {
 					return i
 				}
@@ -199,6 +206,14 @@ func combName(branches []*Entity, sep string) string {
 // pattern leaves the network at the tap; any other record enters the next
 // replica. Replicas are instantiated lazily, and — as the paper stresses —
 // the star never feeds records back; it unrolls.
+//
+// Under a dynamic placement policy (Options.Placer or Env.AtPolicy with
+// RoundRobin/LeastLoaded), each unfolded replica is placed at the moment it
+// is instantiated — the stage depth is the dispatch key — so a deep star's
+// box executions spread over the platform instead of piling onto the node
+// the star happened to be spawned on. Records crossing into and out of a
+// remotely placed replica are accounted against the platform's transfer
+// model, hop by hop.
 func Star(a *Entity, exit *rtype.Pattern) *Entity {
 	inT := a.sig.In.Union(rtype.NewType(exit.Variant))
 	return &Entity{
@@ -207,17 +222,22 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 		kids:   []*Entity{a},
 		spawn: func(env *Env, in, out *stream.Link) {
 			coll := newCollector(env, out, 1)
-			env.start(func() { starStage(env, a, exit, in, coll) })
+			env.start(func() { starStage(env, a, exit, in, coll, 0, env.node) })
 		},
 	}
 }
 
-// starStage is one unfolding of a star: the tap in front of replica k. It
-// emits exit-matching records to the shared collector and lazily creates
-// replica k plus the next stage when the first non-exit record arrives.
-func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *collector) {
+// starStage is one unfolding of a star: the tap in front of replica k (the
+// depth). It emits exit-matching records to the shared collector and lazily
+// creates replica k plus the next stage when the first non-exit record
+// arrives. inNode is the node the stage's input records are produced on
+// (the previous replica's placement); records it receives from there, and
+// records it dispatches to a replica placed elsewhere, are charged to the
+// platform's transfer model.
+func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *collector, depth, inNode int) {
 	defer coll.done()
 	var instIn *stream.Link
+	instNode := env.node
 	defer func() {
 		if instIn != nil {
 			env.closeLink(instIn)
@@ -228,6 +248,11 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *
 		if !ok {
 			return
 		}
+		if r.IsData() {
+			// The record travelled from the producing replica's node to
+			// this tap.
+			env.transfer(inNode, env.node, r)
+		}
 		if !r.IsData() || exit.Matches(r) {
 			if !coll.send(r) {
 				return
@@ -237,10 +262,17 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *
 		if instIn == nil {
 			instIn = env.newLink()
 			instOut := env.newLink()
-			a.spawn(env, instIn, instOut)
+			instEnv := env
+			if env.dynamicPlacer() != nil {
+				var scratch []int
+				instNode = env.place(depth, &scratch)
+				instEnv = env.At(instNode)
+			}
+			a.spawn(instEnv, instIn, instOut)
 			coll.add(1)
-			env.start(func() { starStage(env, a, exit, instOut, coll) })
+			env.start(func() { starStage(env, a, exit, instOut, coll, depth+1, instNode) })
 		}
+		env.transfer(env.node, instNode, r)
 		if !env.send(instIn, r) {
 			return
 		}
@@ -253,29 +285,32 @@ func starStage(env *Env, a *Entity, exit *rtype.Pattern, in *stream.Link, coll *
 // value. Outputs merge nondeterministically.
 func Split(a *Entity, tag string) *Entity {
 	return splitImpl(a, tag,
-		func() string { return fmt.Sprintf("(%s!<%s>)", a.Name(), tag) }, nil)
+		func() string { return fmt.Sprintf("(%s!<%s>)", a.Name(), tag) }, false)
 }
 
 // SplitAt builds the indexed dynamic placement A!@<tag> from Distributed
-// S-Net: like Split, but each replica is instantiated on the compute node
-// identified by the tag value (mapped modulo the platform's node count),
+// S-Net: like Split, but each replica is instantiated on a compute node,
 // and records are accounted as transferred to that node on entry and back
 // on exit.
+//
+// Which node a replica lands on is resolved at dispatch time by the
+// placement policy (Options.Placer, overridable per subtree with
+// Env.AtPolicy). The default Static policy keeps the pre-stamped-tag
+// convention — the tag value is the node, modulo the platform's node
+// count. RoundRobin and LeastLoaded make the node a runtime decision; the
+// tag then only identifies the replica. Under a dynamic policy the index
+// tag itself becomes optional: a record arriving without it is dispatched
+// through a fresh single-shot replica on the policy-chosen node — the
+// splitter emits untagged work and the scheduler places it. (With the
+// Static policy an untagged record remains a runtime type error.)
 func SplitAt(a *Entity, tag string) *Entity {
 	return splitImpl(a, tag,
-		func() string { return fmt.Sprintf("(%s!@<%s>)", a.Name(), tag) },
-		func(env *Env, v int) int {
-			n := env.Nodes()
-			if n <= 0 {
-				return 0
-			}
-			return ((v % n) + n) % n
-		})
+		func() string { return fmt.Sprintf("(%s!@<%s>)", a.Name(), tag) }, true)
 }
 
-// splitImpl implements both Split and SplitAt; nodeFor is nil for the
+// splitImpl implements both Split and SplitAt; placed is false for the
 // non-placing variant.
-func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, int) int) *Entity {
+func splitImpl(a *Entity, tag string, nameFn func() string, placed bool) *Entity {
 	// The input type is A's input type with the index tag added to every
 	// variant (every incoming record must carry the tag).
 	inT := rtype.NewType()
@@ -295,50 +330,86 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 		coll := newCollector(env, out, 1)
 		env.start(func() {
 			defer coll.done()
-			instances := make(map[int]*stream.Link)
+			type replica struct {
+				in   *stream.Link
+				node int
+			}
+			instances := make(map[int]replica)
 			defer func() {
-				for _, c := range instances {
-					env.closeLink(c)
+				for _, inst := range instances {
+					env.closeLink(inst.in)
 				}
 			}()
-			// ensure lazily instantiates the replica for tag value v.
-			ensure := func(v int) *stream.Link {
-				instIn, ok := instances[v]
-				if ok {
-					return instIn
-				}
-				instIn = env.newLink()
-				instances[v] = instIn
-				instEnv := env
-				if nodeFor != nil {
-					instEnv = env.At(nodeFor(env, v))
-				}
-				instOut := env.newLink()
-				a.spawn(instEnv, instIn, instOut)
+			var loadScratch []int // reusable placement load snapshot
+			untagged := 0         // dispatch sequence for untagged records
+			dynPlacer := env.dynamicPlacer() != nil
+			// startReturn accounts a replica's return path: records
+			// leaving the replica travel back to the split's node, a
+			// whole batch per hop so the platform amortizes per-message
+			// framing and per-hop latency.
+			startReturn := func(node int, instOut *stream.Link) {
 				coll.add(1)
-				if nodeFor != nil {
-					// Account the return path: records leaving the
-					// replica travel back to the split's node, a whole
-					// batch per hop so the platform amortizes
-					// per-message framing and per-hop latency.
-					back := instEnv
-					env.start(func() {
-						defer coll.done()
-						for {
-							b, ok := instOut.RecvBatch(env.done)
-							if !ok {
-								return
-							}
-							env.transferBatch(back.node, env.node, b.Recs)
-							if !coll.out.SendBatch(b, env.done) {
-								return
-							}
-						}
-					})
-				} else {
+				if node == env.node {
 					env.start(func() { coll.drainInto(instOut) })
+					return
 				}
-				return instIn
+				env.start(func() {
+					defer coll.done()
+					for {
+						b, ok := instOut.RecvBatch(env.done)
+						if !ok {
+							return
+						}
+						env.transferBatch(node, env.node, b.Recs)
+						if !coll.out.SendBatch(b, env.done) {
+							return
+						}
+					}
+				})
+			}
+			// ensure lazily instantiates the pinned replica for tag value
+			// v, resolving its node through the placement policy the
+			// moment the first record for it is dispatched.
+			ensure := func(v int) replica {
+				inst, ok := instances[v]
+				if ok {
+					return inst
+				}
+				inst = replica{in: env.newLink(), node: env.node}
+				instEnv := env
+				if placed {
+					inst.node = env.place(v, &loadScratch)
+					instEnv = env.At(inst.node)
+				}
+				instances[v] = inst
+				instOut := env.newLink()
+				a.spawn(instEnv, inst.in, instOut)
+				startReturn(inst.node, instOut)
+				return inst
+			}
+			// dispatchUntagged routes one record the splitter left
+			// unplaced: a fresh single-shot replica on the node the
+			// policy picks now, fed exactly this record and closed, so
+			// every untagged unit of work is independently schedulable
+			// (and, with work stealing, independently migratable). The
+			// per-unit replica is the cost of that freedom — untagged
+			// dispatch is built for coarse-grained units like the
+			// raytracer's sections, not for fine-grained record streams.
+			dispatchUntagged := func(r *record.Record) bool {
+				node := env.place(untagged, &loadScratch)
+				untagged++
+				instIn := env.newLink()
+				instOut := env.newLink()
+				a.spawn(env.At(node), instIn, instOut)
+				startReturn(node, instOut)
+				// One record, one hop — accounted like starStage's and
+				// the steal scheduler's single-record moves.
+				env.transfer(env.node, node, r)
+				if !env.send(instIn, r) {
+					return false
+				}
+				env.closeLink(instIn)
+				return true
 			}
 			// The dispatcher routes whole input batches, forwarding each
 			// run of consecutive same-destination records as one unit:
@@ -365,6 +436,13 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 					}
 					v, ok := r.TagSym(tagSym)
 					if !ok {
+						if placed && dynPlacer {
+							if !dispatchUntagged(r) {
+								return
+							}
+							i++
+							continue
+						}
 						env.report(entityError(e.Name(), fmt.Errorf(
 							"record %s lacks index tag <%s>", r, tag)))
 						// The dropped record is dead; reclaim it.
@@ -381,11 +459,11 @@ func splitImpl(a *Entity, tag string, nameFn func() string, nodeFor func(*Env, i
 						j++
 					}
 					run := recs[i:j]
-					instIn := ensure(v)
-					if nodeFor != nil {
-						env.transferBatch(env.node, nodeFor(env, v), run)
+					inst := ensure(v)
+					if placed {
+						env.transferBatch(env.node, inst.node, run)
 					}
-					if !instIn.SendMany(run, env.done) {
+					if !inst.in.SendMany(run, env.done) {
 						return
 					}
 					i = j

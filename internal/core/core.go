@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snet/internal/record"
@@ -100,6 +101,21 @@ type Options struct {
 	FlushInterval time.Duration
 	// Platform is the compute substrate; nil means LocalPlatform.
 	Platform Platform
+	// Placer is the placement policy dynamic placement sites consult at
+	// dispatch time: which node an indexed-split replica (SplitAt) is
+	// instantiated on, where an untagged record is dispatched, which node
+	// a star unfolding's replica runs on. Nil selects Static — the
+	// pre-stamped-tag convention, where the tag value is the node — which
+	// reproduces the pre-policy behavior exactly. See Env.AtPolicy for
+	// overriding the policy per subtree.
+	Placer Placer
+	// WorkStealing lets a box execution queued on a busy node be claimed
+	// by an idle node, when the platform supports migration
+	// (StealPlatform; dist.Cluster does). The platform charges its
+	// transfer-cost model for the migrated triggering record and counts
+	// the steal. Placement combinators still decide the home node;
+	// stealing only redistributes work the home node has not started.
+	WorkStealing bool
 	// CheckTypes enables runtime verification that every record emitted
 	// by a box matches one of the box's declared output variants (before
 	// flow inheritance). Violations are reported as errors.
@@ -127,6 +143,9 @@ type Env struct {
 	platform  Platform
 	cancPlat  CancellablePlatform // platform, when it supports cancellation
 	batchPlat BatchPlatform       // platform, when it supports batch transfer
+	stealPlat StealPlatform       // platform, when executions can migrate
+	loadPlat  LoadPlatform        // platform, when it reports per-node load
+	placer    Placer              // placement policy; nil = Static semantics
 	node      int
 	opts      Options
 	errs      *errSink
@@ -151,6 +170,9 @@ func newEnv(opts Options) *Env {
 	}
 	e.cancPlat, _ = opts.Platform.(CancellablePlatform)
 	e.batchPlat, _ = opts.Platform.(BatchPlatform)
+	e.stealPlat, _ = opts.Platform.(StealPlatform)
+	e.loadPlat, _ = opts.Platform.(LoadPlatform)
+	e.placer = opts.Placer
 	return e
 }
 
@@ -252,6 +274,55 @@ func (e *Env) At(node int) *Env {
 	return &c
 }
 
+// AtPolicy returns a copy of the environment whose dynamic placement sites
+// (indexed splits, untagged dispatch, star unfoldings) use placement policy
+// p instead of the instance-wide Options.Placer. Like At it scopes
+// lexically: the override covers the subtree spawned from the copy.
+func (e *Env) AtPolicy(p Placer) *Env {
+	c := *e
+	c.placer = p
+	return &c
+}
+
+// dynamicPlacer returns the placement policy when it makes decisions at
+// dispatch time, nil when placement follows the static pre-stamped-tag
+// convention (no policy configured, or explicitly Static — by value or by
+// pointer, since the stateful sibling policies are naturally passed as
+// pointers).
+func (e *Env) dynamicPlacer() Placer {
+	switch e.placer.(type) {
+	case nil, Static, *Static:
+		return nil
+	}
+	return e.placer
+}
+
+// place resolves the node for dispatch key key under the environment's
+// placement policy. scratch is a caller-owned reusable slice for the load
+// snapshot (placement sites place from a single dispatcher goroutine, so a
+// per-site scratch never contends).
+func (e *Env) place(key int, scratch *[]int) int {
+	n := e.Nodes()
+	if n <= 1 {
+		return 0
+	}
+	p := e.placer
+	if p == nil {
+		return ((key % n) + n) % n
+	}
+	var load []int
+	if e.loadPlat != nil {
+		// Skip the snapshot for policies that declare they never read
+		// it: Loads takes the platform's scheduler lock, which per-record
+		// dispatch should not contend for nothing.
+		if _, skip := p.(loadFree); !skip {
+			*scratch = e.loadPlat.Loads(*scratch)
+			load = *scratch
+		}
+	}
+	return ((p.Place(key, n, load) % n) + n) % n
+}
+
 // Node returns the abstract compute node the current entity is placed on.
 func (e *Env) Node() int { return e.node }
 
@@ -291,15 +362,29 @@ func (e *Env) recv(in *stream.Link) (*record.Record, bool) {
 	return in.Recv(e.done)
 }
 
-// exec runs fn as a box execution on the environment's node. It reports
+// exec runs fn as a box execution on the environment's node, with trigger
+// as the record the execution consumes. When work stealing is enabled and
+// the platform supports migration, a queued execution may be claimed by an
+// idle node (the platform charges the migration of trigger). It reports
 // false — without having run fn — when the instance was stopped while
 // waiting for the platform to grant a CPU slot.
-func (e *Env) exec(fn func()) bool {
+func (e *Env) exec(trigger *record.Record, fn func()) bool {
+	if e.opts.WorkStealing && e.stealPlat != nil {
+		return e.stealPlat.ExecStealable(e.node, e.done, trigger, fn)
+	}
 	if e.cancPlat != nil {
 		return e.cancPlat.ExecCancel(e.node, e.done, fn)
 	}
 	e.platform.Exec(e.node, fn)
 	return true
+}
+
+// transfer accounts one record moving between nodes; same-node moves are
+// free.
+func (e *Env) transfer(from, to int, r *record.Record) {
+	if from != to {
+		e.platform.Transfer(from, to, r)
+	}
 }
 
 // transferBatch accounts a whole batch moving between nodes, in one
@@ -471,31 +556,34 @@ func (e *Entity) Describe() string {
 // collector lets a dynamic set of producers (star unfoldings, split
 // instances, parallel branches) share one output link. The link is closed
 // once every registered producer has finished — producers only send while
-// registered, so the close can never race a send even during an abort.
+// registered, so the close can never race a send even during an abort. The
+// last producer to sign off closes the link from its own goroutine (no
+// dedicated closer goroutine): star-heavy networks create a collector per
+// unfolding, so the closer's goroutine and closure were a per-stage cost.
 type collector struct {
 	env *Env
 	out *stream.Link
-	wg  sync.WaitGroup
+	n   atomic.Int32
 }
 
-// newCollector registers `initial` producers and starts the closer.
+// newCollector registers `initial` producers.
 func newCollector(env *Env, out *stream.Link, initial int) *collector {
 	c := &collector{env: env, out: out}
-	c.wg.Add(initial)
-	env.start(func() {
-		c.wg.Wait()
-		env.closeLink(out)
-	})
+	c.n.Store(int32(initial))
 	return c
 }
 
 // add registers additional producers. It must be called from a goroutine
 // that is itself a registered producer (so the count cannot reach zero
 // concurrently).
-func (c *collector) add(n int) { c.wg.Add(n) }
+func (c *collector) add(n int) { c.n.Add(int32(n)) }
 
-// done signs off one producer.
-func (c *collector) done() { c.wg.Done() }
+// done signs off one producer; the last one out closes the shared link.
+func (c *collector) done() {
+	if c.n.Add(-1) == 0 {
+		c.env.closeLink(c.out)
+	}
+}
 
 // send forwards a record to the shared output; false means the instance
 // was stopped and the producer must unwind.

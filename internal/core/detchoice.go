@@ -52,23 +52,24 @@ func DetChoice(branches ...*Entity) *Entity {
 	}
 	e.spawn = func(env *Env, in, out *stream.Link) {
 		events := make(chan detEvent, max(0, env.opts.BufferSize)+len(branches))
-		ins := make([]*stream.Link, len(branches))
+		// Per-branch input links and the bestBranch score cache share one
+		// scratch slice, as in Choice.
+		st := make([]branchState, len(branches))
 		for i, b := range branches {
-			ins[i] = env.newLink()
+			st[i].in = env.newLink()
 			bo := env.newLink()
-			b.spawn(env, ins[i], bo)
+			b.spawn(env, st[i].in, bo)
 			env.start(func() { detPump(env, i, bo, events) })
 		}
 		env.start(func() { runDetMerger(env, events, out) })
 		env.start(func() {
 			defer func() {
-				for _, c := range ins {
-					env.closeLink(c)
+				for i := range st {
+					env.closeLink(st[i].in)
 				}
 			}()
 			rr := 0
 			seq := 0
-			scores := make([]int, len(branches)) // bestBranch scratch
 			for {
 				r, ok := env.recv(in)
 				if !ok {
@@ -86,7 +87,7 @@ func DetChoice(branches ...*Entity) *Entity {
 					seq++
 					continue
 				}
-				best := bestBranch(branches, scores, r, &rr)
+				best := bestBranch(branches, st, r, &rr)
 				if best < 0 {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s matches no branch input type", r)))
@@ -98,7 +99,7 @@ func DetChoice(branches ...*Entity) *Entity {
 					return
 				}
 				seq++
-				if !env.send(ins[best], r) {
+				if !env.send(st[best].in, r) {
 					return
 				}
 			}

@@ -33,9 +33,10 @@ const codecVersion2 = 2
 // zero value is ready to use. All methods are safe for concurrent use (the
 // Cluster shares per-link codecs between transferring goroutines).
 type Codec struct {
-	mu    sync.Mutex
-	sent  []bool            // encoder side: sym already defined to the peer
-	names map[uint64]string // decoder side: wire sym -> label name
+	mu      sync.Mutex
+	sent    []bool            // encoder side: sym already defined to the peer
+	names   map[uint64]string // decoder side: wire sym -> label name
+	predefs []record.Sym      // predict-mode sizing scratch, reused under mu
 }
 
 // NewCodec returns a fresh link codec with an empty negotiated table.
@@ -165,9 +166,12 @@ func (c *Codec) size(r *record.Record, commit bool) int {
 }
 
 // sizeBody sizes one record without its per-message framing (version and
-// kind bytes). Callers hold c.mu.
+// kind bytes). Callers hold c.mu. Predict-mode sizing tracks the labels
+// the record would define inline in a codec-owned scratch slice (safe
+// under mu), so repeated Size calls on a hot link allocate nothing.
 func (c *Codec) sizeBody(r *record.Record, commit bool) int {
-	s := sizer{c: c, commit: commit}
+	s := sizer{c: c, commit: commit, defined: c.predefs[:0]}
+	defer func() { c.predefs = s.defined[:0] }()
 	n := 6 // three u16 label counts
 	r.VisitTagSyms(func(id record.Sym, _ int) {
 		n += s.labelRefSize(id) + 8

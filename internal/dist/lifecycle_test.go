@@ -107,3 +107,68 @@ func TestStopReleasesClusterCapacity(t *testing.T) {
 		t.Fatalf("cluster unusable after Stop: outs=%v err=%v", outs, err)
 	}
 }
+
+// TestStopReleasesClusterMidSteal is TestStopReleasesClusterCapacity for
+// the work-stealing scheduler: a steal-enabled network saturates a cluster
+// whose queues hold stealable executions (some already migrated, some
+// still waiting), then Stop must reclaim every goroutine and leave every
+// slot and queue entry released.
+func TestStopReleasesClusterMidSteal(t *testing.T) {
+	leakcheck.Check(t)
+	cluster := dist.NewCluster(2, 1)
+	sig := core.MustSig([]rtype.Label{rtype.F("x")}, []rtype.Label{rtype.F("x")})
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	blocking := core.NewBox("blocking", sig, func(c *core.BoxCall) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	// Untagged dispatch spawns one replica per record, so every record is
+	// its own concurrently queued execution: the first two occupy both
+	// nodes' slots (one of them via a dispatch-time steal), the rest
+	// queue as stealable waiters behind them.
+	inst := core.NewNetwork(core.SplitAt(blocking, "node"), core.Options{
+		Platform:     cluster,
+		Placer:       &core.LeastLoaded{},
+		WorkStealing: true,
+	}).Start()
+	for i := 0; i < 6; i++ {
+		if !inst.Send(record.New().SetField("x", i)) {
+			t.Fatal("Send refused")
+		}
+	}
+	<-started
+	<-started
+
+	stopRet := make(chan error, 1)
+	go func() { stopRet <- inst.Stop() }()
+	// Let Stop cancel the queued stealable waiters, then release the two
+	// executions holding slots.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-stopRet:
+		if !errors.Is(err, core.ErrStopped) {
+			t.Fatalf("Stop = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on a saturated steal-enabled cluster")
+	}
+
+	// Nothing stranded: every slot free, queues empty, and the cluster
+	// still runs fresh work on both nodes.
+	if loads := cluster.Loads(nil); loads[0] != 0 || loads[1] != 0 {
+		t.Fatalf("loads = %v after Stop, want [0 0]", loads)
+	}
+	quick := core.NewBox("quick", sig, func(c *core.BoxCall) error {
+		c.Emit(record.New().SetField("x", 1))
+		return nil
+	})
+	outs, err := core.NewNetwork(quick, core.Options{
+		Platform: cluster, WorkStealing: true,
+	}).Run(record.New().SetField("x", 0), record.New().SetField("x", 1))
+	if err != nil || len(outs) != 2 {
+		t.Fatalf("cluster unusable after mid-steal Stop: outs=%v err=%v", outs, err)
+	}
+}

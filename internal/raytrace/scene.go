@@ -146,6 +146,59 @@ func UnbalancedScene(n int, seed int64) *Scene {
 	return s
 }
 
+// SkewedScene generates the sharply skewed workload for the scheduling
+// benchmarks: nearly all objects pack into one thin, wide shelf of
+// reflective and refractive spheres across the upper-middle of the frame,
+// while the rest of the image sees only a bare matte floor and a few small
+// distant spheres. Per-section render cost then varies by roughly an order
+// of magnitude between shelf sections and empty sections — the regime where
+// placement fixed at split time leaves some nodes saturated while others
+// sit idle — without any single section dominating the total (the shelf is
+// wide enough to span several sections at benchmark task counts).
+// Deterministic in seed.
+func SkewedScene(n int, seed int64) *Scene {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScene()
+	s.AddPlane(&Plane{
+		Point: geom.V(0, -0.5, 0), Normal: geom.V(0, 1, 0),
+		Mat: Matte(geom.V(0.72, 0.74, 0.78)),
+	})
+	// 90% of the spheres: the dense shelf. Alternating mirror and glass
+	// makes every primary hit spawn expensive secondary rays.
+	shelf := n * 9 / 10
+	for i := 0; i < shelf; i++ {
+		c := geom.V(
+			rng.Float64()*9-4.5,
+			0.9+rng.Float64()*1.7,
+			1+rng.Float64()*3.5,
+		)
+		r := 0.16 + rng.Float64()*0.22
+		var mat Material
+		if i%2 == 0 {
+			mat = Shiny(randColor(rng), 0.75)
+		} else {
+			mat = Glass(geom.V(0.92, 0.96, 1))
+		}
+		s.Add(&Sphere{Center: c, Radius: r, Mat: mat})
+	}
+	// The remainder: small matte spheres scattered low and far — visible,
+	// but cheap to shade.
+	for i := shelf; i < n; i++ {
+		c := geom.V(
+			rng.Float64()*12-6,
+			-0.3+rng.Float64()*0.7,
+			4+rng.Float64()*5,
+		)
+		s.Add(&Sphere{
+			Center: c,
+			Radius: 0.15 + rng.Float64()*0.15,
+			Mat:    Matte(randColor(rng)),
+		})
+	}
+	addDefaultLights(s)
+	return s
+}
+
 func randomSphere(rng *rand.Rand, lo, hi geom.Vec3, rMin, rMax float64) *Sphere {
 	c := geom.V(
 		lo.X+rng.Float64()*(hi.X-lo.X),

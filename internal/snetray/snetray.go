@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"snet/internal/compile"
 	"snet/internal/core"
@@ -24,7 +25,7 @@ import (
 // Mode selects the network design.
 type Mode int
 
-// Network designs from the paper.
+// Network designs from the paper, plus the load-aware extension.
 const (
 	// Static is Fig. 2: splitter .. solver!@<node> .. merger .. genImg.
 	Static Mode = iota
@@ -33,6 +34,16 @@ const (
 	Static2CPU
 	// Dynamic is Fig. 4: token-based dynamic load balancing.
 	Dynamic
+	// DynamicSteal goes past the paper's token scheme: placement becomes
+	// a runtime decision of the coordination layer (the S+Net view of
+	// placement as an extra-functional concern). The splitter emits
+	// untagged sections; the indexed placement combinator dispatches each
+	// one through a fresh solver replica on the node the placement policy
+	// (default core.LeastLoaded) picks at that moment, and solver
+	// executions queued on a busy node may be claimed by an idle node
+	// (work stealing), with the migrated section charged to the cluster's
+	// transfer-cost model.
+	DynamicSteal
 )
 
 // String names the mode.
@@ -44,6 +55,8 @@ func (m Mode) String() string {
 		return "S-Net Static 2CPU"
 	case Dynamic:
 		return "S-Net Dynamic"
+	case DynamicSteal:
+		return "S-Net Dynamic Steal"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -82,6 +95,20 @@ type Config struct {
 	Tokens int
 	Mode   Mode
 	Policy Policy
+	// Placer overrides the placement policy the runtime's dynamic
+	// placement sites use. Nil keeps the mode's default: static tag
+	// placement for the paper's designs, core.LeastLoaded for
+	// DynamicSteal.
+	Placer core.Placer
+	// SolveScale models paper-scale sections on a reduced bench render:
+	// when above 1, the solver renders its section (taking w wall time)
+	// and then sleeps (SolveScale-1)·w while still holding its node's CPU
+	// slot, so the cluster's resource model sees every section at
+	// SolveScale× its real cost — with the scene's real skew preserved.
+	// Scheduling quality then shows up in wall time on any host, even one
+	// whose core count cannot physically parallelize the real render (see
+	// docs/performance.md, "Scheduling & placement"). 0 or 1 disables.
+	SolveScale int
 	// Cluster, when non-nil, is used instead of a fresh one (lets callers
 	// share a platform between variants or inject network delays).
 	Cluster *dist.Cluster
@@ -170,6 +197,27 @@ net raytracing_dyn
     .. merger .. genImg
 `
 
+// StealSource is the load-aware network of the DynamicSteal mode: the
+// static fork–join of Fig. 2, but the splitter no longer stamps <node>
+// tags — its sections leave untagged, and the placement combinator
+// !@<node> resolves each one's node at dispatch time through the
+// configured placement policy (an extra-functional scheduling decision,
+// invisible in the network structure). Work stealing then lets sections
+// queued on a busy node migrate to idle ones.
+const StealSource = `
+net raytracing_steal
+{
+    box splitter( (scene, <nodes>, <tasks>)
+                  -> (scene, sect, <tasks>, <fst>)
+                   | (scene, sect, <tasks> ));
+    box solver ( (scene, sect) -> (chunk));
+    net merger ( (chunk, <fst>) -> (pic),
+                 (chunk) -> (pic));
+    box genImg ( (pic) -> ());
+} connect
+    splitter .. solver!@<node> .. merger .. genImg
+`
+
 // The application's label vocabulary, interned once: box bodies run per
 // section per render, so they use the symbol-keyed record API.
 var (
@@ -198,7 +246,7 @@ func (s *imageSink) add(img *raytrace.Image) {
 
 // spans returns the section spans for the config.
 func (cfg *Config) spans() ([]sched.Span, error) {
-	if cfg.Mode == Dynamic && cfg.Policy == FactoringPolicy {
+	if (cfg.Mode == Dynamic || cfg.Mode == DynamicSteal) && cfg.Policy == FactoringPolicy {
 		return sched.PaperFactoring(cfg.H, cfg.Tasks)
 	}
 	return sched.Block(cfg.H, cfg.Tasks), nil
@@ -242,6 +290,8 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 				if i < cfg.Tokens {
 					r.SetTagSym(symNode, i)
 				}
+			case DynamicSteal:
+				// Untagged: placement is the runtime scheduler's call.
 			}
 			c.Emit(r)
 		}
@@ -250,7 +300,17 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 	solve := func(c *core.BoxCall) error {
 		scene := c.FieldSym(symScene).(*raytrace.Scene)
 		sect := c.FieldSym(symSect).(raytrace.Section)
+		var start time.Time
+		if cfg.SolveScale > 1 {
+			start = time.Now()
+		}
 		chunk, _ := raytrace.RenderSection(scene, sect)
+		if cfg.SolveScale > 1 {
+			// Model the paper-scale section: keep the CPU slot for
+			// (scale-1)× the real render time, preserving the scene's
+			// per-section cost skew in the cluster's resource model.
+			time.Sleep(time.Duration(cfg.SolveScale-1) * time.Since(start))
+		}
 		c.Emit(c.NewRecord().SetFieldSym(symChunk, chunk))
 		return nil
 	}
@@ -283,6 +343,8 @@ func (cfg *Config) source() string {
 		return Static2CPUSource
 	case Dynamic:
 		return DynamicSource
+	case DynamicSteal:
+		return StealSource
 	default:
 		return StaticSource
 	}
@@ -369,7 +431,14 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cluster == nil {
 		cluster = dist.NewCluster(cfg.Nodes, cfg.CPUs)
 	}
-	net := core.NewNetwork(ent, core.Options{Platform: cluster})
+	opts := core.Options{Platform: cluster, Placer: cfg.Placer}
+	if cfg.Mode == DynamicSteal {
+		opts.WorkStealing = true
+		if opts.Placer == nil {
+			opts.Placer = &core.LeastLoaded{}
+		}
+	}
+	net := core.NewNetwork(ent, opts)
 	outs, err := net.RunContext(ctx, record.Build().
 		F("scene", cfg.Scene).
 		T("nodes", cfg.Nodes).

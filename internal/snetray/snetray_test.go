@@ -75,6 +75,55 @@ func TestDynamicRenderMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestDynamicStealRenderMatchesSequential verifies the load-aware design:
+// untagged sections placed at dispatch time, work stealing on, the image
+// still exactly matches the sequential render, and the steal counters stay
+// consistent. (Whether a steal actually fires during a real render is a
+// timing race — guaranteed-steal coverage lives in internal/dist's
+// ExecStealable tests, and the skewed benchmarks record steals_op as the
+// engagement evidence.)
+func TestDynamicStealRenderMatchesSequential(t *testing.T) {
+	scene := raytrace.SkewedScene(40, 2)
+	want := reference(t, scene)
+	res, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 16, Mode: DynamicSteal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Image.Equal(want) {
+		t.Fatal("dynamic-steal image differs from sequential render")
+	}
+	total := int64(0)
+	for _, e := range res.Cluster.Execs {
+		total += e
+	}
+	if total == 0 {
+		t.Fatal("no executions accounted")
+	}
+	if res.Cluster.Migrated != res.Cluster.Steals {
+		t.Fatalf("migrated=%d steals=%d; every steal of a box execution migrates its record",
+			res.Cluster.Migrated, res.Cluster.Steals)
+	}
+	if res.Cluster.Migrated > res.Cluster.Transfers {
+		t.Fatalf("migrated=%d > transfers=%d; migrations must be counted as record hops",
+			res.Cluster.Migrated, res.Cluster.Transfers)
+	}
+	// SolveScale must not change the image either (it only stretches the
+	// resource model's notion of section cost).
+	res2, err := Render(Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 2, CPUs: 2, Tasks: 8, Mode: DynamicSteal, SolveScale: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Image.Equal(want) {
+		t.Fatal("scaled dynamic-steal image differs from sequential render")
+	}
+}
+
 func TestDynamicTokenSweepCompletes(t *testing.T) {
 	scene := raytrace.UnbalancedScene(30, 4)
 	want := reference(t, scene)

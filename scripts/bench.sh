@@ -16,6 +16,12 @@
 #                  separately:
 #                    BENCH_OUT=BENCH_stream.json \
 #                    BENCH_PATTERN='BenchmarkLive(Cluster|SNet)' scripts/bench.sh
+#                  and the STEAL trajectory (skewed-load scheduling: block
+#                  vs factoring vs work stealing, with the steals/op and
+#                  migrated/op metrics recorded as steals_op evidence that
+#                  migration occurred):
+#                    BENCH_OUT=BENCH_steal.json \
+#                    BENCH_PATTERN='BenchmarkLiveCluster(Skewed|Uniform)' scripts/bench.sh
 #
 # The JSON layout is line-oriented on purpose (one benchmark per line) so
 # this script can re-read its own baseline with awk and CI can diff it
@@ -33,16 +39,19 @@ raw="$(go test -run xxx -bench "$BENCH_PATTERN" \
 	-benchmem -benchtime "$BENCHTIME" -count 1 .)"
 printf '%s\n' "$raw"
 
-# "name ns bytes allocs" per line, CPU-count suffix stripped.
+# "name ns bytes allocs steals" per line, CPU-count suffix stripped;
+# steals is "-" for benchmarks that do not report the steals/op metric.
 current="$(printf '%s\n' "$raw" | awk '
 	/^BenchmarkLive/ && /ns\/op/ && /allocs\/op/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
+		steals = "-"
 		for (i = 2; i <= NF; i++) {
 			if ($i == "ns/op")     ns = $(i-1)
 			if ($i == "B/op")      bytes = $(i-1)
 			if ($i == "allocs/op") allocs = $(i-1)
+			if ($i == "steals/op") steals = $(i-1)
 		}
-		print name, ns, bytes, allocs
+		print name, ns, bytes, allocs, steals
 	}')"
 if [ -z "$current" ]; then
 	echo "bench.sh: no benchmark results parsed" >&2
@@ -65,21 +74,26 @@ if [ "$SET_BASELINE" -eq 0 ] && [ -f "$BENCH_OUT" ]; then
 			line = $0
 			gsub(/[",:{}]/, " ", line)
 			n = split(line, f, /[ \t]+/)
-			name = ""; ns = ""; bytes = ""; allocs = ""
+			name = ""; ns = ""; bytes = ""; allocs = ""; steals = "-"
 			for (i = 1; i <= n; i++) {
 				if (f[i] ~ /^Benchmark/) name = f[i]
 				if (f[i] == "ns_op")     ns = f[i+1]
 				if (f[i] == "bytes_op")  bytes = f[i+1]
 				if (f[i] == "allocs_op") allocs = f[i+1]
+				if (f[i] == "steals_op") steals = f[i+1]
 			}
-			if (name != "") print name, ns, bytes, allocs
+			if (name != "") print name, ns, bytes, allocs, steals
 		}' "$BENCH_OUT")"
 fi
 [ -z "$baseline" ] && baseline="$current"
 
-emit_section() { # $1 = "name ns bytes allocs" lines
+emit_section() { # $1 = "name ns bytes allocs steals" lines; steals "-" omitted
 	printf '%s\n' "$1" | awk '
-		{ lines[NR] = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", $1, $2, $3, $4) }
+		{
+			extra = ""
+			if (NF >= 5 && $5 != "-") extra = sprintf(", \"steals_op\": %s", $5)
+			lines[NR] = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s%s}", $1, $2, $3, $4, extra)
+		}
 		END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "") }'
 }
 

@@ -130,8 +130,10 @@ type (
 	BoxFunc = core.BoxFunc
 	// Options configure a network instantiation: the platform, stream
 	// capacity (BufferSize, in records), transport batching (BatchSize,
-	// FlushInterval — see docs/performance.md), runtime type checking and
-	// synchrocell flushing.
+	// FlushInterval — see docs/performance.md), the placement policy
+	// (Placer) and work stealing (WorkStealing — see docs/performance.md
+	// "Scheduling & placement"), runtime type checking and synchrocell
+	// flushing.
 	Options = core.Options
 	// Network is an instantiable S-Net. Beyond Run, it offers
 	// RunContext (Run bounded by a context: cancellation stops the
@@ -160,6 +162,30 @@ type (
 	// account a whole batch of records crossing between nodes as one wire
 	// message; dist.Cluster implements it (see Cluster.TransferBatch).
 	BatchPlatform = core.BatchPlatform
+	// StealPlatform is optionally implemented by platforms whose queued
+	// box executions may be claimed by an idle node (work stealing, see
+	// Options.WorkStealing); dist.Cluster implements it, charging its
+	// transfer-cost model for each migrated triggering record and
+	// counting ClusterStats.Steals / ClusterStats.Migrated.
+	StealPlatform = core.StealPlatform
+	// LoadPlatform is optionally implemented by platforms that report
+	// per-node scheduling load (CPU slots in use plus queued executions);
+	// the LeastLoaded placement policy consults it at dispatch time.
+	// dist.Cluster implements it.
+	LoadPlatform = core.LoadPlatform
+	// Placer is a placement policy: it decides, at dispatch time, which
+	// compute node a dynamically placed unit of work — an indexed-split
+	// replica, an untagged record under SplitAt, a star unfolding — runs
+	// on. Set it via Options.Placer; nil keeps the Static convention.
+	Placer = core.Placer
+	// Static places by dispatch key modulo node count — the
+	// pre-stamped-tag convention of Distributed S-Net, and the default.
+	Static = core.Static
+	// RoundRobin cycles dispatch units over the nodes regardless of key.
+	RoundRobin = core.RoundRobin
+	// LeastLoaded places each dispatch unit on the node with the smallest
+	// current load (LoadPlatform), falling back to round-robin.
+	LeastLoaded = core.LeastLoaded
 	// LocalPlatform is the trivial single-node platform.
 	LocalPlatform = core.LocalPlatform
 	// FilterRule, FilterOutput and TagAssign describe filters
@@ -313,8 +339,8 @@ func CompileExpr(e Expr, reg *Registry) (*Entity, []string, error) {
 type Cluster = dist.Cluster
 
 // ClusterStats is a snapshot of a cluster's accounting counters: per-node
-// execution counts and busy times, plus cross-node transfer and byte
-// totals.
+// execution counts and busy times, cross-node transfer and byte totals,
+// and the work-stealing counters (Steals, Migrated).
 type ClusterStats = dist.Stats
 
 // NewCluster creates a cluster platform with the given number of nodes and
