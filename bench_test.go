@@ -8,6 +8,7 @@
 package snet_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +20,8 @@ import (
 	"snet/internal/sched"
 	"snet/internal/simnet"
 	"snet/internal/snetray"
+	"snet/internal/wire"
+	"snet/internal/wireapp"
 )
 
 // --- Figure 5: runtime vs token count on the simulated 8-node testbed ----
@@ -588,4 +591,128 @@ func BenchmarkSimnetDynamic(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Multi-process transport: loopback TCP vs in-process platform --------
+
+// The wire benches put a number on what the transport costs: the same
+// render, same cluster shape, on (a) a wire.Cluster whose two workers sit
+// behind real loopback TCP sockets — every solver call crosses the framed
+// protocol and the negotiated codec — and (b) a plain in-process
+// dist.Cluster. Reported side by side: the model's accounted traffic
+// (model-KiB/op, identical semantics in both variants, which is what keeps
+// the trajectories comparable) and, for the wired variant, the measured
+// bytes that actually crossed the sockets (wire-KiB/op) as the cross-check
+// that the accounting corresponds to reality.
+
+// startWireFleet brings up a coordinator plus two wire.Workers over
+// loopback TCP. The workers run in-process goroutines — the sockets,
+// frames, and codec negotiation are the production path; only the OS
+// process boundary is folded away (the multi-process path is exercised by
+// internal/wireapp's re-exec tests and scripts/dist-smoke.sh).
+func startWireFleet(b *testing.B, spec wireapp.SceneSpec, cpus int) *wire.Cluster {
+	b.Helper()
+	cl, err := wire.Listen("127.0.0.1:0", wire.CoordinatorConfig{
+		Workers: 2, CPUsPerNode: cpus, Ext: wireapp.RaytraceExt(spec),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := wire.NewWorker(wire.WorkerConfig{Ext: wireapp.RaytraceExt(spec)})
+		for name, fn := range snetray.WorkerBoxes(0) {
+			w.Register(name, fn)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(cl.Addr().String())
+		}()
+	}
+	if err := cl.WaitReady(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cl.Close()
+		wg.Wait()
+	})
+	return cl
+}
+
+func benchWire(b *testing.B, mode snetray.Mode, cpus, tasks, tokens int, wired bool) {
+	spec := wireapp.SceneSpec{Unbalanced: true, Objects: liveObjects, Seed: liveSeed}
+	const nodes = 3 // coordinator + 2 workers
+	var cl *wire.Cluster
+	if wired {
+		cl = startWireFleet(b, spec, cpus)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var model dist.Stats
+	var wireBefore, wireAfter wire.WireStats
+	if wired {
+		wireBefore = cl.WireStats()
+		model = cl.Stats()
+	}
+	modelBytes, steals := int64(0)-model.Bytes, int64(0)-model.Steals
+	for i := 0; i < b.N; i++ {
+		cfg := snetray.Config{
+			Scene: spec.Build(), W: liveW, H: liveH,
+			Nodes: nodes, CPUs: cpus, Tasks: tasks, Tokens: tokens,
+			Mode: mode,
+		}
+		var err error
+		var res *snetray.Result
+		if wired {
+			cfg.Platform = cl
+			res, err = snetray.Render(cfg)
+		} else {
+			res, err = snetray.Render(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !wired {
+			modelBytes += res.Cluster.Bytes
+			steals += res.Cluster.Steals
+		}
+	}
+	if wired {
+		m := cl.Stats()
+		modelBytes += m.Bytes
+		steals += m.Steals
+		wireAfter = cl.WireStats()
+		onWire := (wireAfter.BytesSent - wireBefore.BytesSent) +
+			(wireAfter.BytesRecv - wireBefore.BytesRecv)
+		b.ReportMetric(float64(onWire)/1024/float64(b.N), "wire-KiB/op")
+		b.ReportMetric(float64(wireAfter.RemoteExecs-wireBefore.RemoteExecs)/float64(b.N), "remote-execs/op")
+	}
+	b.ReportMetric(float64(modelBytes)/1024/float64(b.N), "model-KiB/op")
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+}
+
+// BenchmarkLiveWireStatic is the Fig. 2 static design with its solver
+// calls crossing loopback TCP to two worker "processes".
+func BenchmarkLiveWireStatic(b *testing.B) {
+	benchWire(b, snetray.Static, 2, 6, 0, true)
+}
+
+// BenchmarkLiveWireStaticInProc is the identical render on the in-process
+// platform: the transport's overhead is the gap to BenchmarkLiveWireStatic.
+func BenchmarkLiveWireStaticInProc(b *testing.B) {
+	benchWire(b, snetray.Static, 2, 6, 0, false)
+}
+
+// BenchmarkLiveWireCommBound is the communication-bound regime over real
+// sockets: 64 fine-grained sections on slim 1-CPU nodes, so framing and
+// codec cost per section — not solve time — dominates the transport's
+// share.
+func BenchmarkLiveWireCommBound(b *testing.B) {
+	benchWire(b, snetray.Dynamic, 1, 64, 6, true)
+}
+
+// BenchmarkLiveWireCommBoundInProc is its in-process baseline.
+func BenchmarkLiveWireCommBoundInProc(b *testing.B) {
+	benchWire(b, snetray.Dynamic, 1, 64, 6, false)
 }

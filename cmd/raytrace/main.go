@@ -10,6 +10,10 @@
 //	-engine snet-steal    load-aware scheduling: untagged sections placed
 //	                      least-loaded at dispatch time, queued solves
 //	                      migrating to idle nodes (work stealing)
+//	-engine snet-dist     the snet-steal design across OS processes: a TCP
+//	                      coordinator that waits for -workers snetd worker
+//	                      processes, ships solver calls to them, and checks
+//	                      the image pixel-identical to an in-process render
 package main
 
 import (
@@ -25,11 +29,15 @@ import (
 	"snet/internal/raytrace"
 	"snet/internal/sched"
 	"snet/internal/snetray"
+	"snet/internal/wire"
+	"snet/internal/wireapp"
 )
 
 func main() {
 	var (
-		engine  = flag.String("engine", "snet-static", "seq|mpi|mpi-mw|snet-static|snet-static2|snet-dynamic|snet-steal")
+		engine  = flag.String("engine", "snet-static", "seq|mpi|mpi-mw|snet-static|snet-static2|snet-dynamic|snet-steal|snet-dist")
+		listen  = flag.String("listen", "127.0.0.1:7464", "snet-dist: coordinator listen address")
+		nwork   = flag.Int("workers", 2, "snet-dist: snetd worker processes to wait for")
 		w       = flag.Int("w", 320, "image width")
 		h       = flag.Int("h", 240, "image height")
 		nodes   = flag.Int("nodes", 4, "cluster nodes")
@@ -130,6 +138,49 @@ func main() {
 		defer fmt.Printf("cluster: %d transfers, %.1f KiB, execs/node %v, %d steals (%d sections migrated)\n",
 			res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs,
 			res.Cluster.Steals, res.Cluster.Migrated)
+
+	case "snet-dist":
+		// The multi-process variant cannot use the scene built above: the
+		// wire extension ships scenes by spec, so the render must use the
+		// spec's cached instance — and every snetd worker must be launched
+		// with the same -objects/-seed/-unbalanced flags.
+		spec := wireapp.SceneSpec{Unbalanced: *unbal, Objects: *nobj, Seed: *seed}
+		cl, err := wire.Listen(*listen, wire.CoordinatorConfig{
+			Workers: *nwork, CPUsPerNode: *cpus, Ext: wireapp.RaytraceExt(spec),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		fmt.Printf("waiting for %d workers on %s  (launch: snetd -connect %s -app raytrace -objects %d -seed %d -unbalanced=%v)\n",
+			*nwork, cl.Addr(), cl.Addr(), *nobj, *seed, *unbal)
+		if err := cl.WaitReady(); err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now() // exclude the join wait from the render time
+		cfg := snetray.Config{
+			Scene: spec.Build(), W: *w, H: *h,
+			Nodes: *nwork + 1, CPUs: *cpus, Tasks: *tasks,
+			Mode: snetray.DynamicSteal, Platform: cl,
+		}
+		if *pol == "factoring" {
+			cfg.Policy = snetray.FactoringPolicy
+		}
+		res, err := snetray.RenderContext(ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img = res.Image
+		defer func() {
+			ws := cl.WireStats()
+			fmt.Printf("cluster: %d transfers, %.1f KiB (model), execs/node %v, %d steals (%d migrated)\n",
+				res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs,
+				res.Cluster.Steals, res.Cluster.Migrated)
+			fmt.Printf("wire: %d workers, %d remote / %d local execs (%d stolen), %.1f KiB out, %.1f KiB in\n",
+				ws.LiveWorkers, ws.RemoteExecs, ws.LocalExecs, ws.StolenExecs,
+				float64(ws.BytesSent)/1024, float64(ws.BytesRecv)/1024)
+			cl.Close()
+		}()
 
 	default:
 		log.Fatalf("unknown engine %q", *engine)

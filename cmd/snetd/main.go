@@ -1,0 +1,153 @@
+// Command snetd is the S-Net worker daemon — and, for turnkey demos, the
+// coordinator. A worker joins a coordinator over TCP, registers its box
+// table, and executes remote box calls inside its CPU-slot gate until the
+// coordinator says goodbye:
+//
+//	snetd -connect 127.0.0.1:7464
+//
+// A coordinator listens, waits for its workers, runs a demo program, and
+// shuts the fleet down:
+//
+//	snetd -coordinate -listen 127.0.0.1:7464 -workers 2 -app pipeline
+//
+// Both roles must be launched with the same application flags (scene spec,
+// -fuse-delay, -scale): a worker's box bodies and value codecs have to
+// match what the coordinator's network expects, and the scene-spec
+// extension rejects a mismatched fleet at decode time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"snet/internal/snetray"
+	"snet/internal/wire"
+	"snet/internal/wireapp"
+)
+
+func main() {
+	var (
+		connect     = flag.String("connect", "", "worker mode: coordinator address to join")
+		coordinate  = flag.Bool("coordinate", false, "coordinator mode: listen, run -app, shut down")
+		listen      = flag.String("listen", "127.0.0.1:0", "coordinator listen address")
+		workers     = flag.Int("workers", 2, "coordinator: worker processes to wait for")
+		cpus        = flag.Int("cpus", 1, "CPU slots per node")
+		joinTimeout = flag.Duration("join-timeout", 30*time.Second, "coordinator: how long to wait for workers")
+		app         = flag.String("app", "all", "pipeline|raytrace|all: box table (worker) or program to run (coordinator; 'all' runs pipeline)")
+		seqs        = flag.Int("seqs", 8, "pipeline: sensor sequences")
+		fuseDelay   = flag.Duration("fuse-delay", 20*time.Millisecond, "pipeline: fuse compute time per reading")
+		w           = flag.Int("w", 160, "raytrace: image width")
+		h           = flag.Int("h", 120, "raytrace: image height")
+		tasks       = flag.Int("tasks", 8, "raytrace: sections")
+		scale       = flag.Int("scale", 0, "raytrace: solver cost scale")
+		nobj        = flag.Int("objects", 60, "raytrace: spheres in the scene")
+		seed        = flag.Int64("seed", 2010, "raytrace: scene seed")
+		unbal       = flag.Bool("unbalanced", true, "raytrace: use the unbalanced scene")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "snetd: ", 0).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	spec := wireapp.SceneSpec{Unbalanced: *unbal, Objects: *nobj, Seed: *seed}
+	ext := wireapp.RaytraceExt(spec)
+
+	switch {
+	case *connect != "":
+		wk := wire.NewWorker(wire.WorkerConfig{Ext: ext, AdvertiseCPUs: *cpus, Logf: logf})
+		if *app == "pipeline" || *app == "all" {
+			for name, fn := range wireapp.PipelineWorkerBoxes(*fuseDelay) {
+				wk.Register(name, fn)
+			}
+		}
+		if *app == "raytrace" || *app == "all" {
+			for name, fn := range snetray.WorkerBoxes(*scale) {
+				wk.Register(name, fn)
+			}
+		}
+		if err := wk.Run(*connect); err != nil {
+			log.Fatal(err)
+		}
+
+	case *coordinate:
+		cl, err := wire.Listen(*listen, wire.CoordinatorConfig{
+			Workers: *workers, CPUsPerNode: *cpus, Ext: ext, JoinTimeout: *joinTimeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		fmt.Printf("listening on %s\n", cl.Addr())
+		if err := cl.WaitReady(); err != nil {
+			log.Fatal(err)
+		}
+		for _, line := range cl.Workers() {
+			logf("%s", line)
+		}
+		if *app == "raytrace" {
+			runRaytrace(cl, spec, *w, *h, *workers+1, *cpus, *tasks, *scale)
+		} else {
+			runPipeline(cl, *seqs, *fuseDelay)
+		}
+		if err := cl.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("shutdown clean")
+
+	default:
+		fmt.Fprintln(os.Stderr, "snetd: need -connect ADDR (worker) or -coordinate (coordinator)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runPipeline runs the sensor-fusion pipeline across the fleet and checks
+// its arithmetic against the sequential expectation.
+func runPipeline(cl *wire.Cluster, seqs int, delay time.Duration) {
+	res, err := wireapp.RunPipeline(cl, seqs, delay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := wireapp.ExpectedPipelineSum(seqs)
+	if res.Readings != seqs || res.Sum != want {
+		log.Fatalf("pipeline: %d readings sum %d, want %d readings sum %d",
+			res.Readings, res.Sum, seqs, want)
+	}
+	ws := cl.WireStats()
+	fmt.Printf("pipeline: %d readings, sum %d (ok), steals %d, remote %d local %d execs, wire %d B out / %d B in\n",
+		res.Readings, res.Sum, res.Stats.Steals, ws.RemoteExecs, ws.LocalExecs,
+		ws.BytesSent, ws.BytesRecv)
+}
+
+// runRaytrace renders the scene across the fleet and verifies the image
+// against an in-process sequential-platform render — pixel identity is the
+// "same program, different platform" claim, checked.
+func runRaytrace(cl *wire.Cluster, spec wireapp.SceneSpec, w, h, nodes, cpus, tasks, scale int) {
+	cfg := snetray.Config{
+		Scene: spec.Build(), W: w, H: h,
+		Nodes: nodes, CPUs: cpus, Tasks: tasks,
+		Mode: snetray.DynamicSteal, SolveScale: scale,
+	}
+	distCfg := cfg
+	distCfg.Platform = cl
+	res, err := snetray.Render(distCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := snetray.Render(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Image.Equal(ref.Image) {
+		log.Fatal("raytrace: distributed image differs from in-process render")
+	}
+	ws := cl.WireStats()
+	fmt.Printf("raytrace: %dx%d pixel-identical across %d processes, steals %d, remote %d local %d execs, wire %d B out / %d B in\n",
+		w, h, ws.LiveWorkers+1, res.Cluster.Steals, ws.RemoteExecs, ws.LocalExecs,
+		ws.BytesSent, ws.BytesRecv)
+}

@@ -32,6 +32,10 @@ type BoxCall struct {
 	consumeF []record.Sym
 	consumeT []record.Sym
 	emitted  int
+	// noInherit marks a detached call (CallBox): the emissions leave as the
+	// box's raw output and the process that dispatched the call applies
+	// flow inheritance when they return (see RemotePlatform).
+	noInherit bool
 	// pendArr seeds pending: most boxes emit a handful of records per
 	// invocation, so the emission buffer lives inline in the call context
 	// and only spills to the heap when a call emits more than fits.
@@ -98,7 +102,9 @@ func (c *BoxCall) Emit(r *record.Record) {
 		c.env.report(entityError(c.box.name, fmt.Errorf(
 			"emitted record %s does not match output type %s", r, c.box.sig.Out)))
 	}
-	r.InheritFromExcept(c.In, c.consumeF, c.consumeT)
+	if !c.noInherit {
+		r.InheritFromExcept(c.In, c.consumeF, c.consumeT)
+	}
 	c.emitted++
 	c.pending = append(c.pending, r)
 }
@@ -195,7 +201,34 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 	call.consumeF = v.FieldSyms()
 	call.consumeT = v.TagSyms()
 	call.emitted = 0
-	if !env.exec(r, run) {
+	if env.remPlat != nil {
+		// The platform can ship whole box calls across processes: offer it
+		// the box name and triggering record. When the call does execute
+		// remotely, the returned records are the box's raw emissions — type
+		// checking and flow inheritance are applied here, on the dispatching
+		// side, so remote execution is invisible downstream.
+		outs, remote, ok, err := env.remPlat.ExecBox(env.node, env.done, b.name, r,
+			env.opts.WorkStealing, run)
+		if !ok {
+			call.In = nil
+			call.Matched = nil
+			return false
+		}
+		if remote {
+			if err != nil {
+				env.report(entityError(b.name, err))
+			}
+			for _, o := range outs {
+				if env.opts.CheckTypes && !b.sig.Out.Accepts(o) {
+					env.report(entityError(b.name, fmt.Errorf(
+						"emitted record %s does not match output type %s", o, b.sig.Out)))
+				}
+				o.InheritFromExcept(r, call.consumeF, call.consumeT)
+			}
+			call.emitted = len(outs)
+			call.pending = append(call.pending, outs...)
+		}
+	} else if !env.exec(r, run) {
 		// Stopped while queued for a platform CPU slot; the body never
 		// ran. Drop the record (stopped instances do not recycle).
 		call.In = nil
@@ -226,6 +259,43 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 	}
 	return delivered
 }
+
+// CallBox runs a box body once against input as a detached execution: no
+// network, no platform slot, and no flow inheritance — this is how a
+// remote worker (internal/wire, cmd/snetd) executes a box call shipped to
+// it by a RemotePlatform, and the dispatching process applies inheritance
+// and type checking when the emissions return. The emitted records are
+// returned in emission order and are owned by the caller; input stays the
+// caller's (the body treats it read-only, per the box contract). Matching
+// local semantics, a body error or panic is returned as err together with
+// the records emitted before the failure.
+func CallBox(fn BoxFunc, input *record.Record) ([]*record.Record, error) {
+	call := &BoxCall{env: detachedEnv, In: input, noInherit: true}
+	call.pending = call.pendArr[:0]
+	err := runDetached(fn, call)
+	var outs []*record.Record
+	if len(call.pending) > 0 {
+		outs = append(outs, call.pending...)
+	}
+	clear(call.pending)
+	return outs, err
+}
+
+// runDetached executes one detached box body, converting a panic into an
+// error like the in-network execution closure does.
+func runDetached(fn BoxFunc, call *BoxCall) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("box panicked: %v", p)
+		}
+	}()
+	return fn(call)
+}
+
+// detachedEnv hosts CallBox executions: options are all defaults (no type
+// checking — the dispatching side checks) and errors have nowhere to go,
+// they return to the caller instead.
+var detachedEnv = &Env{opts: Options{}, errs: &errSink{}}
 
 // MustSig is a convenience for building a single-input-variant signature:
 // MustSig(inLabels, outVariants...) ≡ {in...} -> v1 | v2 | ....

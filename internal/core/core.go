@@ -70,6 +70,35 @@ type BatchPlatform interface {
 	TransferBatch(from, to int, rs []*record.Record)
 }
 
+// RemotePlatform is optionally implemented by platforms that can execute a
+// whole box call in another OS process (internal/wire): a closure cannot
+// cross a socket, so instead of handing the platform an opaque fn the
+// runtime offers the box's registered name and its triggering record, and
+// the platform may ship both to the process that owns the target node and
+// return the records the box emitted there. The returned records are the
+// box's raw emissions — the runtime applies flow inheritance and output
+// type checking on them exactly as it would for a local execution, so
+// remote and local box calls are indistinguishable downstream.
+//
+// ExecBox must schedule like Exec: acquire and release the node's CPU
+// slot, honor cancel like CancellablePlatform.ExecCancel, and — when
+// stealable — migrate like StealPlatform.ExecStealable. Outcomes:
+//
+//   - ok == false: cancel fired before a slot was granted; nothing ran and
+//     outs/remote/err are meaningless.
+//   - ok && !remote: the execution could not be shipped (granted node is
+//     local, box not registered remotely, input has no wire form, peer
+//     lost); the platform ran local() on the granted slot instead, and
+//     outs/err are meaningless.
+//   - ok && remote: the box ran in a remote process; outs are its
+//     emissions (owned by the caller, never aliasing the input) and err is
+//     its failure, if any. A failed remote call may still carry the
+//     emissions queued before the failure, matching local semantics.
+type RemotePlatform interface {
+	ExecBox(node int, cancel <-chan struct{}, box string, input *record.Record,
+		stealable bool, local func()) (outs []*record.Record, remote, ok bool, err error)
+}
+
 // LocalPlatform is the trivial single-node platform.
 type LocalPlatform struct{}
 
@@ -145,6 +174,7 @@ type Env struct {
 	batchPlat BatchPlatform       // platform, when it supports batch transfer
 	stealPlat StealPlatform       // platform, when executions can migrate
 	loadPlat  LoadPlatform        // platform, when it reports per-node load
+	remPlat   RemotePlatform      // platform, when box calls can cross processes
 	placer    Placer              // placement policy; nil = Static semantics
 	node      int
 	opts      Options
@@ -172,6 +202,7 @@ func newEnv(opts Options) *Env {
 	e.batchPlat, _ = opts.Platform.(BatchPlatform)
 	e.stealPlat, _ = opts.Platform.(StealPlatform)
 	e.loadPlat, _ = opts.Platform.(LoadPlatform)
+	e.remPlat, _ = opts.Platform.(RemotePlatform)
 	e.placer = opts.Placer
 	return e
 }

@@ -26,7 +26,10 @@ import (
 // codecVersion is the wire-format version byte leading every encoding.
 const codecVersion = 1
 
-// Field-value type codes on the wire.
+// Field-value type codes on the wire. tExt carries a value encoded by a
+// registered ValueCodec (codec2.go): a u16-length-prefixed encoding name
+// followed by a u32-length-prefixed payload; only the stateful v2 codec
+// can carry extension values, since decoding needs the link's ValueCodec.
 const (
 	tNil byte = iota
 	tBool
@@ -34,6 +37,7 @@ const (
 	tFloat
 	tString
 	tBytes
+	tExt
 )
 
 // Record kinds on the wire.
@@ -179,7 +183,7 @@ func Unmarshal(data []byte) (*record.Record, error) {
 		return nil, err
 	}
 	if version == codecVersion2 {
-		return unmarshalV2(data, make(map[uint64]string))
+		return unmarshalV2(data, make(map[uint64]string), nil)
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion)
@@ -228,7 +232,7 @@ func Unmarshal(data []byte) (*record.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.value(k)
+		v, err := d.value(k, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +315,7 @@ func (d *decoder) labeledInt() (string, int, error) {
 	return k, int(int64(v)), nil
 }
 
-func (d *decoder) value(label string) (any, error) {
+func (d *decoder) value(label string, ext ValueCodec) (any, error) {
 	code, err := d.byte()
 	if err != nil {
 		return nil, err
@@ -357,6 +361,32 @@ func (d *decoder) value(label string) (any, error) {
 			return nil, err
 		}
 		return append([]byte(nil), b...), nil
+	case tExt:
+		nameLen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.take(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		dataLen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		data, err := d.take(int(dataLen))
+		if err != nil {
+			return nil, err
+		}
+		if ext == nil {
+			return nil, fmt.Errorf("dist: field %q carries extension encoding %q but the link has no ValueCodec",
+				label, string(name))
+		}
+		v, err := ext.Decode(string(name), data)
+		if err != nil {
+			return nil, fmt.Errorf("dist: field %q extension decode (%q): %w", label, string(name), err)
+		}
+		return v, nil
 	default:
 		return nil, fmt.Errorf("dist: field %q has unknown wire type code %d", label, code)
 	}

@@ -29,6 +29,33 @@ import (
 // codecVersion2 is the interned-label wire format version byte.
 const codecVersion2 = 2
 
+// kBatch is the message kind of a record batch (MarshalBatch): where a
+// single-record message carries kData or kTrigger after the version byte, a
+// batch message carries kBatch, a u16 record count, and then one kind byte
+// plus body per record — the layout AccountBatch sizes.
+const kBatch byte = 2
+
+// ValueCodec extends a link codec to field values beyond the built-in
+// scalar kinds: a transport (internal/wire) registers application types so
+// records whose fields are domain values (scenes, image chunks) gain a
+// real wire form. Handles reports whether Encode accepts values of v's
+// dynamic type; Decode reverses Encode given the same name. Encode must
+// not fail for a value Handles accepted — a mid-message encode failure
+// forces the transport to drop the link (the negotiation state is already
+// advanced). Built-in scalar kinds always use the built-in encoding; the
+// extension is consulted only for values wireSerializable rejects.
+//
+// Size and Account keep charging mpi.PayloadBytes-convention estimates for
+// extension values (the model's accounting stays comparable across
+// platforms); only Marshal/MarshalBatch produce the extension's real
+// encoding, so the Size(r) == len(Marshal(r)) invariant is limited to
+// records whose fields are built-in scalars.
+type ValueCodec interface {
+	Handles(v any) bool
+	Encode(v any) (name string, data []byte, err error)
+	Decode(name string, data []byte) (any, error)
+}
+
 // Codec is a stateful encoder/decoder for one direction of one link. The
 // zero value is ready to use. All methods are safe for concurrent use (the
 // Cluster shares per-link codecs between transferring goroutines).
@@ -37,10 +64,37 @@ type Codec struct {
 	sent    []bool            // encoder side: sym already defined to the peer
 	names   map[uint64]string // decoder side: wire sym -> label name
 	predefs []record.Sym      // predict-mode sizing scratch, reused under mu
+	ext     ValueCodec        // optional extension for non-scalar field values
 }
 
 // NewCodec returns a fresh link codec with an empty negotiated table.
 func NewCodec() *Codec { return &Codec{} }
+
+// SetValueCodec registers an extension codec for non-scalar field values.
+// Register it on both endpoints of a link before the link carries traffic;
+// a record that encoded through an extension fails to decode on a peer
+// whose codec lacks it.
+func (c *Codec) SetValueCodec(x ValueCodec) {
+	c.mu.Lock()
+	c.ext = x
+	c.mu.Unlock()
+}
+
+// Reset discards the link's negotiated label table on both the encoder and
+// the decoder side, returning the codec to its fresh-link state (the
+// registered ValueCodec is kept). A transport that loses its connection
+// must Reset both directions' codecs before reusing them on a new
+// connection: after a partial send, symbols the encoder marked as defined
+// may never have reached the peer, and decoding against the stale table
+// would resolve references to the wrong names or reject them. Quiesce the
+// link first — a record accounted or marshalled concurrently with Reset
+// lands in either the old or the new negotiation era.
+func (c *Codec) Reset() {
+	c.mu.Lock()
+	clear(c.sent)
+	clear(c.names)
+	c.mu.Unlock()
+}
 
 // knows reports and records whether the symbol has been defined on this
 // link; the first call for a symbol returns false and marks it defined.
@@ -202,36 +256,49 @@ func (c *Codec) AccountBatch(rs []*record.Record) int {
 	return n
 }
 
-// Marshal encodes a record in wire format v2 against the link's negotiated
-// label table. Like the stateless Marshal it fails on field values that are
-// not wire-serializable.
-func (c *Codec) Marshal(r *record.Record) ([]byte, error) {
+// checkMarshalable validates a record against the wire limits and the
+// serializable-value set (built-in scalars plus the registered ValueCodec)
+// before any negotiation state is touched: a mid-encode failure after label
+// definitions were marked as sent would desync the link (the peer never
+// receives the dropped buffer). Callers hold c.mu.
+func (c *Codec) checkMarshalable(r *record.Record) error {
 	if r.NumTags() > math.MaxUint16 || r.NumBTags() > math.MaxUint16 ||
 		r.NumFields() > math.MaxUint16 {
-		return nil, fmt.Errorf(
+		return fmt.Errorf(
 			"dist: record with %d fields, %d tags, %d btags exceeds the wire limit of %d labels per kind",
 			r.NumFields(), r.NumTags(), r.NumBTags(), math.MaxUint16)
 	}
-	// Validate every field value before touching the negotiation state: a
-	// mid-encode failure after label definitions were marked as sent would
-	// desync the link (the peer never receives the dropped buffer).
 	var preErr error
 	r.VisitFieldSyms(func(id record.Sym, v any) {
-		if preErr == nil && !wireSerializable(v) {
+		if preErr == nil && !wireSerializable(v) && !(c.ext != nil && c.ext.Handles(v)) {
 			preErr = fmt.Errorf("dist: field %q value of type %T is not wire-serializable",
 				record.SymName(id), v)
 		}
 	})
-	if preErr != nil {
-		return nil, preErr
-	}
+	return preErr
+}
+
+// Marshalable reports whether Marshal (or a MarshalBatch containing r)
+// would succeed on this link: label counts within the wire limits and
+// every field value either a built-in scalar kind or accepted by the
+// registered ValueCodec. It never changes the negotiation state — a
+// transport uses it to decide whether an execution can ship at all before
+// committing a slot to the remote path.
+func (c *Codec) Marshalable(r *record.Record) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	buf := make([]byte, 0, 64)
-	buf = append(buf, codecVersion2, kData)
+	return c.checkMarshalable(r) == nil
+}
+
+// appendRecord writes one record's kind byte and body (label counts, label
+// references, values), advancing the negotiation state. Callers hold c.mu
+// and have validated the record with checkMarshalable.
+func (c *Codec) appendRecord(buf []byte, r *record.Record) ([]byte, error) {
+	k := kData
 	if !r.IsData() {
-		buf[1] = kTrigger
+		k = kTrigger
 	}
+	buf = append(buf, k)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumTags()))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumBTags()))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.NumFields()))
@@ -247,6 +314,10 @@ func (c *Codec) Marshal(r *record.Record) ([]byte, error) {
 			return
 		}
 		buf = c.appendLabelRef(buf, id)
+		if !wireSerializable(v) && c.ext != nil && c.ext.Handles(v) {
+			buf, tagErr = c.appendExt(buf, id, v)
+			return
+		}
 		buf, tagErr = appendValue(buf, record.SymName(id), v)
 	})
 	if tagErr != nil {
@@ -255,21 +326,84 @@ func (c *Codec) Marshal(r *record.Record) ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal decodes a v2-encoded record, extending the link's label table
-// with any inline definitions. A symbol reference that was never defined on
-// this link is an error — the buffer belongs to a different link or records
-// were decoded out of order.
-func (c *Codec) Unmarshal(data []byte) (*record.Record, error) {
+// appendExt writes one extension-encoded field value: the tExt type code, a
+// u16-length-prefixed encoding name, and a u32-length-prefixed payload.
+// Callers hold c.mu.
+func (c *Codec) appendExt(buf []byte, id record.Sym, v any) ([]byte, error) {
+	name, data, err := c.ext.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("dist: field %q extension encode: %w", record.SymName(id), err)
+	}
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("dist: field %q extension name of %d bytes exceeds the wire limit",
+			record.SymName(id), len(name))
+	}
+	if len(data) > math.MaxUint32 {
+		return nil, fmt.Errorf("dist: field %q extension payload of %d bytes exceeds the wire limit",
+			record.SymName(id), len(data))
+	}
+	buf = append(buf, tExt)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	return append(buf, data...), nil
+}
+
+// Marshal encodes a record in wire format v2 against the link's negotiated
+// label table. Like the stateless Marshal it fails on field values that are
+// not wire-serializable (and not covered by the registered ValueCodec).
+func (c *Codec) Marshal(r *record.Record) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkMarshalable(r); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, codecVersion2)
+	return c.appendRecord(buf, r)
+}
+
+// MarshalBatch encodes a whole stream batch as one wire message in exactly
+// the layout AccountBatch sizes: version byte, kBatch kind, u16 record
+// count, then one kind byte plus body per record, all against the link's
+// negotiated label table under a single lock acquisition. For records
+// whose field values are built-in scalars, len(MarshalBatch(rs)) ==
+// AccountBatch(rs) on a codec in the same negotiation state — the
+// cross-check that keeps the transport's measured bytes comparable to the
+// model's accounted bytes. Every record is validated before any
+// negotiation state advances.
+func (c *Codec) MarshalBatch(rs []*record.Record) ([]byte, error) {
+	if len(rs) > math.MaxUint16 {
+		return nil, fmt.Errorf("dist: batch of %d records exceeds the wire limit of %d", len(rs), math.MaxUint16)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range rs {
+		if err := c.checkMarshalable(r); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, 0, 16+64*len(rs))
+	buf = append(buf, codecVersion2, kBatch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rs)))
+	var err error
+	for _, r := range rs {
+		if buf, err = c.appendRecord(buf, r); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBatch decodes a MarshalBatch message, extending the link's
+// label table with any inline definitions, and returns the records in
+// batch order.
+func (c *Codec) UnmarshalBatch(data []byte) ([]*record.Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.names == nil {
 		c.names = make(map[uint64]string)
 	}
-	return unmarshalV2(data, c.names)
-}
-
-// unmarshalV2 decodes a v2 buffer against the given (mutable) label table.
-func unmarshalV2(data []byte, names map[uint64]string) (*record.Record, error) {
 	d := &decoder{buf: data}
 	version, err := d.byte()
 	if err != nil {
@@ -282,12 +416,76 @@ func unmarshalV2(data []byte, names map[uint64]string) (*record.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if kind != kBatch {
+		return nil, fmt.Errorf("dist: message kind %d is not a batch; use Unmarshal", kind)
+	}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*record.Record, 0, n)
+	for i := 0; i < int(n); i++ {
+		r, err := decodeRecordV2(d, c.names, c.ext)
+		if err != nil {
+			return nil, fmt.Errorf("dist: batch record %d: %w", i, err)
+		}
+		outs = append(outs, r)
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("dist: %d trailing bytes after batch", len(d.buf)-d.off)
+	}
+	return outs, nil
+}
+
+// Unmarshal decodes a v2-encoded record, extending the link's label table
+// with any inline definitions. A symbol reference that was never defined on
+// this link is an error — the buffer belongs to a different link or records
+// were decoded out of order.
+func (c *Codec) Unmarshal(data []byte) (*record.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.names == nil {
+		c.names = make(map[uint64]string)
+	}
+	return unmarshalV2(data, c.names, c.ext)
+}
+
+// unmarshalV2 decodes a single-record v2 buffer against the given (mutable)
+// label table.
+func unmarshalV2(data []byte, names map[uint64]string, ext ValueCodec) (*record.Record, error) {
+	d := &decoder{buf: data}
+	version, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion2 {
+		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion2)
+	}
+	r, err := decodeRecordV2(d, names, ext)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("dist: %d trailing bytes after record", len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+// decodeRecordV2 decodes one kind byte plus record body from d — the unit
+// a single-record message carries once and a batch message repeats.
+func decodeRecordV2(d *decoder, names map[uint64]string, ext ValueCodec) (*record.Record, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
 	var r *record.Record
 	switch kind {
 	case kData:
 		r = record.New()
 	case kTrigger:
 		r = record.NewTrigger()
+	case kBatch:
+		return nil, fmt.Errorf("dist: batch encoding; decode with UnmarshalBatch")
 	default:
 		return nil, fmt.Errorf("dist: unknown record kind %d", kind)
 	}
@@ -355,14 +553,11 @@ func unmarshalV2(data []byte, names map[uint64]string) (*record.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.value(k)
+		v, err := d.value(k, ext)
 		if err != nil {
 			return nil, err
 		}
 		r.SetField(k, v)
-	}
-	if len(d.buf) != d.off {
-		return nil, fmt.Errorf("dist: %d trailing bytes after record", len(d.buf)-d.off)
 	}
 	return r, nil
 }

@@ -343,22 +343,55 @@ func (c *Cluster) ExecStealable(node int, cancel <-chan struct{}, input *record.
 		return false
 	}
 	if got != n {
-		c.steals.Add(1)
-		var size int
-		if input != nil {
-			// The migrated input is a cross-node record hop in its own
-			// wire message: counted like any stream hop so the
-			// Transfers/Batches/Bytes ratios stay comparable whether a
-			// record moved for placement or for stealing.
-			c.migs.Add(1)
-			size = (&c.links[n*len(c.free)+got]).Account(input)
-			c.trans.Add(1)
-			c.batches.Add(1)
-			c.bytes.Add(int64(size))
-		}
-		c.chargeCost(size)
+		c.accountSteal(n, got, input)
 	}
 	c.run(got, fn)
+	return true
+}
+
+// accountSteal charges one stolen execution: the steal is counted, and the
+// migrated input — a cross-node record hop in its own wire message — is
+// counted like any stream hop so the Transfers/Batches/Bytes ratios stay
+// comparable whether a record moved for placement or for stealing.
+func (c *Cluster) accountSteal(home, thief int, input *record.Record) {
+	c.steals.Add(1)
+	var size int
+	if input != nil {
+		c.migs.Add(1)
+		size = (&c.links[home*len(c.free)+thief]).Account(input)
+		c.trans.Add(1)
+		c.batches.Add(1)
+		c.bytes.Add(int64(size))
+	}
+	c.chargeCost(size)
+}
+
+// ExecOn is the scheduling hook for transports layered above this
+// in-process model (internal/wire): it schedules exactly like Exec /
+// ExecCancel / ExecStealable — same home-node FIFO, same cancellation
+// semantics, same dispatch-time and release-time stealing with identical
+// Steals/Migrated/link accounting — but hands fn the node whose CPU slot
+// was granted, so the caller can route the execution to the OS process
+// that owns the slot. fn runs holding the granted node's slot, with busy
+// time and the execution counted against that node; the slot is released
+// when fn returns. Like ExecCancel it returns false without running fn
+// when cancel fires before any slot was granted.
+func (c *Cluster) ExecOn(node int, cancel <-chan struct{}, input *record.Record, stealable bool, fn func(granted int)) bool {
+	n := c.node(node)
+	got, ok := c.acquire(n, cancel, stealable)
+	if !ok {
+		return false
+	}
+	if stealable && got != n {
+		c.accountSteal(n, got, input)
+	}
+	start := time.Now()
+	defer func() {
+		c.busy[got].Add(int64(time.Since(start)))
+		c.execs[got].Add(1)
+		c.releaseSlot(got)
+	}()
+	fn(got)
 	return true
 }
 

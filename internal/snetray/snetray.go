@@ -112,6 +112,11 @@ type Config struct {
 	// Cluster, when non-nil, is used instead of a fresh one (lets callers
 	// share a platform between variants or inject network delays).
 	Cluster *dist.Cluster
+	// Platform, when non-nil, overrides Cluster entirely: the render runs
+	// on this platform — e.g. a wire.Cluster whose CPU slots live in
+	// other OS processes. Result.Cluster is populated when the platform
+	// has a Stats() dist.Stats method (wire.Cluster and dist.Cluster do).
+	Platform core.Platform
 }
 
 // MergerSource is the paper's Fig. 3 merger network, verbatim.
@@ -297,23 +302,7 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 		}
 		return nil
 	})
-	solve := func(c *core.BoxCall) error {
-		scene := c.FieldSym(symScene).(*raytrace.Scene)
-		sect := c.FieldSym(symSect).(raytrace.Section)
-		var start time.Time
-		if cfg.SolveScale > 1 {
-			start = time.Now()
-		}
-		chunk, _ := raytrace.RenderSection(scene, sect)
-		if cfg.SolveScale > 1 {
-			// Model the paper-scale section: keep the CPU slot for
-			// (scale-1)× the real render time, preserving the scene's
-			// per-section cost skew in the cluster's resource model.
-			time.Sleep(time.Duration(cfg.SolveScale-1) * time.Since(start))
-		}
-		c.Emit(c.NewRecord().SetFieldSym(symChunk, chunk))
-		return nil
-	}
+	solve := SolverBox(cfg.SolveScale)
 	reg.RegisterBox("solver", solve)
 	reg.RegisterBox("solve", solve)
 	reg.RegisterBox("init", func(c *core.BoxCall) error {
@@ -334,6 +323,39 @@ func (cfg *Config) registry(sink *imageSink) (*compile.Registry, error) {
 		return nil
 	})
 	return reg, nil
+}
+
+// SolverBox returns the compute box's body — render one section, emit one
+// chunk — parameterized by the SolveScale cost model. It is exported so a
+// wire worker process (cmd/snetd) can register the identical body that the
+// coordinator's network would run, making in-process and multi-process
+// renders pixel-identical by construction.
+func SolverBox(solveScale int) core.BoxFunc {
+	return func(c *core.BoxCall) error {
+		scene := c.FieldSym(symScene).(*raytrace.Scene)
+		sect := c.FieldSym(symSect).(raytrace.Section)
+		var start time.Time
+		if solveScale > 1 {
+			start = time.Now()
+		}
+		chunk, _ := raytrace.RenderSection(scene, sect)
+		if solveScale > 1 {
+			// Model the paper-scale section: keep the CPU slot for
+			// (scale-1)× the real render time, preserving the scene's
+			// per-section cost skew in the cluster's resource model.
+			time.Sleep(time.Duration(solveScale-1) * time.Since(start))
+		}
+		c.Emit(c.NewRecord().SetFieldSym(symChunk, chunk))
+		return nil
+	}
+}
+
+// WorkerBoxes is the box table a worker process registers to serve renders:
+// the compute boxes under both names the network sources use. The
+// coordination boxes (splitter, merger, genImg) stay coordinator-resident.
+func WorkerBoxes(solveScale int) map[string]core.BoxFunc {
+	solve := SolverBox(solveScale)
+	return map[string]core.BoxFunc{"solver": solve, "solve": solve}
 }
 
 // source returns the S-Net source text for the mode.
@@ -427,11 +449,17 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster := cfg.Cluster
-	if cluster == nil {
-		cluster = dist.NewCluster(cfg.Nodes, cfg.CPUs)
+	var plat core.Platform
+	if cfg.Platform != nil {
+		plat = cfg.Platform
+	} else {
+		cluster := cfg.Cluster
+		if cluster == nil {
+			cluster = dist.NewCluster(cfg.Nodes, cfg.CPUs)
+		}
+		plat = cluster
 	}
-	opts := core.Options{Platform: cluster, Placer: cfg.Placer}
+	opts := core.Options{Platform: plat, Placer: cfg.Placer}
 	if cfg.Mode == DynamicSteal {
 		opts.WorkStealing = true
 		if opts.Placer == nil {
@@ -455,5 +483,9 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(sink.pics) != 1 {
 		return nil, fmt.Errorf("snetray: genImg received %d pictures, want 1", len(sink.pics))
 	}
-	return &Result{Image: sink.pics[0], Cluster: cluster.Stats()}, nil
+	res := &Result{Image: sink.pics[0]}
+	if s, ok := plat.(interface{ Stats() dist.Stats }); ok {
+		res.Cluster = s.Stats()
+	}
+	return res, nil
 }

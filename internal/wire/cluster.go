@@ -1,0 +1,661 @@
+// The coordinator side of the transport: wire.Cluster, a core.Platform
+// whose CPU slots live partly in other OS processes. Scheduling stays in
+// the embedded dist.Cluster model — identical queues, stealing, and Stats
+// to the in-process platform — and the transport's job is purely to route
+// a granted execution to the process that owns the granted slot, and to
+// mirror cross-node stream traffic onto the sockets so the model's byte
+// accounting corresponds to bytes that actually moved.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snet/internal/dist"
+	"snet/internal/record"
+)
+
+// CoordinatorConfig shapes a coordinator. Workers is the exact number of
+// snetd processes expected to join; the cluster has Workers+1 nodes (node
+// 0 is the coordinator process itself, so boxes placed there — sources,
+// mergers, sinks — run in-process without a hop).
+type CoordinatorConfig struct {
+	// Workers is the number of worker processes that must join before
+	// WaitReady returns. Required, >= 1.
+	Workers int
+	// CPUsPerNode is the CPU slots per node, the model's uniform slot
+	// count; each worker is told its slot count in WELCOME and gates its
+	// executions on it. Zero means 1.
+	CPUsPerNode int
+	// Ext is the application's value-extension table (shared by every
+	// link codec); nil restricts record fields to built-in scalars.
+	Ext *ExtTable
+	// MaxFrame bounds a single frame; zero means DefaultMaxFrame.
+	MaxFrame int
+	// JoinTimeout bounds how long WaitReady waits for all workers to
+	// join; zero means 30s.
+	JoinTimeout time.Duration
+}
+
+// WireStats are the transport-level counters of a coordinator — the
+// measured reality next to the model's Stats accounting. Byte counters
+// include frame overhead (length prefix and type byte) and cover both
+// directions of every worker connection, as seen from the coordinator.
+type WireStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+	// RemoteExecs counts box calls that executed in a worker process;
+	// LocalExecs ran on the coordinator (node 0's slots, unregistered
+	// boxes, non-serializable inputs, or failover after a peer died).
+	RemoteExecs, LocalExecs int64
+	// StolenExecs counts remote executions dispatched as STEAL-GRANT
+	// frames: the model migrated them from their home node to the thief
+	// that received them.
+	StolenExecs int64
+	// Failovers counts remote dispatches abandoned because the peer died
+	// mid-call; the execution re-ran locally on the already-granted slot
+	// (boxes are stateless and the lost emissions never entered the
+	// stream, so the re-run is safe).
+	Failovers int64
+	// MirroredBatches counts cross-node stream batches shipped for real
+	// as RECORD-BATCH frames; SkippedMirrors counts batches accounted by
+	// the model only (records without a wire form, or a dead peer).
+	MirroredBatches, SkippedMirrors int64
+	// StealRequests counts idle advertisements received from workers.
+	StealRequests int64
+	// LiveWorkers is how many worker connections are currently up.
+	LiveWorkers int
+}
+
+// Cluster is the coordinator's platform: core.Platform plus the optional
+// Cancellable/Batch/Steal/Load/Remote contracts, backed by one TCP
+// connection per worker. Create with Listen, wait for the fleet with
+// WaitReady, hand it to the runtime via core.Options.Platform (or
+// snet.Options.Platform), and Close when done — Close performs the
+// orderly GOODBYE exchange and reclaims every transport goroutine.
+type Cluster struct {
+	cfg   CoordinatorConfig
+	model *dist.Cluster
+	// probe is a scratch codec carrying the extension table, used only
+	// for Marshalable pre-checks (it never negotiates).
+	probe *dist.Codec
+	ln    net.Listener
+	peers []atomic.Pointer[peer] // index node-1
+
+	reqSeq    atomic.Uint64
+	wg        sync.WaitGroup
+	ready     chan struct{}
+	joinErr   error // write-once before ready closes
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// Gossiped load per node (LOAD frames; index 0 unused).
+	loads     []atomic.Int64
+	loadKnown []atomic.Bool
+
+	framesOut, framesIn atomic.Int64
+	bytesOut, bytesIn   atomic.Int64
+	remoteExecs         atomic.Int64
+	localExecs          atomic.Int64
+	stolenExecs         atomic.Int64
+	failovers           atomic.Int64
+	mirroredBatches     atomic.Int64
+	skippedMirrors      atomic.Int64
+	stealReqs           atomic.Int64
+}
+
+// peer is one worker connection, coordinator-side.
+type peer struct {
+	c     *Cluster
+	node  int
+	cpus  int // advertised in HELLO (informational; WELCOME's slots govern)
+	conn  net.Conn
+	br    *bufio.Reader
+	enc   *dist.Codec // coordinator → worker records
+	dec   *dist.Codec // worker → coordinator records
+	boxes map[string]bool
+
+	wmu    sync.Mutex
+	wbuf   []byte
+	hdrBuf []byte
+	dead   atomic.Bool
+
+	pmu     sync.Mutex
+	pending map[uint64]chan execResult
+}
+
+type execResult struct {
+	outs   []*record.Record
+	err    error
+	failed bool // peer died before a result arrived
+}
+
+var errPeerDead = errors.New("wire: worker connection lost")
+
+// Listen starts a coordinator listening on addr (e.g. "127.0.0.1:0") and
+// accepting worker joins in the background. It returns immediately so
+// callers can learn Addr and launch workers; WaitReady blocks until the
+// configured number of workers has joined.
+func Listen(addr string, cfg CoordinatorConfig) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("wire: coordinator needs at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.CPUsPerNode <= 0 {
+		cfg.CPUsPerNode = 1
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	nodes := cfg.Workers + 1
+	c := &Cluster{
+		cfg:       cfg,
+		model:     dist.NewCluster(nodes, cfg.CPUsPerNode),
+		probe:     dist.NewCodec(),
+		ln:        ln,
+		peers:     make([]atomic.Pointer[peer], cfg.Workers),
+		ready:     make(chan struct{}),
+		closed:    make(chan struct{}),
+		loads:     make([]atomic.Int64, nodes),
+		loadKnown: make([]atomic.Bool, nodes),
+	}
+	if cfg.Ext != nil {
+		c.probe.SetValueCodec(cfg.Ext)
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Cluster) Addr() net.Addr { return c.ln.Addr() }
+
+// WaitReady blocks until every expected worker has joined (nil), the join
+// timeout passed, or the cluster was closed.
+func (c *Cluster) WaitReady() error {
+	<-c.ready
+	return c.joinErr
+}
+
+// acceptLoop admits workers until the fleet is complete, then closes the
+// listener — membership is fixed for the cluster's lifetime.
+func (c *Cluster) acceptLoop() {
+	defer c.wg.Done()
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	if d, ok := c.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(deadline)
+	}
+	joined := 0
+	for joined < c.cfg.Workers {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				c.joinErr = fmt.Errorf("wire: coordinator closed with %d of %d workers joined",
+					joined, c.cfg.Workers)
+			default:
+				c.joinErr = fmt.Errorf("wire: %d of %d workers joined before the %v join window closed: %w",
+					joined, c.cfg.Workers, c.cfg.JoinTimeout, err)
+			}
+			close(c.ready)
+			return
+		}
+		p, err := c.admit(conn, joined+1)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		c.peers[joined].Store(p)
+		joined++
+		c.wg.Add(1)
+		go c.serve(p)
+	}
+	c.ln.Close()
+	close(c.ready)
+}
+
+// admit performs the HELLO/WELCOME handshake on a fresh connection,
+// assigning it node id `node`. A version mismatch or malformed HELLO is
+// answered with GOODBYE (when writable) and reported as an error.
+func (c *Cluster) admit(conn net.Conn, node int) (*peer, error) {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, payload, err := readFrame(br, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading HELLO: %w", err)
+	}
+	if typ != fHello {
+		return nil, fmt.Errorf("wire: first frame type %d, want HELLO", typ)
+	}
+	h, err := parseHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	if h.version != protoVersion {
+		reason := fmt.Sprintf("protocol version %d not supported; coordinator speaks version %d",
+			h.version, protoVersion)
+		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, reason)))
+		return nil, fmt.Errorf("wire: %s", reason)
+	}
+	p := &peer{
+		c:       c,
+		node:    node,
+		cpus:    h.cpus,
+		conn:    conn,
+		br:      br,
+		enc:     dist.NewCodec(),
+		dec:     dist.NewCodec(),
+		boxes:   make(map[string]bool, len(h.boxes)),
+		pending: make(map[uint64]chan execResult),
+	}
+	for _, b := range h.boxes {
+		p.boxes[b] = true
+	}
+	if c.cfg.Ext != nil {
+		p.enc.SetValueCodec(c.cfg.Ext)
+		p.dec.SetValueCodec(c.cfg.Ext)
+	}
+	p.wmu.Lock()
+	err = p.write(fWelcome, appendWelcome(nil, node, c.model.Nodes(), c.cfg.CPUsPerNode))
+	p.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return p, nil
+}
+
+// serve is a worker connection's reader: it decodes RESULT batches in
+// arrival order (pinning the codec negotiation order), feeds LOAD and
+// STEAL-REQUEST gossip, and on any error — or the GOODBYE ack — tears the
+// peer down, failing every pending EXEC so no box call waits on a dead
+// socket.
+func (c *Cluster) serve(p *peer) {
+	defer c.wg.Done()
+	defer func() {
+		p.dead.Store(true)
+		p.conn.Close()
+		p.failPending()
+	}()
+	for {
+		typ, payload, err := readFrame(p.br, c.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		c.framesIn.Add(1)
+		c.bytesIn.Add(frameLen(len(payload)))
+		switch typ {
+		case fResult:
+			res, err := parseResult(payload)
+			if err != nil {
+				return
+			}
+			outs, err := p.dec.UnmarshalBatch(res.batch)
+			if err != nil {
+				// Codec desync: nothing after this frame can be trusted.
+				return
+			}
+			var boxErr error
+			if res.status != statusOK {
+				boxErr = errors.New(res.errmsg)
+			}
+			p.complete(res.req, execResult{outs: outs, err: boxErr})
+		case fLoad:
+			v, err := parseLoad(payload)
+			if err != nil {
+				return
+			}
+			c.loads[p.node].Store(int64(v))
+			c.loadKnown[p.node].Store(true)
+		case fStealReq:
+			c.stealReqs.Add(1)
+			c.loads[p.node].Store(0)
+			c.loadKnown[p.node].Store(true)
+		case fGoodbye:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// write sends one frame; callers hold p.wmu. A write failure marks the
+// peer dead — the reader will observe the broken connection and unwind.
+func (p *peer) write(typ byte, parts ...[]byte) error {
+	buf := appendFrame(p.wbuf[:0], typ, parts...)
+	p.wbuf = buf
+	if _, err := p.conn.Write(buf); err != nil {
+		p.dead.Store(true)
+		return err
+	}
+	p.c.framesOut.Add(1)
+	p.c.bytesOut.Add(int64(len(buf)))
+	return nil
+}
+
+func (p *peer) addPending(req uint64, ch chan execResult) {
+	p.pmu.Lock()
+	p.pending[req] = ch
+	p.pmu.Unlock()
+}
+
+func (p *peer) dropPending(req uint64) {
+	p.pmu.Lock()
+	delete(p.pending, req)
+	p.pmu.Unlock()
+}
+
+func (p *peer) complete(req uint64, res execResult) {
+	p.pmu.Lock()
+	ch, ok := p.pending[req]
+	delete(p.pending, req)
+	p.pmu.Unlock()
+	if ok {
+		ch <- res // buffered; never blocks
+	}
+}
+
+func (p *peer) failPending() {
+	p.pmu.Lock()
+	for req, ch := range p.pending {
+		delete(p.pending, req)
+		ch <- execResult{failed: true}
+	}
+	p.pmu.Unlock()
+}
+
+// sendExec ships one box call. Marshalling and writing happen under one
+// lock so the codec's negotiation order is the wire order.
+func (p *peer) sendExec(req uint64, home int, stolen bool, box string, input *record.Record) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.dead.Load() {
+		return errPeerDead
+	}
+	rec, err := p.enc.Marshal(input)
+	if err != nil {
+		// Marshalable was pre-checked, so this is an extension Encode
+		// failure: the negotiation state may already be advanced and the
+		// link cannot be trusted.
+		p.dead.Store(true)
+		return err
+	}
+	hdr := appendExecHeader(p.hdrBuf[:0], req, home, box)
+	p.hdrBuf = hdr
+	typ := fExec
+	if stolen {
+		typ = fStealGrant
+	}
+	return p.write(typ, hdr, rec)
+}
+
+func (p *peer) sendGoodbye(reason string) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.dead.Load() {
+		return
+	}
+	g := appendGoodbye(p.hdrBuf[:0], reason)
+	p.hdrBuf = g
+	p.write(fGoodbye, g)
+}
+
+// norm maps an arbitrary node index onto a real node, like the model does.
+func (c *Cluster) norm(n int) int {
+	size := c.model.Nodes()
+	return ((n % size) + size) % size
+}
+
+// peerAt returns the live peer owning node n, nil for node 0, an
+// un-joined node, or a dead connection.
+func (c *Cluster) peerAt(n int) *peer {
+	if n <= 0 || n > len(c.peers) {
+		return nil
+	}
+	p := c.peers[n-1].Load()
+	if p == nil || p.dead.Load() {
+		return nil
+	}
+	return p
+}
+
+// Nodes implements core.Platform.
+func (c *Cluster) Nodes() int { return c.model.Nodes() }
+
+// Exec implements core.Platform: opaque closures cannot ship, so they run
+// in-process gated on the model's slot for the node — semantically the
+// in-process platform. Box calls route through ExecBox instead.
+func (c *Cluster) Exec(node int, fn func()) { c.model.Exec(node, fn) }
+
+// ExecCancel implements core.CancellablePlatform (in-process; see Exec).
+func (c *Cluster) ExecCancel(node int, cancel <-chan struct{}, fn func()) bool {
+	return c.model.ExecCancel(node, cancel, fn)
+}
+
+// ExecStealable implements core.StealPlatform (in-process; see Exec).
+func (c *Cluster) ExecStealable(node int, cancel <-chan struct{}, input *record.Record, fn func()) bool {
+	return c.model.ExecStealable(node, cancel, input, fn)
+}
+
+// Transfer implements core.Platform: the model accounts the hop, and when
+// the destination node lives in a worker process the record is mirrored
+// there as a RECORD-BATCH frame, so the link's label negotiation and byte
+// traffic are real, not just accounted.
+func (c *Cluster) Transfer(from, to int, r *record.Record) {
+	c.model.Transfer(from, to, r)
+	c.mirror(from, to, []*record.Record{r})
+}
+
+// TransferBatch implements core.BatchPlatform (see Transfer).
+func (c *Cluster) TransferBatch(from, to int, rs []*record.Record) {
+	c.model.TransferBatch(from, to, rs)
+	c.mirror(from, to, rs)
+}
+
+// mirror ships a cross-node stream batch to the worker that owns the
+// destination node. Hops into node 0 are not mirrored — their payloads
+// already cross the socket as RESULT frames. Batches containing records
+// without a wire form are accounted by the model only, and counted.
+func (c *Cluster) mirror(from, to int, rs []*record.Record) {
+	t := c.norm(to)
+	f := c.norm(from)
+	if t == 0 || t == f || len(rs) == 0 {
+		return
+	}
+	p := c.peerAt(t)
+	if p == nil {
+		c.skippedMirrors.Add(1)
+		return
+	}
+	for _, r := range rs {
+		if !c.probe.Marshalable(r) {
+			c.skippedMirrors.Add(1)
+			return
+		}
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.dead.Load() {
+		c.skippedMirrors.Add(1)
+		return
+	}
+	data, err := p.enc.MarshalBatch(rs)
+	if err != nil {
+		p.dead.Store(true)
+		c.skippedMirrors.Add(1)
+		return
+	}
+	hdr := appendBatchHeader(p.hdrBuf[:0], f, t)
+	p.hdrBuf = hdr
+	if p.write(fBatch, hdr, data) == nil {
+		c.mirroredBatches.Add(1)
+	}
+}
+
+// Loads implements core.LoadPlatform: element-wise max of the model's
+// slot ledger and the workers' gossiped gate occupancy. The model is
+// authoritative for work it granted; gossip can only raise a node's
+// reported load — it covers activity the model cannot see (a worker
+// shared with another tenant), never hides granted work.
+func (c *Cluster) Loads(dst []int) []int {
+	dst = c.model.Loads(dst)
+	for n := 1; n < len(dst) && n < len(c.loads); n++ {
+		if c.loadKnown[n].Load() {
+			if g := int(c.loads[n].Load()); g > dst[n] {
+				dst[n] = g
+			}
+		}
+	}
+	return dst
+}
+
+// ExecBox implements core.RemotePlatform: the model grants a slot (with
+// cancellation and stealing exactly as in-process), and when the granted
+// node lives in a worker process that registered the box — and the input
+// has a wire form — the call ships as an EXEC (or STEAL-GRANT, when the
+// model migrated it) frame and the worker's emissions return as the
+// outs. Otherwise local() runs on the granted slot, and a peer that dies
+// mid-call fails over to local() too: boxes are stateless and the lost
+// emissions never entered the stream, so re-running is safe.
+func (c *Cluster) ExecBox(node int, cancel <-chan struct{}, box string, input *record.Record,
+	stealable bool, local func()) ([]*record.Record, bool, bool, error) {
+	home := c.norm(node)
+	var outs []*record.Record
+	var boxErr error
+	remote := false
+	granted := c.model.ExecOn(home, cancel, input, stealable, func(got int) {
+		p := c.peerAt(got)
+		if p == nil || !p.boxes[box] || !c.probe.Marshalable(input) {
+			c.localExecs.Add(1)
+			local()
+			return
+		}
+		rs, err, failed := c.roundTrip(p, home, got != home, box, input)
+		if failed {
+			c.failovers.Add(1)
+			c.localExecs.Add(1)
+			local()
+			return
+		}
+		c.remoteExecs.Add(1)
+		if got != home {
+			c.stolenExecs.Add(1)
+		}
+		outs, boxErr, remote = rs, err, true
+	})
+	return outs, remote, granted, boxErr
+}
+
+// roundTrip ships one box call and waits for its RESULT. failed means the
+// peer died (at send time or mid-call) and the caller should fail over.
+func (c *Cluster) roundTrip(p *peer, home int, stolen bool, box string, input *record.Record) ([]*record.Record, error, bool) {
+	req := c.reqSeq.Add(1)
+	ch := make(chan execResult, 1)
+	p.addPending(req, ch)
+	if err := p.sendExec(req, home, stolen, box, input); err != nil {
+		p.dropPending(req)
+		return nil, nil, true
+	}
+	res := <-ch
+	if res.failed {
+		return nil, nil, true
+	}
+	return res.outs, res.err, false
+}
+
+// Stats returns the scheduling model's accounting — the same counters,
+// with the same meaning, as an in-process dist.Cluster, which is what
+// keeps BENCH trajectories comparable across transports. The measured
+// transport reality is WireStats.
+func (c *Cluster) Stats() dist.Stats { return c.model.Stats() }
+
+// SetTransferCost configures the model's transfer-cost delay, layered on
+// top of the real socket latency (see docs/performance.md for how the two
+// relate).
+func (c *Cluster) SetTransferCost(latency time.Duration, bytesPerSecond float64) {
+	c.model.SetTransferCost(latency, bytesPerSecond)
+}
+
+// WireStats snapshots the transport counters.
+func (c *Cluster) WireStats() WireStats {
+	live := 0
+	for i := range c.peers {
+		if p := c.peers[i].Load(); p != nil && !p.dead.Load() {
+			live++
+		}
+	}
+	return WireStats{
+		FramesSent:      c.framesOut.Load(),
+		FramesRecv:      c.framesIn.Load(),
+		BytesSent:       c.bytesOut.Load(),
+		BytesRecv:       c.bytesIn.Load(),
+		RemoteExecs:     c.remoteExecs.Load(),
+		LocalExecs:      c.localExecs.Load(),
+		StolenExecs:     c.stolenExecs.Load(),
+		Failovers:       c.failovers.Load(),
+		MirroredBatches: c.mirroredBatches.Load(),
+		SkippedMirrors:  c.skippedMirrors.Load(),
+		StealRequests:   c.stealReqs.Load(),
+		LiveWorkers:     live,
+	}
+}
+
+// Workers lists the joined workers' advertised box tables, for
+// diagnostics ("worker 2 registered [solver]").
+func (c *Cluster) Workers() []string {
+	var out []string
+	for i := range c.peers {
+		p := c.peers[i].Load()
+		if p == nil {
+			continue
+		}
+		boxes := make([]string, 0, len(p.boxes))
+		for b := range p.boxes {
+			boxes = append(boxes, b)
+		}
+		sort.Strings(boxes)
+		state := "up"
+		if p.dead.Load() {
+			state = "down"
+		}
+		out = append(out, fmt.Sprintf("node %d (%s, %d cpus advertised): %v", p.node, state, p.cpus, boxes))
+	}
+	return out
+}
+
+// Close performs the orderly shutdown: GOODBYE to every worker, a bounded
+// wait for their acks, and reclamation of every transport goroutine. It
+// is idempotent and safe to call with executions drained (close the
+// network instance first). Workers exit their Run loop with a nil error
+// on receiving GOODBYE.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.ln.Close()
+		for i := range c.peers {
+			p := c.peers[i].Load()
+			if p == nil {
+				continue
+			}
+			p.sendGoodbye("coordinator shutdown")
+			// The reader exits on the worker's GOODBYE ack or, if the
+			// worker never answers, on this deadline — either way every
+			// goroutine is reclaimed.
+			p.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		}
+	})
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,107 @@
+// ExtTable: the wire form of application field values the record codec
+// cannot serialize itself. The coordination layer treats field values as
+// opaque, so a record crossing a real socket needs the application to say
+// what its domain values look like as bytes — this table is that
+// registration point, implementing dist.ValueCodec so the per-connection
+// codecs consult it for any field value that is not a built-in scalar.
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// ExtTable maps Go types to named wire encodings. Register every
+// application type on BOTH endpoints of a connection (coordinator and
+// snetd worker) before the connection carries traffic; a value that
+// encoded through the table fails to decode on a peer whose table lacks
+// the name. An ExtTable is safe for concurrent use after registration;
+// register everything up front, not mid-traffic.
+type ExtTable struct {
+	mu     sync.RWMutex
+	byType map[reflect.Type]*extEntry
+	byName map[string]*extEntry
+}
+
+type extEntry struct {
+	name string
+	enc  func(v any) ([]byte, error)
+	dec  func(data []byte) (any, error)
+}
+
+// NewExtTable returns an empty extension table.
+func NewExtTable() *ExtTable {
+	return &ExtTable{
+		byType: make(map[reflect.Type]*extEntry),
+		byName: make(map[string]*extEntry),
+	}
+}
+
+// RegisterExt registers the wire encoding of one concrete type T under a
+// name that must be unique within the table and identical on every
+// process. It panics on duplicate names or types — registration happens at
+// startup, where a conflict is a programming error worth halting on.
+func RegisterExt[T any](t *ExtTable, name string, enc func(T) ([]byte, error), dec func([]byte) (T, error)) {
+	var zero T
+	rt := reflect.TypeOf(zero)
+	if rt == nil {
+		panic("wire: RegisterExt of interface type; register concrete types")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("wire: extension name %q registered twice", name))
+	}
+	if _, dup := t.byType[rt]; dup {
+		panic(fmt.Sprintf("wire: extension type %v registered twice", rt))
+	}
+	e := &extEntry{
+		name: name,
+		enc:  func(v any) ([]byte, error) { return enc(v.(T)) },
+		dec: func(data []byte) (any, error) {
+			v, err := dec(data)
+			if err != nil {
+				var z T
+				return z, err
+			}
+			return v, nil
+		},
+	}
+	t.byName[name] = e
+	t.byType[rt] = e
+}
+
+// Handles implements dist.ValueCodec.
+func (t *ExtTable) Handles(v any) bool {
+	if v == nil {
+		return false
+	}
+	t.mu.RLock()
+	_, ok := t.byType[reflect.TypeOf(v)]
+	t.mu.RUnlock()
+	return ok
+}
+
+// Encode implements dist.ValueCodec.
+func (t *ExtTable) Encode(v any) (string, []byte, error) {
+	t.mu.RLock()
+	e, ok := t.byType[reflect.TypeOf(v)]
+	t.mu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("wire: no extension registered for %T", v)
+	}
+	data, err := e.enc(v)
+	return e.name, data, err
+}
+
+// Decode implements dist.ValueCodec.
+func (t *ExtTable) Decode(name string, data []byte) (any, error) {
+	t.mu.RLock()
+	e, ok := t.byName[name]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: extension %q not registered on this process", name)
+	}
+	return e.dec(data)
+}

@@ -1,0 +1,281 @@
+// The worker side of the transport: wire.Worker, the engine inside a
+// cmd/snetd process. A worker owns no scheduling policy — the coordinator's
+// model granted a slot before any EXEC frame was sent — it just runs box
+// bodies against its registered table, gated on its own slot count so a
+// worker shared between clusters can never be oversubscribed, and gossips
+// its occupancy back so the coordinator's load-aware placers see reality.
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/record"
+)
+
+// WorkerConfig shapes a worker process.
+type WorkerConfig struct {
+	// Ext is the application's value-extension table; it must register
+	// the same names as the coordinator's.
+	Ext *ExtTable
+	// MaxFrame bounds a single frame; zero means DefaultMaxFrame.
+	MaxFrame int
+	// AdvertiseCPUs is the capability reported in HELLO (informational;
+	// the WELCOME's slot count governs the gate). Zero means GOMAXPROCS.
+	AdvertiseCPUs int
+	// Logf, when set, receives one-line progress messages (joins, exec
+	// counts at shutdown). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes box calls on behalf of a coordinator. Register every box
+// body before Run; Run dials, joins, and blocks serving EXEC frames until
+// the coordinator says GOODBYE (nil return) or the connection breaks.
+type Worker struct {
+	cfg   WorkerConfig
+	boxes map[string]core.BoxFunc
+
+	node  int
+	nodes int
+	slots int
+	gate  *dist.Cluster // 1 node × slots: the local execution gate
+
+	conn net.Conn
+	enc  *dist.Codec // worker → coordinator
+	dec  *dist.Codec // coordinator → worker
+
+	wmu    sync.Mutex
+	wbuf   []byte
+	hdrBuf []byte
+
+	inflight atomic.Int64 // executions accepted and not yet finished
+	execs    atomic.Int64
+	execWG   sync.WaitGroup
+}
+
+// NewWorker returns a worker with an empty box table.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg, boxes: make(map[string]core.BoxFunc)}
+}
+
+// Register adds a box body under the name the coordinator's network uses.
+// All registrations must happen before Run.
+func (w *Worker) Register(name string, fn core.BoxFunc) {
+	w.boxes[name] = fn
+}
+
+// Node returns the node id assigned in WELCOME (valid once Run has
+// joined; primarily for log lines).
+func (w *Worker) Node() int { return w.node }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+func (w *Worker) maxFrame() int {
+	if w.cfg.MaxFrame > 0 {
+		return w.cfg.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+// Run dials the coordinator, joins with HELLO, and serves box calls until
+// GOODBYE (nil) or a connection/protocol failure (error). It blocks for
+// the life of the connection.
+func (w *Worker) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w.conn = conn
+	w.enc, w.dec = dist.NewCodec(), dist.NewCodec()
+	if w.cfg.Ext != nil {
+		w.enc.SetValueCodec(w.cfg.Ext)
+		w.dec.SetValueCodec(w.cfg.Ext)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	cpus := w.cfg.AdvertiseCPUs
+	if cpus <= 0 {
+		cpus = runtime.GOMAXPROCS(0)
+	}
+	names := make([]string, 0, len(w.boxes))
+	for n := range w.boxes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := w.write(fHello, appendHello(nil, cpus, names)); err != nil {
+		return fmt.Errorf("wire: sending HELLO: %w", err)
+	}
+
+	typ, payload, err := readFrame(br, w.maxFrame())
+	if err != nil {
+		return fmt.Errorf("wire: waiting for WELCOME: %w", err)
+	}
+	switch typ {
+	case fWelcome:
+	case fGoodbye:
+		reason, _ := parseGoodbye(payload)
+		return fmt.Errorf("wire: coordinator refused join: %s", reason)
+	default:
+		return fmt.Errorf("wire: frame type %d before WELCOME", typ)
+	}
+	wm, err := parseWelcome(payload)
+	if err != nil {
+		return err
+	}
+	if wm.version != protoVersion {
+		return fmt.Errorf("wire: coordinator speaks protocol version %d, this worker speaks %d",
+			wm.version, protoVersion)
+	}
+	w.node, w.nodes, w.slots = wm.node, wm.nodes, wm.slots
+	if w.slots < 1 {
+		w.slots = 1
+	}
+	w.gate = dist.NewCluster(1, w.slots)
+	w.logf("joined as node %d of %d (%d slots, boxes %v)", w.node, w.nodes, w.slots, names)
+
+	var loopErr error
+	goodbye := false
+	for loopErr == nil && !goodbye {
+		typ, payload, err := readFrame(br, w.maxFrame())
+		if err != nil {
+			loopErr = err
+			break
+		}
+		switch typ {
+		case fExec, fStealGrant:
+			e, err := parseExec(payload)
+			if err != nil {
+				loopErr = err
+				break
+			}
+			// Decode inline, before spawning: the reader is the only
+			// decoder, so label definitions are consumed in the order the
+			// coordinator's encoder emitted them.
+			in, err := w.dec.Unmarshal(e.rec)
+			if err != nil {
+				loopErr = fmt.Errorf("wire: decoding EXEC %d input: %w", e.req, err)
+				break
+			}
+			w.execWG.Add(1)
+			go w.execute(e.req, e.box, in)
+		case fBatch:
+			b, err := parseBatch(payload)
+			if err != nil {
+				loopErr = err
+				break
+			}
+			// Mirrored stream hops end their journey here: decoding keeps
+			// this link's label table in step with the coordinator's
+			// encoder (and makes the traffic real); the records themselves
+			// are owned by the coordinator-resident network.
+			if _, err := w.dec.UnmarshalBatch(b.batch); err != nil {
+				loopErr = fmt.Errorf("wire: decoding RECORD-BATCH: %w", err)
+			}
+		case fGoodbye:
+			goodbye = true
+		default:
+			loopErr = fmt.Errorf("wire: unexpected frame type %d", typ)
+		}
+	}
+	// Let in-flight executions finish and their results flush — on
+	// GOODBYE the coordinator keeps reading until our ack.
+	w.execWG.Wait()
+	if goodbye {
+		w.wmu.Lock()
+		g := appendGoodbye(w.hdrBuf[:0], "worker done")
+		w.hdrBuf = g
+		w.writeLocked(fGoodbye, g)
+		w.wmu.Unlock()
+		w.logf("left after %d executions", w.execs.Load())
+		return nil
+	}
+	return loopErr
+}
+
+// execute runs one box call on a gate slot and sends its RESULT, with
+// LOAD gossip around it and a STEAL-REQUEST when the worker goes idle.
+func (w *Worker) execute(req uint64, box string, in *record.Record) {
+	defer w.execWG.Done()
+	fn, found := w.boxes[box]
+	if !found {
+		w.sendResult(req, nil, fmt.Errorf("box %q is not registered on worker node %d", box, w.node))
+		return
+	}
+	w.sendLoad(int(w.inflight.Add(1)))
+	var outs []*record.Record
+	var boxErr error
+	w.gate.Exec(0, func() {
+		outs, boxErr = core.CallBox(fn, in)
+	})
+	w.execs.Add(1)
+	left := w.inflight.Add(-1)
+	w.sendResult(req, outs, boxErr)
+	w.sendLoad(int(left))
+	if left == 0 {
+		// Idle: advertise hunger for migrated work (the coordinator's
+		// model treats this as "load zero", feeding its steal scans).
+		w.write(fStealReq)
+	}
+}
+
+// sendResult marshals the emissions and writes the RESULT frame under one
+// lock, pinning this link's codec negotiation order to the wire order. A
+// batch that cannot be marshalled (an emission outside the extension
+// table) degrades to a box error with an empty batch — MarshalBatch
+// validates before negotiating, so the codec state is untouched.
+func (w *Worker) sendResult(req uint64, outs []*record.Record, boxErr error) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	batch, err := w.enc.MarshalBatch(outs)
+	if err != nil {
+		if boxErr == nil {
+			boxErr = err
+		} else {
+			boxErr = fmt.Errorf("%v (and emissions were unserializable: %v)", boxErr, err)
+		}
+		outs = nil
+		batch, _ = w.enc.MarshalBatch(nil)
+	}
+	status, errmsg := statusOK, ""
+	if boxErr != nil {
+		status, errmsg = statusErr, boxErr.Error()
+	}
+	hdr := appendResultHeader(w.hdrBuf[:0], req, status, errmsg)
+	w.hdrBuf = hdr
+	w.writeLocked(fResult, hdr, batch)
+}
+
+func (w *Worker) sendLoad(load int) {
+	w.wmu.Lock()
+	g := appendLoad(w.hdrBuf[:0], load)
+	w.hdrBuf = g
+	w.writeLocked(fLoad, g)
+	w.wmu.Unlock()
+}
+
+// write sends one frame, taking the write lock.
+func (w *Worker) write(typ byte, parts ...[]byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.writeLocked(typ, parts...)
+}
+
+// writeLocked sends one frame; callers hold wmu.
+func (w *Worker) writeLocked(typ byte, parts ...[]byte) error {
+	buf := appendFrame(w.wbuf[:0], typ, parts...)
+	w.wbuf = buf
+	_, err := w.conn.Write(buf)
+	return err
+}

@@ -1,0 +1,123 @@
+// Package wireapp holds the demonstration applications for the
+// multi-process transport (internal/wire): a sensor-fusion pipeline whose
+// records are plain scalars, and the paper's ray tracer, whose scene,
+// section, and chunk values need a wire.ExtTable to cross a socket. Both
+// are written once against core.Platform — the SAME program runs on an
+// in-process dist.Cluster or a wire.Cluster spanning OS processes, which
+// is the claim the transport exists to demonstrate.
+package wireapp
+
+import (
+	"fmt"
+	"time"
+
+	"snet/internal/compile"
+	"snet/internal/core"
+	"snet/internal/dist"
+	"snet/internal/lang"
+	"snet/internal/record"
+)
+
+// PipelineSource is the sensor-fusion pipeline: a generator fans out
+// <n> sequences of temperature/humidity readings, a per-sequence
+// synchrocell pairs them, and the fuse box combines each pair. Every
+// record is tagged <node>=1, so every fuse execution's HOME is node 1 —
+// with work stealing on and node 1 saturated, dispatch-time steals onto
+// the other nodes are structurally guaranteed once fuse calls overlap.
+const PipelineSource = `
+net pipeline
+{
+    box gen  ( (<n>) -> (temp, <seq>, <node>) | (humid, <seq>, <node>) );
+    box fuse ( (temp, humid) -> (reading) );
+} connect
+    gen .. ( ( [| {temp}, {humid} |] .. fuse )!<seq> )!@<node>
+`
+
+// Deterministic sensor values, shared by the generator and the checker.
+func pipeTemp(seq int) int  { return 10*seq + 3 }
+func pipeHumid(seq int) int { return 100*seq + 7 }
+
+// ExpectedPipelineSum is the sum of all fused readings for n sequences.
+func ExpectedPipelineSum(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += pipeTemp(i) + pipeHumid(i)
+	}
+	return sum
+}
+
+// FuseBox returns the fuse body: reading = temp + humid, holding its CPU
+// slot for delay to model real compute (and to force executions to
+// overlap, which is what makes stealing observable).
+func FuseBox(delay time.Duration) core.BoxFunc {
+	return func(c *core.BoxCall) error {
+		temp := c.Field("temp").(int)
+		humid := c.Field("humid").(int)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		c.Emit(c.NewRecord().SetField("reading", temp+humid))
+		return nil
+	}
+}
+
+// PipelineWorkerBoxes is the box table a worker process registers to
+// serve the pipeline: fuse only — the generator is coordination-side.
+func PipelineWorkerBoxes(delay time.Duration) map[string]core.BoxFunc {
+	return map[string]core.BoxFunc{"fuse": FuseBox(delay)}
+}
+
+// PipelineResult is the outcome of one pipeline run.
+type PipelineResult struct {
+	Readings int
+	Sum      int
+	Stats    dist.Stats
+}
+
+// RunPipeline compiles the pipeline and runs it with n sequences on the
+// given platform with work stealing enabled. The platform decides where
+// fuse runs — a dist.Cluster keeps it in-process, a wire.Cluster ships it
+// to snetd workers — and the result is identical either way.
+func RunPipeline(plat core.Platform, n int, delay time.Duration) (*PipelineResult, error) {
+	reg := compile.NewRegistry()
+	reg.RegisterBox("gen", func(c *core.BoxCall) error {
+		count := c.Tag("n")
+		for i := 0; i < count; i++ {
+			c.Emit(c.NewRecord().SetField("temp", pipeTemp(i)).
+				SetTag("seq", i).SetTag("node", 1))
+			c.Emit(c.NewRecord().SetField("humid", pipeHumid(i)).
+				SetTag("seq", i).SetTag("node", 1))
+		}
+		return nil
+	})
+	reg.RegisterBox("fuse", FuseBox(delay))
+	prog, err := lang.Parse(PipelineSource)
+	if err != nil {
+		return nil, fmt.Errorf("wireapp: %w", err)
+	}
+	res, err := compile.Program(prog, reg)
+	if err != nil {
+		return nil, fmt.Errorf("wireapp: %w", err)
+	}
+	ent, ok := res.Net("pipeline")
+	if !ok {
+		return nil, fmt.Errorf("wireapp: pipeline net not compiled")
+	}
+	outs, err := core.NewNetwork(ent, core.Options{Platform: plat, WorkStealing: true}).
+		Run(record.Build().T("n", n).Rec())
+	if err != nil {
+		return nil, err
+	}
+	r := &PipelineResult{Readings: len(outs)}
+	for _, o := range outs {
+		v, ok := o.Field("reading")
+		if !ok {
+			return nil, fmt.Errorf("wireapp: output %s has no reading", o)
+		}
+		r.Sum += v.(int)
+	}
+	if s, ok := plat.(interface{ Stats() dist.Stats }); ok {
+		r.Stats = s.Stats()
+	}
+	return r, nil
+}

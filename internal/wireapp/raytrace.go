@@ -1,0 +1,145 @@
+// The distributed ray tracer: the wire form of the application's field
+// values. Scenes do not cross the socket as geometry — both endpoints
+// build the identical scene from the same (unbalanced, objects, seed)
+// spec, and the wire carries only the 13-byte spec as a consistency
+// check. Sections are 5 ints; chunks are a section header plus the real
+// pixel bytes, so a multi-process render's pixel traffic is genuine.
+package wireapp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"snet/internal/raytrace"
+	"snet/internal/wire"
+)
+
+// SceneSpec deterministically identifies a scene: every process that
+// builds a scene from the same spec gets geometrically identical objects,
+// which is what lets a render span processes without serializing geometry.
+type SceneSpec struct {
+	Unbalanced bool
+	Objects    int
+	Seed       int64
+}
+
+var (
+	sceneMu    sync.Mutex
+	sceneCache = map[SceneSpec]*raytrace.Scene{}
+)
+
+// Build returns the spec's scene, constructing it at most once per
+// process (scene construction is deterministic but not free).
+func (s SceneSpec) Build() *raytrace.Scene {
+	sceneMu.Lock()
+	defer sceneMu.Unlock()
+	if sc, ok := sceneCache[s]; ok {
+		return sc
+	}
+	var sc *raytrace.Scene
+	if s.Unbalanced {
+		sc = raytrace.UnbalancedScene(s.Objects, s.Seed)
+	} else {
+		sc = raytrace.BalancedScene(s.Objects, s.Seed)
+	}
+	sceneCache[s] = sc
+	return sc
+}
+
+func (s SceneSpec) encode() []byte {
+	buf := make([]byte, 0, 13)
+	b := byte(0)
+	if s.Unbalanced {
+		b = 1
+	}
+	buf = append(buf, b)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Objects))
+	return binary.LittleEndian.AppendUint64(buf, uint64(s.Seed))
+}
+
+func decodeSpec(data []byte) (SceneSpec, error) {
+	if len(data) != 13 {
+		return SceneSpec{}, fmt.Errorf("wireapp: scene spec is %d bytes, want 13", len(data))
+	}
+	return SceneSpec{
+		Unbalanced: data[0] != 0,
+		Objects:    int(binary.LittleEndian.Uint32(data[1:5])),
+		Seed:       int64(binary.LittleEndian.Uint64(data[5:13])),
+	}, nil
+}
+
+func appendSection(buf []byte, s raytrace.Section) []byte {
+	for _, v := range [5]int{s.Index, s.W, s.H, s.Y0, s.Y1} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func parseSection(data []byte) (raytrace.Section, []byte, error) {
+	if len(data) < 20 {
+		return raytrace.Section{}, nil, fmt.Errorf("wireapp: section is %d bytes, want >= 20", len(data))
+	}
+	u := func(i int) int { return int(binary.LittleEndian.Uint32(data[i*4:])) }
+	return raytrace.Section{Index: u(0), W: u(1), H: u(2), Y0: u(3), Y1: u(4)}, data[20:], nil
+}
+
+// RaytraceExt builds the extension table for a render of the given scene:
+//
+//	rt.scene  — *raytrace.Scene, carried as its 13-byte spec; the decoder
+//	            rebuilds (well, cache-hits) the identical scene and rejects
+//	            a spec that does not match its own, so a fleet launched
+//	            with inconsistent scene flags fails loudly, not with
+//	            subtly wrong pixels.
+//	rt.sect   — raytrace.Section, 5 × u32.
+//	rt.chunk  — raytrace.Chunk, section header + raw pixel bytes.
+//
+// Register the SAME spec on the coordinator and every snetd worker.
+func RaytraceExt(spec SceneSpec) *wire.ExtTable {
+	t := wire.NewExtTable()
+	scene := spec.Build()
+	wire.RegisterExt(t, "rt.scene",
+		func(s *raytrace.Scene) ([]byte, error) {
+			if s != scene {
+				return nil, fmt.Errorf("wireapp: scene is not the one built from the registered spec %+v", spec)
+			}
+			return spec.encode(), nil
+		},
+		func(data []byte) (*raytrace.Scene, error) {
+			got, err := decodeSpec(data)
+			if err != nil {
+				return nil, err
+			}
+			if got != spec {
+				return nil, fmt.Errorf("wireapp: peer renders scene %+v, this process was launched with %+v", got, spec)
+			}
+			return scene, nil
+		})
+	wire.RegisterExt(t, "rt.sect",
+		func(s raytrace.Section) ([]byte, error) {
+			return appendSection(make([]byte, 0, 20), s), nil
+		},
+		func(data []byte) (raytrace.Section, error) {
+			s, rest, err := parseSection(data)
+			if err == nil && len(rest) != 0 {
+				err = fmt.Errorf("wireapp: %d trailing bytes after section", len(rest))
+			}
+			return s, err
+		})
+	wire.RegisterExt(t, "rt.chunk",
+		func(c raytrace.Chunk) ([]byte, error) {
+			buf := appendSection(make([]byte, 0, 20+len(c.Pix)), c.Section)
+			return append(buf, c.Pix...), nil
+		},
+		func(data []byte) (raytrace.Chunk, error) {
+			s, rest, err := parseSection(data)
+			if err != nil {
+				return raytrace.Chunk{}, err
+			}
+			// Copy: a decoder must not alias the transient input buffer.
+			pix := make([]byte, len(rest))
+			copy(pix, rest)
+			return raytrace.Chunk{Section: s, Pix: pix}, nil
+		})
+	return t
+}

@@ -1,0 +1,96 @@
+package wireapp
+
+import (
+	"strings"
+	"testing"
+
+	"snet/internal/dist"
+	"snet/internal/raytrace"
+)
+
+func newLocalCluster(nodes, cpus int) *dist.Cluster {
+	return dist.NewCluster(nodes, cpus)
+}
+
+func TestSceneSpecBuildCached(t *testing.T) {
+	spec := SceneSpec{Unbalanced: true, Objects: 10, Seed: 3}
+	if spec.Build() != spec.Build() {
+		t.Fatal("Build must return the cached scene")
+	}
+	other := SceneSpec{Unbalanced: false, Objects: 10, Seed: 3}
+	if spec.Build() == other.Build() {
+		t.Fatal("distinct specs share a scene")
+	}
+}
+
+func TestRaytraceExtRoundTrips(t *testing.T) {
+	spec := SceneSpec{Unbalanced: true, Objects: 10, Seed: 3}
+	ext := RaytraceExt(spec)
+
+	name, data, err := ext.Encode(spec.Build())
+	if err != nil || name != "rt.scene" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	v, err := ext.Decode(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*raytrace.Scene) != spec.Build() {
+		t.Fatal("scene did not decode to the cached instance")
+	}
+
+	sect := raytrace.Section{Index: 2, W: 64, H: 48, Y0: 12, Y1: 24}
+	name, data, err = ext.Encode(sect)
+	if err != nil || name != "rt.sect" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	if v, err = ext.Decode(name, data); err != nil || v.(raytrace.Section) != sect {
+		t.Fatalf("section = %v, %v", v, err)
+	}
+
+	chunk, _ := raytrace.RenderSection(spec.Build(), sect)
+	name, data, err = ext.Encode(chunk)
+	if err != nil || name != "rt.chunk" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	v, err = ext.Decode(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(raytrace.Chunk)
+	if got.Section != chunk.Section || len(got.Pix) != len(chunk.Pix) {
+		t.Fatalf("chunk header mismatch: %+v vs %+v", got.Section, chunk.Section)
+	}
+	for i := range got.Pix {
+		if got.Pix[i] != chunk.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestRaytraceExtRejectsForeignScene(t *testing.T) {
+	spec := SceneSpec{Unbalanced: true, Objects: 10, Seed: 3}
+	ext := RaytraceExt(spec)
+	// A scene that is not the registered spec's cached instance must be
+	// refused at encode time — shipping its spec would lie.
+	if _, _, err := ext.Encode(raytrace.BalancedScene(5, 99)); err == nil {
+		t.Fatal("foreign scene encoded")
+	}
+	// A peer launched with different scene flags must be refused at
+	// decode time, with a message naming both specs.
+	otherData := SceneSpec{Unbalanced: false, Objects: 99, Seed: 1}.encode()
+	if _, err := ext.Decode("rt.scene", otherData); err == nil ||
+		!strings.Contains(err.Error(), "launched with") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpectedPipelineSum(t *testing.T) {
+	// Spot-check the arithmetic the distributed assertions lean on.
+	if got := ExpectedPipelineSum(1); got != pipeTemp(0)+pipeHumid(0) {
+		t.Fatalf("sum(1) = %d", got)
+	}
+	if got, want := ExpectedPipelineSum(3), (3+7)+(13+107)+(23+207); got != want {
+		t.Fatalf("sum(3) = %d, want %d", got, want)
+	}
+}

@@ -22,6 +22,11 @@
 #                  migration occurred):
 #                    BENCH_OUT=BENCH_steal.json \
 #                    BENCH_PATTERN='BenchmarkLiveCluster(Skewed|Uniform)' scripts/bench.sh
+#                  and the WIRE trajectory (loopback TCP vs in-process
+#                  dist.Cluster, with wire-KiB/op measured off the socket as
+#                  the cross-check against the model's Stats.Bytes):
+#                    BENCH_OUT=BENCH_wire.json \
+#                    BENCH_PATTERN='BenchmarkLiveWire' scripts/bench.sh
 #
 # The JSON layout is line-oriented on purpose (one benchmark per line) so
 # this script can re-read its own baseline with awk and CI can diff it

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# dist-smoke.sh — end-to-end multi-process smoke test for the wire
+# transport: build snetd with -race, start one coordinator and two worker
+# processes on localhost, run the pipeline S-Net program across all three,
+# and assert the output carries the correct sum, at least one dispatch-time
+# steal, and a clean shutdown — then check every process exited 0.
+#
+# CI runs this next to the lifecycle leak checks: the in-process tests
+# prove the protocol, this proves the deployment shape (separate OS
+# processes, real sockets, orderly GOODBYE on both ends).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build snetd (-race)"
+go build -race -o "$workdir/snetd" ./cmd/snetd
+
+# The coordinator picks a free port (:0) and prints it; workers poll the
+# logfile until the address appears.
+coord_log="$workdir/coord.log"
+"$workdir/snetd" -coordinate -listen 127.0.0.1:0 -workers 2 -cpus 1 \
+    -app pipeline -seqs 8 -fuse-delay 30ms >"$coord_log" 2>&1 &
+coord_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on \(.*\)$/\1/p' "$coord_log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$coord_pid" 2>/dev/null || { cat "$coord_log"; echo "coordinator died before listening"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$coord_log"; echo "coordinator never printed its address"; exit 1; }
+echo "== coordinator on $addr (pid $coord_pid)"
+
+"$workdir/snetd" -connect "$addr" -app pipeline -fuse-delay 30ms >"$workdir/w1.log" 2>&1 &
+w1_pid=$!
+"$workdir/snetd" -connect "$addr" -app pipeline -fuse-delay 30ms >"$workdir/w2.log" 2>&1 &
+w2_pid=$!
+
+fail() {
+    echo "== FAIL: $1"
+    echo "-- coordinator:"; cat "$coord_log"
+    echo "-- worker 1:"; cat "$workdir/w1.log"
+    echo "-- worker 2:"; cat "$workdir/w2.log"
+    kill "$coord_pid" "$w1_pid" "$w2_pid" 2>/dev/null || true
+    exit 1
+}
+
+wait "$coord_pid" || fail "coordinator exited nonzero"
+wait "$w1_pid"    || fail "worker 1 exited nonzero"
+wait "$w2_pid"    || fail "worker 2 exited nonzero"
+
+echo "== coordinator output:"
+cat "$coord_log"
+
+grep -q 'sum .* (ok)' "$coord_log"     || fail "pipeline sum check missing"
+grep -q 'shutdown clean' "$coord_log"  || fail "no clean shutdown"
+# The pipeline homes every fuse on node 1 with one slot, so 8 overlapping
+# executions must migrate: steals >= 1 is an assertion, not a hope.
+steals=$(sed -n 's/.*steals \([0-9]*\),.*/\1/p' "$coord_log" | head -1)
+[ -n "$steals" ] && [ "$steals" -ge 1 ] || fail "no dispatch-time steal observed (steals=$steals)"
+
+echo "== dist smoke OK (steals=$steals)"
