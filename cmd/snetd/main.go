@@ -5,6 +5,13 @@
 //
 //	snetd -connect 127.0.0.1:7464
 //
+// A worker that loses its coordinator redials with jittered exponential
+// backoff (disable with -reconnect=false), presenting its node id so the
+// coordinator can splice it back into the running network; when the
+// -max-retries budget of consecutive failures runs out it exits with
+// code 3 so a supervisor can distinguish "coordinator vanished" from a
+// local failure.
+//
 // A coordinator listens, waits for its workers, runs a demo program, and
 // shuts the fleet down:
 //
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +35,12 @@ import (
 	"snet/internal/wire"
 	"snet/internal/wireapp"
 )
+
+// Exit codes: 1 is any fatal error, 2 is usage, exitRetriesExhausted means
+// the coordinator vanished and the reconnect budget ran out — distinct so
+// a supervisor can tell "restart me near a live coordinator" from "my own
+// run failed".
+const exitRetriesExhausted = 3
 
 func main() {
 	var (
@@ -46,6 +60,8 @@ func main() {
 		nobj        = flag.Int("objects", 60, "raytrace: spheres in the scene")
 		seed        = flag.Int64("seed", 2010, "raytrace: scene seed")
 		unbal       = flag.Bool("unbalanced", true, "raytrace: use the unbalanced scene")
+		reconnect   = flag.Bool("reconnect", true, "worker: redial a lost coordinator with jittered backoff")
+		maxRetries  = flag.Int("max-retries", 5, "worker: consecutive failed reconnect attempts before giving up")
 		quiet       = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -70,7 +86,17 @@ func main() {
 				wk.Register(name, fn)
 			}
 		}
-		if err := wk.Run(*connect); err != nil {
+		var err error
+		if *reconnect {
+			err = wk.RunLoop(*connect, *maxRetries)
+		} else {
+			err = wk.Run(*connect)
+		}
+		if errors.Is(err, wire.ErrRetriesExhausted) {
+			log.Printf("giving up: %v", err)
+			os.Exit(exitRetriesExhausted)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 
@@ -135,6 +161,9 @@ func runRaytrace(cl *wire.Cluster, spec wireapp.SceneSpec, w, h, nodes, cpus, ta
 	}
 	distCfg := cfg
 	distCfg.Platform = cl
+	// Announced before the render starts so harnesses (scripts/chaos-smoke.sh)
+	// can time their faults to land mid-flight.
+	fmt.Printf("rendering %dx%d in %d tasks\n", w, h, tasks)
 	res, err := snetray.Render(distCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -147,7 +176,7 @@ func runRaytrace(cl *wire.Cluster, spec wireapp.SceneSpec, w, h, nodes, cpus, ta
 		log.Fatal("raytrace: distributed image differs from in-process render")
 	}
 	ws := cl.WireStats()
-	fmt.Printf("raytrace: %dx%d pixel-identical across %d processes, steals %d, remote %d local %d execs, wire %d B out / %d B in\n",
+	fmt.Printf("raytrace: %dx%d pixel-identical across %d processes, steals %d, remote %d local %d execs, failovers %d, rejoins %d, wire %d B out / %d B in\n",
 		w, h, ws.LiveWorkers+1, res.Cluster.Steals, ws.RemoteExecs, ws.LocalExecs,
-		ws.BytesSent, ws.BytesRecv)
+		ws.Failovers, ws.Rejoins, ws.BytesSent, ws.BytesRecv)
 }

@@ -1,0 +1,348 @@
+// Package faultwire is the fault-injection harness under the wire
+// transport's tests: a net.Conn (and net.Listener, and dialer) wrapper
+// that misbehaves on command. Each direction of a wrapped connection can
+// independently pass, drop, delay, or blackhole traffic, and the
+// connection can be severed cleanly or mid-frame (after an exact byte
+// budget), either explicitly or on a seed-derived schedule — which is
+// what lets the wire package prove its failure handling deterministically
+// instead of hoping a real network misbehaves on cue.
+//
+// The modes map onto distinct real-world failures, and they differ in a
+// way that matters to the wire protocol's negotiated codecs:
+//
+//   - Drop loses bytes. The stream is framed, so the receiver either
+//     desyncs or hangs mid-frame — the connection is doomed, like a
+//     middlebox eating packets forever. Use it when the test expects the
+//     link to die.
+//   - Delay holds each transfer for a fixed duration, then delivers —
+//     congestion, not failure.
+//   - Blackhole withholds delivery until the mode changes: the classic
+//     hung peer. Crucially the bytes are NOT lost — on recovery they
+//     arrive in order, so both ends' codecs stay consistent. Use it for
+//     failures the link is supposed to survive (quarantine + probe-back).
+//   - Sever is process death: the underlying connection closes, blocked
+//     operations wake with errors. SeverAfterWrite kills mid-frame, the
+//     worst-case truncation a crash can produce.
+package faultwire
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode is one direction's behavior.
+type Mode int
+
+const (
+	// Pass delivers traffic untouched.
+	Pass Mode = iota
+	// Drop silently discards traffic (writes pretend success, reads
+	// consume and discard) — the stream loses bytes and cannot recover.
+	Drop
+	// Delay delivers traffic after the direction's configured delay.
+	Delay
+	// Blackhole withholds traffic — the operation blocks — until the
+	// mode changes or the connection severs. Delivery resumes in order.
+	Blackhole
+)
+
+// ErrSevered is returned by operations on a connection that faultwire
+// killed (it wraps net.ErrClosed for errors.Is).
+var ErrSevered = errors.New("faultwire: connection severed")
+
+// errSevered satisfies errors.Is for both ErrSevered and net.ErrClosed,
+// so code that checks either recognizes an injected kill.
+type severedError struct{}
+
+func (severedError) Error() string        { return ErrSevered.Error() }
+func (severedError) Is(target error) bool { return target == ErrSevered || target == net.ErrClosed }
+
+// side is one direction's fault state.
+type side struct {
+	mu     sync.Mutex
+	mode   Mode
+	delay  time.Duration
+	change chan struct{} // closed-and-replaced on every state change
+	// budget, when armed, is how many more bytes may cross before the
+	// connection severs mid-transfer (write side only).
+	budget      int
+	budgetArmed bool
+}
+
+func newSide() *side { return &side{change: make(chan struct{})} }
+
+func (s *side) set(m Mode, d time.Duration) {
+	s.mu.Lock()
+	s.mode, s.delay = m, d
+	close(s.change)
+	s.change = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// Conn wraps a net.Conn with per-direction fault injection. Direction
+// names are from the wrapped endpoint's point of view: SetReadMode
+// shapes what this endpoint receives, SetWriteMode what it sends.
+type Conn struct {
+	inner net.Conn
+	rd    *side
+	wr    *side
+
+	sevMu   sync.Mutex
+	severed bool
+}
+
+// Wrap returns c behind a fault injector, initially in Pass/Pass.
+func Wrap(c net.Conn) *Conn {
+	return &Conn{inner: c, rd: newSide(), wr: newSide()}
+}
+
+// SetReadMode switches the receive direction's behavior. delay is only
+// meaningful for Delay.
+func (c *Conn) SetReadMode(m Mode, delay time.Duration) { c.rd.set(m, delay) }
+
+// SetWriteMode switches the send direction's behavior. delay is only
+// meaningful for Delay.
+func (c *Conn) SetWriteMode(m Mode, delay time.Duration) { c.wr.set(m, delay) }
+
+// Sever kills the connection: the underlying conn closes and every
+// blocked or future operation returns ErrSevered. Idempotent.
+func (c *Conn) Sever() {
+	c.sevMu.Lock()
+	already := c.severed
+	c.severed = true
+	c.sevMu.Unlock()
+	if already {
+		return
+	}
+	c.inner.Close()
+	// Wake anything parked in a Blackhole.
+	c.rd.set(c.rd.snapshotMode())
+	c.wr.set(c.wr.snapshotMode())
+}
+
+func (s *side) snapshotMode() (Mode, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode, s.delay
+}
+
+func (c *Conn) isSevered() bool {
+	c.sevMu.Lock()
+	defer c.sevMu.Unlock()
+	return c.severed
+}
+
+// SeverAfterWrite arms a byte budget on the send direction: the next n
+// written bytes are delivered, then the connection severs — mid-frame
+// when n lands inside one, which is exactly the torn write a crashing
+// process produces.
+func (c *Conn) SeverAfterWrite(n int) {
+	c.wr.mu.Lock()
+	c.wr.budget, c.wr.budgetArmed = n, true
+	c.wr.mu.Unlock()
+}
+
+// SeverOnSchedule arms SeverAfterWrite with a seed-derived budget in
+// [minBytes, maxBytes], so a fleet of test connections dies at
+// reproducible but varied points. Same seed, same schedule.
+func (c *Conn) SeverOnSchedule(seed uint64, minBytes, maxBytes int) {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	span := maxBytes - minBytes
+	n := minBytes
+	if span > 0 {
+		n += r.IntN(span + 1)
+	}
+	c.SeverAfterWrite(n)
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		if c.isSevered() {
+			return 0, severedError{}
+		}
+		s := c.rd
+		s.mu.Lock()
+		mode, delay, change := s.mode, s.delay, s.change
+		s.mu.Unlock()
+		switch mode {
+		case Pass:
+			return c.inner.Read(p)
+		case Delay:
+			time.Sleep(delay)
+			return c.inner.Read(p)
+		case Drop:
+			// Consume and discard, then re-check the mode: the reader
+			// observes silence while bytes are lost.
+			if _, err := c.inner.Read(p); err != nil {
+				return 0, err
+			}
+		case Blackhole:
+			<-change
+		}
+	}
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	for {
+		if c.isSevered() {
+			return 0, severedError{}
+		}
+		s := c.wr
+		s.mu.Lock()
+		mode, delay, change := s.mode, s.delay, s.change
+		budget, armed := s.budget, s.budgetArmed
+		if armed && mode == Pass {
+			if budget >= len(p) {
+				s.budget -= len(p)
+			} else {
+				s.budgetArmed = false
+			}
+		}
+		s.mu.Unlock()
+		switch mode {
+		case Pass:
+			if armed && budget < len(p) {
+				// Deliver the torn prefix, then die mid-frame.
+				if budget > 0 {
+					c.inner.Write(p[:budget])
+				}
+				c.Sever()
+				return budget, severedError{}
+			}
+			return c.inner.Write(p)
+		case Drop:
+			return len(p), nil
+		case Delay:
+			time.Sleep(delay)
+			return c.inner.Write(p)
+		case Blackhole:
+			<-change
+		}
+	}
+}
+
+// Close implements net.Conn; an explicit Close is a sever.
+func (c *Conn) Close() error {
+	c.Sever()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn. Deadlines apply to the underlying
+// operations; an operation parked in a Blackhole outlives them by design
+// (that is what "hung" means).
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection comes back
+// fault-injectable. The coordinator side of a test cluster serves on one
+// of these (wire.Serve), giving the test a handle on each worker link as
+// it is admitted.
+type Listener struct {
+	net.Listener
+
+	mu     sync.Mutex
+	conns  []*Conn
+	refuse bool
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener) *Listener { return &Listener{Listener: ln} }
+
+// Accept implements net.Listener, wrapping each accepted connection.
+// While Refuse is set, incoming connections are closed immediately —
+// the dialer sees a connection that dies before HELLO completes.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		raw, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.refuse {
+			l.mu.Unlock()
+			raw.Close()
+			continue
+		}
+		c := Wrap(raw)
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+		return c, nil
+	}
+}
+
+// Refuse makes Accept slam the door on new connections (true) or admit
+// them again (false).
+func (l *Listener) Refuse(v bool) {
+	l.mu.Lock()
+	l.refuse = v
+	l.mu.Unlock()
+}
+
+// Conns returns every connection accepted so far, in accept order.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// Dialer produces fault-injectable outbound connections; its Dial method
+// plugs into wire.WorkerConfig.Dial so a test holds a handle on each
+// connection a reconnecting worker makes.
+type Dialer struct {
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// Dial connects over TCP and wraps the connection.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := Wrap(raw)
+	d.mu.Lock()
+	d.conns = append(d.conns, c)
+	d.mu.Unlock()
+	return c, nil
+}
+
+// Conns returns every connection dialed so far, in dial order.
+func (d *Dialer) Conns() []*Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*Conn(nil), d.conns...)
+}
+
+// Last returns the most recently dialed connection, or nil.
+func (d *Dialer) Last() *Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.conns) == 0 {
+		return nil
+	}
+	return d.conns[len(d.conns)-1]
+}
+
+// assert the interfaces hold
+var (
+	_ net.Conn     = (*Conn)(nil)
+	_ net.Listener = (*Listener)(nil)
+	_ io.Reader    = (*Conn)(nil)
+)

@@ -1,0 +1,251 @@
+package faultwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"snet/internal/leakcheck"
+)
+
+// pipe returns a wrapped end and a raw peer end.
+func pipe() (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a), b
+}
+
+func TestPassDelivers(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	defer c.Close()
+	defer peer.Close()
+	go c.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("got %q, %v", buf, err)
+	}
+}
+
+func TestDropLosesBytesSilently(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	defer c.Close()
+	defer peer.Close()
+	c.SetWriteMode(Drop, 0)
+	// net.Pipe writes block until read; Drop must return without any
+	// reader — the bytes are gone, and the writer believes they went out.
+	if n, err := c.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("dropped write: n=%d err=%v", n, err)
+	}
+	c.SetWriteMode(Pass, 0)
+	go c.Write([]byte("kept"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "kept" {
+		t.Fatalf("got %q, %v (dropped bytes leaked through?)", buf, err)
+	}
+}
+
+func TestBlackholeWithholdsThenDeliversInOrder(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	defer c.Close()
+	defer peer.Close()
+	c.SetWriteMode(Blackhole, 0)
+	done := make(chan struct{})
+	go func() {
+		c.Write([]byte("ab"))
+		c.Write([]byte("cd"))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writes completed through a blackhole")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.SetWriteMode(Pass, 0)
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "abcd" {
+		t.Fatalf("got %q, %v — blackholed bytes must arrive, in order", buf, err)
+	}
+	<-done
+}
+
+func TestSeverWakesBlackholedAndFailsEverything(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	defer peer.Close()
+	c.SetWriteMode(Blackhole, 0)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		errs <- err
+	}()
+	c.Sever()
+	err := <-errs
+	if !errors.Is(err, ErrSevered) || !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("blocked write woke with %v, want ErrSevered (and net.ErrClosed)", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("post-sever read: %v", err)
+	}
+	if _, err := c.Write([]byte("y")); !errors.Is(err, ErrSevered) {
+		t.Fatalf("post-sever write: %v", err)
+	}
+}
+
+func TestSeverAfterWriteTruncatesMidTransfer(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	got := make(chan []byte, 1)
+	go func() {
+		var all []byte
+		buf := make([]byte, 16)
+		for {
+			n, err := peer.Read(buf)
+			all = append(all, buf[:n]...)
+			if err != nil {
+				got <- all
+				return
+			}
+		}
+	}()
+	c.SeverAfterWrite(3)
+	n, err := c.Write([]byte("abcde"))
+	if n != 3 || !errors.Is(err, ErrSevered) {
+		t.Fatalf("torn write: n=%d err=%v, want 3 bytes then ErrSevered", n, err)
+	}
+	if all := <-got; string(all) != "abc" {
+		t.Fatalf("peer saw %q, want the torn prefix %q", all, "abc")
+	}
+	peer.Close()
+}
+
+func TestSeverOnScheduleIsSeedDeterministic(t *testing.T) {
+	leakcheck.Check(t)
+	// Two connections with the same seed die after the same byte count;
+	// the count lands inside the configured range.
+	run := func(seed uint64) int {
+		c, peer := pipe()
+		defer peer.Close()
+		go io.Copy(io.Discard, peer)
+		c.SeverOnSchedule(seed, 4, 32)
+		sent := 0
+		for {
+			if _, err := c.Write([]byte{byte(sent)}); err != nil {
+				return sent
+			}
+			sent++
+		}
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different sever points: %d vs %d", a, b)
+	}
+	if a < 4 || a > 32 {
+		t.Fatalf("sever point %d outside schedule range [4,32]", a)
+	}
+	if other := run(8); other == a {
+		// Not strictly guaranteed for every pair, but for these fixed
+		// seeds the PCG streams differ; a collision here means the seed
+		// is being ignored.
+		t.Fatalf("seeds 7 and 8 severed at the same point %d", a)
+	}
+}
+
+func TestDelayDelivers(t *testing.T) {
+	leakcheck.Check(t)
+	c, peer := pipe()
+	defer c.Close()
+	defer peer.Close()
+	c.SetWriteMode(Delay, time.Millisecond)
+	go c.Write([]byte("zz"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(peer, buf); err != nil || string(buf) != "zz" {
+		t.Fatalf("got %q, %v", buf, err)
+	}
+}
+
+func TestListenerRefuseAndAdmit(t *testing.T) {
+	leakcheck.Check(t)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(raw)
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	ln.Refuse(true)
+	refused, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refused connection dies before delivering anything.
+	refused.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := refused.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused connection delivered data")
+	}
+	refused.Close()
+	ln.Refuse(false)
+	admitted, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admitted.Close()
+	srv := <-accepted
+	defer srv.Close()
+	if len(ln.Conns()) != 1 {
+		t.Fatalf("Conns() = %d, want 1 (refused connections are not recorded)", len(ln.Conns()))
+	}
+	go srv.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(admitted, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("got %q, %v", buf, err)
+	}
+}
+
+func TestDialerWrapsAndRecords(t *testing.T) {
+	leakcheck.Check(t)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	go func() {
+		for {
+			c, err := raw.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+	var d Dialer
+	c1, err := d.Dial(raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := d.Dial(raw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if len(d.Conns()) != 2 || d.Last() != c2 {
+		t.Fatalf("dialer bookkeeping: %d conns, last=%p want %p", len(d.Conns()), d.Last(), c2)
+	}
+	if _, err := c2.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through wrapped dial: %q, %v", buf, err)
+	}
+}

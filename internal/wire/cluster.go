@@ -5,6 +5,14 @@
 // a granted execution to the process that owns the granted slot, and to
 // mirror cross-node stream traffic onto the sockets so the model's byte
 // accounting corresponds to bytes that actually moved.
+//
+// The transport is fault-tolerant: a worker that hangs is detected by
+// heartbeat (health.go), a worker that dies has its pending calls failed
+// over to local slots, a worker that misbehaves repeatedly is quarantined
+// out of placement until a probe readmits it, and a worker that comes
+// back — same process reconnecting, or a fresh replacement — rejoins
+// under its old node id with the link codecs reset. The S-Net program
+// above never observes any of this except through WireStats.
 package wire
 
 import (
@@ -39,8 +47,48 @@ type CoordinatorConfig struct {
 	// MaxFrame bounds a single frame; zero means DefaultMaxFrame.
 	MaxFrame int
 	// JoinTimeout bounds how long WaitReady waits for all workers to
-	// join; zero means 30s.
+	// join; zero means 30s. Joins (and rejoins) are still accepted after
+	// the window closes — the timeout only settles WaitReady.
 	JoinTimeout time.Duration
+	// HandshakeTimeout bounds the HELLO/WELCOME exchange on one fresh
+	// connection, so a stray connection that never says HELLO cannot pin
+	// a handshake goroutine. Zero defaults to JoinTimeout.
+	HandshakeTimeout time.Duration
+	// HeartbeatInterval is how often the coordinator checks each link and
+	// PINGs the ones it has not heard from. Zero means 1s.
+	HeartbeatInterval time.Duration
+	// LivenessTimeout is how long a link may stay silent — no RESULT, no
+	// LOAD, no PONG — before its worker is declared dead, pending calls
+	// fail over to local slots, and the node waits for a rejoin. It must
+	// exceed HeartbeatInterval with margin; zero means 4×HeartbeatInterval.
+	LivenessTimeout time.Duration
+	// CallTimeout bounds one remote box call (EXEC sent → RESULT
+	// received). A call past its deadline is abandoned: retried while the
+	// retry budget lasts, then failed over to local execution on the
+	// already-granted slot. Zero disables per-call deadlines — the right
+	// default when box runtimes are unbounded (a deadline shorter than an
+	// honest execution wastes the remote work and double-executes).
+	CallTimeout time.Duration
+	// CallRetries is how many times a timed-out or send-failed call is
+	// re-sent before failing over. Zero means 1; negative means none.
+	CallRetries int
+	// FaultLimit quarantines a node after this many faults (call
+	// timeouts, send failures, unclean disconnects) inside FaultWindow.
+	// Zero means 3.
+	FaultLimit int
+	// FaultWindow is the sliding window for FaultLimit. Zero means 30s.
+	FaultWindow time.Duration
+	// QuarantineCooldown is how long a quarantined node sits excluded
+	// before the sweep probes it back in. Zero means 5s.
+	QuarantineCooldown time.Duration
+	// Logf, when set, receives one-line lifecycle messages (joins,
+	// deaths, rejoins, quarantines). Nil is silent.
+	Logf func(format string, args ...any)
+
+	// clock overrides the cluster's time source; tests use it to drive
+	// heartbeat and quarantine decisions with synthetic times. Nil means
+	// time.Now.
+	clock func() time.Time
 }
 
 // WireStats are the transport-level counters of a coordinator — the
@@ -58,11 +106,23 @@ type WireStats struct {
 	// frames: the model migrated them from their home node to the thief
 	// that received them.
 	StolenExecs int64
-	// Failovers counts remote dispatches abandoned because the peer died
-	// mid-call; the execution re-ran locally on the already-granted slot
-	// (boxes are stateless and the lost emissions never entered the
-	// stream, so the re-run is safe).
+	// Failovers counts remote dispatches abandoned — the peer died or the
+	// call ran out of deadline retries — and re-run locally on the
+	// already-granted slot (boxes are stateless and the lost emissions
+	// never entered the stream, so the re-run is safe).
 	Failovers int64
+	// Timeouts counts call attempts abandoned at CallTimeout; Retries
+	// counts the re-sends those (and send failures) triggered. One box
+	// call can contribute several of each before a single Failover.
+	Timeouts, Retries int64
+	// Rejoins counts accepted RE-HELLOs: a known node id coming back on a
+	// fresh connection (the same worker reconnecting, or a replacement
+	// process claiming a dead node's slot).
+	Rejoins int64
+	// Quarantines counts nodes entering quarantine: FaultLimit faults
+	// inside FaultWindow excluded them from placement until a post-
+	// cool-down probe requalified them.
+	Quarantines int64
 	// MirroredBatches counts cross-node stream batches shipped for real
 	// as RECORD-BATCH frames; SkippedMirrors counts batches accounted by
 	// the model only (records without a wire form, or a dead peer).
@@ -88,10 +148,24 @@ type Cluster struct {
 	ln    net.Listener
 	peers []atomic.Pointer[peer] // index node-1
 
+	// links are the per-node codec pairs. They belong to the node id, not
+	// the connection: a rejoining node reuses its pair after Reset, which
+	// is what lets the new connection renegotiate labels from scratch.
+	links []linkCodecs
+
+	// Join bookkeeping: slot claims during handshakes, and the count of
+	// distinct nodes that have ever joined (which settles WaitReady).
+	joinMu    sync.Mutex
+	slotBusy  []bool // a handshake currently holds this slot's claim
+	everUp    []bool // this slot has completed a join at least once
+	joined    int
+	readyOnce sync.Once
+	joinTimer *time.Timer
+
 	reqSeq    atomic.Uint64
 	wg        sync.WaitGroup
 	ready     chan struct{}
-	joinErr   error // write-once before ready closes
+	joinErr   error // written inside readyOnce, read after ready closes
 	closed    chan struct{}
 	closeOnce sync.Once
 
@@ -99,32 +173,50 @@ type Cluster struct {
 	loads     []atomic.Int64
 	loadKnown []atomic.Bool
 
+	// Per-node fault ledger (health.go; index 0 unused).
+	healthMu sync.Mutex
+	health   []nodeHealth
+
 	framesOut, framesIn atomic.Int64
 	bytesOut, bytesIn   atomic.Int64
 	remoteExecs         atomic.Int64
 	localExecs          atomic.Int64
 	stolenExecs         atomic.Int64
 	failovers           atomic.Int64
+	timeouts            atomic.Int64
+	retries             atomic.Int64
+	rejoins             atomic.Int64
+	quarantines         atomic.Int64
 	mirroredBatches     atomic.Int64
 	skippedMirrors      atomic.Int64
 	stealReqs           atomic.Int64
 }
 
-// peer is one worker connection, coordinator-side.
+type linkCodecs struct {
+	enc *dist.Codec // coordinator → worker records
+	dec *dist.Codec // worker → coordinator records
+}
+
+// peer is one worker connection, coordinator-side. The node id and its
+// codec pair outlive the peer (they belong to the Cluster); everything
+// else dies with the connection.
 type peer struct {
 	c     *Cluster
 	node  int
 	cpus  int // advertised in HELLO (informational; WELCOME's slots govern)
 	conn  net.Conn
 	br    *bufio.Reader
-	enc   *dist.Codec // coordinator → worker records
-	dec   *dist.Codec // worker → coordinator records
+	enc   *dist.Codec // coordinator → worker records (c.links[node-1].enc)
+	dec   *dist.Codec // worker → coordinator records (c.links[node-1].dec)
 	boxes map[string]bool
 
 	wmu    sync.Mutex
 	wbuf   []byte
 	hdrBuf []byte
 	dead   atomic.Bool
+
+	lastRecv atomic.Int64  // UnixNano of the last received frame
+	done     chan struct{} // closed when the peer's reader has unwound
 
 	pmu     sync.Mutex
 	pending map[uint64]chan execResult
@@ -146,6 +238,21 @@ func Listen(addr string, cfg CoordinatorConfig) (*Cluster, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("wire: coordinator needs at least 1 worker, got %d", cfg.Workers)
 	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, cfg)
+}
+
+// Serve is Listen over a caller-provided listener — the seam that lets
+// tests interpose a fault-injecting listener (internal/faultwire) between
+// the coordinator and its workers. Serve owns ln: Close closes it.
+func Serve(ln net.Listener, cfg CoordinatorConfig) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		ln.Close()
+		return nil, fmt.Errorf("wire: coordinator needs at least 1 worker, got %d", cfg.Workers)
+	}
 	if cfg.CPUsPerNode <= 0 {
 		cfg.CPUsPerNode = 1
 	}
@@ -155,9 +262,28 @@ func Listen(addr string, cfg CoordinatorConfig) (*Cluster, error) {
 	if cfg.JoinTimeout <= 0 {
 		cfg.JoinTimeout = 30 * time.Second
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = cfg.JoinTimeout
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.LivenessTimeout <= 0 {
+		cfg.LivenessTimeout = 4 * cfg.HeartbeatInterval
+	}
+	if cfg.CallRetries == 0 {
+		cfg.CallRetries = 1
+	} else if cfg.CallRetries < 0 {
+		cfg.CallRetries = 0
+	}
+	if cfg.FaultLimit <= 0 {
+		cfg.FaultLimit = 3
+	}
+	if cfg.FaultWindow <= 0 {
+		cfg.FaultWindow = 30 * time.Second
+	}
+	if cfg.QuarantineCooldown <= 0 {
+		cfg.QuarantineCooldown = 5 * time.Second
 	}
 	nodes := cfg.Workers + 1
 	c := &Cluster{
@@ -166,17 +292,44 @@ func Listen(addr string, cfg CoordinatorConfig) (*Cluster, error) {
 		probe:     dist.NewCodec(),
 		ln:        ln,
 		peers:     make([]atomic.Pointer[peer], cfg.Workers),
+		links:     make([]linkCodecs, cfg.Workers),
+		slotBusy:  make([]bool, cfg.Workers),
+		everUp:    make([]bool, cfg.Workers),
 		ready:     make(chan struct{}),
 		closed:    make(chan struct{}),
 		loads:     make([]atomic.Int64, nodes),
 		loadKnown: make([]atomic.Bool, nodes),
+		health:    make([]nodeHealth, nodes),
 	}
 	if cfg.Ext != nil {
 		c.probe.SetValueCodec(cfg.Ext)
 	}
-	c.wg.Add(1)
+	for i := range c.links {
+		c.links[i] = linkCodecs{enc: dist.NewCodec(), dec: dist.NewCodec()}
+		if cfg.Ext != nil {
+			c.links[i].enc.SetValueCodec(cfg.Ext)
+			c.links[i].dec.SetValueCodec(cfg.Ext)
+		}
+	}
+	c.joinTimer = time.AfterFunc(cfg.JoinTimeout, func() {
+		c.joinMu.Lock()
+		n := c.joined
+		c.joinMu.Unlock()
+		if n < c.cfg.Workers {
+			c.finishReady(fmt.Errorf("wire: %d of %d workers joined before the %v join window closed",
+				n, c.cfg.Workers, c.cfg.JoinTimeout))
+		}
+	})
+	c.wg.Add(2)
 	go c.acceptLoop()
+	go c.heartbeatLoop()
 	return c, nil
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
 }
 
 // Addr returns the coordinator's listen address.
@@ -189,48 +342,120 @@ func (c *Cluster) WaitReady() error {
 	return c.joinErr
 }
 
-// acceptLoop admits workers until the fleet is complete, then closes the
-// listener — membership is fixed for the cluster's lifetime.
-func (c *Cluster) acceptLoop() {
-	defer c.wg.Done()
-	deadline := time.Now().Add(c.cfg.JoinTimeout)
-	if d, ok := c.ln.(interface{ SetDeadline(time.Time) error }); ok {
-		d.SetDeadline(deadline)
-	}
-	joined := 0
-	for joined < c.cfg.Workers {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			select {
-			case <-c.closed:
-				c.joinErr = fmt.Errorf("wire: coordinator closed with %d of %d workers joined",
-					joined, c.cfg.Workers)
-			default:
-				c.joinErr = fmt.Errorf("wire: %d of %d workers joined before the %v join window closed: %w",
-					joined, c.cfg.Workers, c.cfg.JoinTimeout, err)
-			}
-			close(c.ready)
-			return
-		}
-		p, err := c.admit(conn, joined+1)
-		if err != nil {
-			conn.Close()
-			continue
-		}
-		c.peers[joined].Store(p)
-		joined++
-		c.wg.Add(1)
-		go c.serve(p)
-	}
-	c.ln.Close()
-	close(c.ready)
+func (c *Cluster) finishReady(err error) {
+	c.readyOnce.Do(func() {
+		c.joinErr = err
+		close(c.ready)
+	})
 }
 
-// admit performs the HELLO/WELCOME handshake on a fresh connection,
-// assigning it node id `node`. A version mismatch or malformed HELLO is
-// answered with GOODBYE (when writable) and reported as an error.
-func (c *Cluster) admit(conn net.Conn, node int) (*peer, error) {
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+// acceptLoop admits connections for the cluster's whole lifetime: the
+// fleet's initial joins, and — unlike a fixed-membership join window —
+// rejoins of dead nodes and replacement workers claiming a dead node's
+// slot. The listener closes only on Close.
+func (c *Cluster) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn runs one connection's lifetime: handshake, then serve.
+func (c *Cluster) handleConn(conn net.Conn) {
+	defer c.wg.Done()
+	p, err := c.admit(conn)
+	if err != nil {
+		conn.Close()
+		c.logf("wire: join failed: %v", err)
+		return
+	}
+	c.serve(p)
+}
+
+// assignNode picks the node id a fresh connection will hold. want is the
+// HELLO's rejoin field: 0 asks for any slot (first never-joined slot,
+// else a dead node's slot as a replacement), >0 claims that node id (a
+// RE-HELLO, legal only when the node is not currently connected). The
+// returned claim is held until finishJoin or revertJoin.
+func (c *Cluster) assignNode(want int) (node int, replace bool, err error) {
+	c.joinMu.Lock()
+	defer c.joinMu.Unlock()
+	claim := func(i int) (int, bool) {
+		c.slotBusy[i] = true
+		return i + 1, c.peers[i].Load() != nil
+	}
+	if want != 0 {
+		if want < 1 || want > len(c.peers) {
+			return 0, false, fmt.Errorf("wire: rejoin as node %d: no such node (cluster has %d workers)", want, len(c.peers))
+		}
+		i := want - 1
+		if c.slotBusy[i] {
+			return 0, false, fmt.Errorf("wire: rejoin as node %d: another connection is mid-handshake for it", want)
+		}
+		if p := c.peers[i].Load(); p != nil && !p.dead.Load() {
+			return 0, false, fmt.Errorf("wire: rejoin as node %d refused: that node is still connected", want)
+		}
+		node, replace = claim(i)
+		return node, replace, nil
+	}
+	for i := range c.peers {
+		if !c.slotBusy[i] && !c.everUp[i] {
+			node, replace = claim(i)
+			return node, replace, nil
+		}
+	}
+	for i := range c.peers {
+		if c.slotBusy[i] {
+			continue
+		}
+		if p := c.peers[i].Load(); p != nil && p.dead.Load() {
+			node, replace = claim(i)
+			return node, replace, nil
+		}
+	}
+	return 0, false, errors.New("wire: fleet is full (every node is connected)")
+}
+
+// finishJoin publishes a completed handshake: the slot claim converts to
+// a live peer, and WaitReady settles when the last first-time join lands.
+func (c *Cluster) finishJoin(node int, replace bool) {
+	c.joinMu.Lock()
+	i := node - 1
+	c.slotBusy[i] = false
+	first := !c.everUp[i]
+	c.everUp[i] = true
+	if first {
+		c.joined++
+	}
+	complete := c.joined >= c.cfg.Workers
+	c.joinMu.Unlock()
+	if replace {
+		c.rejoins.Add(1)
+	}
+	if complete {
+		c.finishReady(nil)
+	}
+}
+
+func (c *Cluster) revertJoin(node int) {
+	c.joinMu.Lock()
+	c.slotBusy[node-1] = false
+	c.joinMu.Unlock()
+}
+
+// admit performs the HELLO/WELCOME handshake on a fresh connection. A
+// version mismatch, malformed HELLO, or unassignable node id is answered
+// with GOODBYE (when writable) and reported as an error. On a rejoin the
+// node's codec pair is Reset — the new connection renegotiates every
+// label from scratch — and its gossiped load is re-seeded, returning the
+// node to the schedulable set with a clean slate.
+func (c *Cluster) admit(conn net.Conn) (*peer, error) {
+	conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
 	br := bufio.NewReaderSize(conn, 64<<10)
 	typ, payload, err := readFrame(br, c.cfg.MaxFrame)
 	if err != nil {
@@ -249,51 +474,93 @@ func (c *Cluster) admit(conn net.Conn, node int) (*peer, error) {
 		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, reason)))
 		return nil, fmt.Errorf("wire: %s", reason)
 	}
+	node, replace, err := c.assignNode(h.node)
+	if err != nil {
+		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, err.Error())))
+		return nil, err
+	}
+	if old := c.peers[node-1].Load(); old != nil {
+		// Wait for the dead predecessor's reader to unwind so its final
+		// decodes cannot interleave with the codec Reset below.
+		t := time.NewTimer(c.cfg.HandshakeTimeout)
+		select {
+		case <-old.done:
+			t.Stop()
+		case <-t.C:
+			c.revertJoin(node)
+			return nil, fmt.Errorf("wire: node %d rejoin: previous connection still draining", node)
+		}
+		c.links[node-1].enc.Reset()
+		c.links[node-1].dec.Reset()
+		c.loads[node].Store(0)
+		c.loadKnown[node].Store(false)
+	}
 	p := &peer{
 		c:       c,
 		node:    node,
 		cpus:    h.cpus,
 		conn:    conn,
 		br:      br,
-		enc:     dist.NewCodec(),
-		dec:     dist.NewCodec(),
+		enc:     c.links[node-1].enc,
+		dec:     c.links[node-1].dec,
 		boxes:   make(map[string]bool, len(h.boxes)),
+		done:    make(chan struct{}),
 		pending: make(map[uint64]chan execResult),
 	}
 	for _, b := range h.boxes {
 		p.boxes[b] = true
 	}
-	if c.cfg.Ext != nil {
-		p.enc.SetValueCodec(c.cfg.Ext)
-		p.dec.SetValueCodec(c.cfg.Ext)
-	}
+	p.lastRecv.Store(c.now().UnixNano())
 	p.wmu.Lock()
-	err = p.write(fWelcome, appendWelcome(nil, node, c.model.Nodes(), c.cfg.CPUsPerNode))
+	err = p.write(fWelcome, appendWelcome(nil, node, c.model.Nodes(), c.cfg.CPUsPerNode,
+		c.cfg.HeartbeatInterval, c.cfg.LivenessTimeout))
 	p.wmu.Unlock()
 	if err != nil {
+		c.revertJoin(node)
 		return nil, err
 	}
 	conn.SetDeadline(time.Time{})
+	c.peers[node-1].Store(p)
+	c.finishJoin(node, replace)
+	if replace {
+		c.logf("wire: node %d rejoined (%d cpus advertised)", node, h.cpus)
+	} else {
+		c.logf("wire: node %d joined (%d cpus advertised)", node, h.cpus)
+	}
 	return p, nil
 }
 
 // serve is a worker connection's reader: it decodes RESULT batches in
 // arrival order (pinning the codec negotiation order), feeds LOAD and
-// STEAL-REQUEST gossip, and on any error — or the GOODBYE ack — tears the
-// peer down, failing every pending EXEC so no box call waits on a dead
-// socket.
+// STEAL-REQUEST gossip, answers PINGs, and on any error — or the GOODBYE
+// ack — tears the peer down, failing every pending EXEC so no box call
+// waits on a dead socket. Every received frame refreshes the peer's
+// liveness and, after a quarantine cool-down, requalifies the node.
 func (c *Cluster) serve(p *peer) {
-	defer c.wg.Done()
+	clean := false
 	defer func() {
 		p.dead.Store(true)
 		p.conn.Close()
 		p.failPending()
+		close(p.done)
+		select {
+		case <-c.closed:
+			// Shutdown: connection teardown is expected, not a fault.
+		default:
+			if !clean {
+				c.fault(p.node, c.now())
+				c.logf("wire: node %d connection lost", p.node)
+			}
+		}
 	}()
 	for {
 		typ, payload, err := readFrame(p.br, c.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
+		now := c.now()
+		p.lastRecv.Store(now.UnixNano())
+		c.maybeRequalify(p.node, now)
 		c.framesIn.Add(1)
 		c.bytesIn.Add(frameLen(len(payload)))
 		switch typ {
@@ -323,7 +590,12 @@ func (c *Cluster) serve(p *peer) {
 			c.stealReqs.Add(1)
 			c.loads[p.node].Store(0)
 			c.loadKnown[p.node].Store(true)
+		case fPing:
+			p.sendPong()
+		case fPong:
+			// Nothing beyond the liveness refresh above.
 		case fGoodbye:
+			clean = true
 			return
 		default:
 			return
@@ -331,11 +603,16 @@ func (c *Cluster) serve(p *peer) {
 	}
 }
 
-// write sends one frame; callers hold p.wmu. A write failure marks the
-// peer dead — the reader will observe the broken connection and unwind.
+// write sends one frame; callers hold p.wmu. Writes are bounded by the
+// liveness timeout so a peer whose TCP buffer has filled (a hung reader)
+// cannot wedge the writer — the deadline expiry marks the peer dead and
+// the reader unwinds it. A write failure marks the peer dead the same way.
 func (p *peer) write(typ byte, parts ...[]byte) error {
 	buf := appendFrame(p.wbuf[:0], typ, parts...)
 	p.wbuf = buf
+	if lt := p.c.cfg.LivenessTimeout; lt > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(lt))
+	}
 	if _, err := p.conn.Write(buf); err != nil {
 		p.dead.Store(true)
 		return err
@@ -412,20 +689,46 @@ func (p *peer) sendGoodbye(reason string) {
 	p.write(fGoodbye, g)
 }
 
+// sendPing probes a link the coordinator has not heard from; the worker
+// answers PONG from its reader even while every slot is busy executing,
+// so only a truly unresponsive process stays silent.
+func (p *peer) sendPing() {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.dead.Load() {
+		return
+	}
+	p.write(fPing)
+}
+
+func (p *peer) sendPong() {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.dead.Load() {
+		return
+	}
+	p.write(fPong)
+}
+
 // norm maps an arbitrary node index onto a real node, like the model does.
 func (c *Cluster) norm(n int) int {
 	size := c.model.Nodes()
 	return ((n % size) + size) % size
 }
 
-// peerAt returns the live peer owning node n, nil for node 0, an
-// un-joined node, or a dead connection.
+// peerAt returns the live, dispatchable peer owning node n — nil for node
+// 0, an un-joined node, a dead connection, or a quarantined node (its
+// connection may be up, but calls are kept local until a probe
+// requalifies it).
 func (c *Cluster) peerAt(n int) *peer {
 	if n <= 0 || n > len(c.peers) {
 		return nil
 	}
 	p := c.peers[n-1].Load()
 	if p == nil || p.dead.Load() {
+		return nil
+	}
+	if c.quarantined(n) {
 		return nil
 	}
 	return p
@@ -467,7 +770,8 @@ func (c *Cluster) TransferBatch(from, to int, rs []*record.Record) {
 // mirror ships a cross-node stream batch to the worker that owns the
 // destination node. Hops into node 0 are not mirrored — their payloads
 // already cross the socket as RESULT frames. Batches containing records
-// without a wire form are accounted by the model only, and counted.
+// without a wire form are accounted by the model only, and counted — as
+// are batches bound for an unavailable (dead or quarantined) node.
 func (c *Cluster) mirror(from, to int, rs []*record.Record) {
 	t := c.norm(to)
 	f := c.norm(from)
@@ -508,14 +812,22 @@ func (c *Cluster) mirror(from, to int, rs []*record.Record) {
 // slot ledger and the workers' gossiped gate occupancy. The model is
 // authoritative for work it granted; gossip can only raise a node's
 // reported load — it covers activity the model cannot see (a worker
-// shared with another tenant), never hides granted work.
+// shared with another tenant), never hides granted work. Nodes whose
+// worker is unavailable — dead connection, or quarantined — are reported
+// as saturated, so load-aware placement and steal scans route around
+// them until a rejoin or probe restores them (graceful degradation: the
+// network keeps rendering on the remaining nodes).
 func (c *Cluster) Loads(dst []int) []int {
 	dst = c.model.Loads(dst)
-	for n := 1; n < len(dst) && n < len(c.loads); n++ {
+	for n := 1; n < len(dst) && n <= len(c.peers); n++ {
 		if c.loadKnown[n].Load() {
 			if g := int(c.loads[n].Load()); g > dst[n] {
 				dst[n] = g
 			}
+		}
+		p := c.peers[n-1].Load()
+		if p == nil || p.dead.Load() || c.quarantined(n) {
+			dst[n] += unavailableLoad
 		}
 	}
 	return dst
@@ -527,8 +839,9 @@ func (c *Cluster) Loads(dst []int) []int {
 // has a wire form — the call ships as an EXEC (or STEAL-GRANT, when the
 // model migrated it) frame and the worker's emissions return as the
 // outs. Otherwise local() runs on the granted slot, and a peer that dies
-// mid-call fails over to local() too: boxes are stateless and the lost
-// emissions never entered the stream, so re-running is safe.
+// mid-call — or exhausts the call deadline's retry budget — fails over
+// to local() too: boxes are stateless and the lost emissions never
+// entered the stream, so re-running is safe.
 func (c *Cluster) ExecBox(node int, cancel <-chan struct{}, box string, input *record.Record,
 	stealable bool, local func()) ([]*record.Record, bool, bool, error) {
 	home := c.norm(node)
@@ -558,21 +871,62 @@ func (c *Cluster) ExecBox(node int, cancel <-chan struct{}, box string, input *r
 	return outs, remote, granted, boxErr
 }
 
-// roundTrip ships one box call and waits for its RESULT. failed means the
-// peer died (at send time or mid-call) and the caller should fail over.
+// roundTrip ships one box call, waiting for its RESULT within the call
+// deadline and re-sending up to the retry budget. failed means the peer
+// died, was quarantined mid-call, or every attempt timed out — the caller
+// should fail over to local execution.
 func (c *Cluster) roundTrip(p *peer, home int, stolen bool, box string, input *record.Record) ([]*record.Record, error, bool) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if p.dead.Load() || c.quarantined(p.node) {
+				return nil, nil, true
+			}
+			c.retries.Add(1)
+		}
+		outs, err, ok := c.tryCall(p, home, stolen, box, input)
+		if ok {
+			return outs, err, false
+		}
+		if attempt >= c.cfg.CallRetries {
+			return nil, nil, true
+		}
+	}
+}
+
+// tryCall is one EXEC→RESULT attempt. ok=false means the attempt failed —
+// send error, peer death, or call deadline — and a fault was recorded
+// against the node; a RESULT arriving after the deadline is discarded
+// (its decode still runs in the reader, keeping the codec in step).
+func (c *Cluster) tryCall(p *peer, home int, stolen bool, box string, input *record.Record) ([]*record.Record, error, bool) {
 	req := c.reqSeq.Add(1)
 	ch := make(chan execResult, 1)
 	p.addPending(req, ch)
 	if err := p.sendExec(req, home, stolen, box, input); err != nil {
 		p.dropPending(req)
-		return nil, nil, true
+		c.fault(p.node, c.now())
+		return nil, nil, false
 	}
-	res := <-ch
-	if res.failed {
-		return nil, nil, true
+	if c.cfg.CallTimeout <= 0 {
+		res := <-ch
+		if res.failed {
+			return nil, nil, false
+		}
+		return res.outs, res.err, true
 	}
-	return res.outs, res.err, false
+	t := time.NewTimer(c.cfg.CallTimeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		if res.failed {
+			return nil, nil, false
+		}
+		return res.outs, res.err, true
+	case <-t.C:
+		p.dropPending(req)
+		c.timeouts.Add(1)
+		c.fault(p.node, c.now())
+		return nil, nil, false
+	}
 }
 
 // Stats returns the scheduling model's accounting — the same counters,
@@ -605,6 +959,10 @@ func (c *Cluster) WireStats() WireStats {
 		LocalExecs:      c.localExecs.Load(),
 		StolenExecs:     c.stolenExecs.Load(),
 		Failovers:       c.failovers.Load(),
+		Timeouts:        c.timeouts.Load(),
+		Retries:         c.retries.Load(),
+		Rejoins:         c.rejoins.Load(),
+		Quarantines:     c.quarantines.Load(),
 		MirroredBatches: c.mirroredBatches.Load(),
 		SkippedMirrors:  c.skippedMirrors.Load(),
 		StealRequests:   c.stealReqs.Load(),
@@ -627,8 +985,11 @@ func (c *Cluster) Workers() []string {
 		}
 		sort.Strings(boxes)
 		state := "up"
-		if p.dead.Load() {
+		switch {
+		case p.dead.Load():
 			state = "down"
+		case c.quarantined(p.node):
+			state = "quarantined"
 		}
 		out = append(out, fmt.Sprintf("node %d (%s, %d cpus advertised): %v", p.node, state, p.cpus, boxes))
 	}
@@ -643,6 +1004,12 @@ func (c *Cluster) Workers() []string {
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
+		c.joinTimer.Stop()
+		c.joinMu.Lock()
+		joined := c.joined
+		c.joinMu.Unlock()
+		c.finishReady(fmt.Errorf("wire: coordinator closed with %d of %d workers joined",
+			joined, c.cfg.Workers))
 		c.ln.Close()
 		for i := range c.peers {
 			p := c.peers[i].Load()

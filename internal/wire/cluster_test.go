@@ -264,7 +264,12 @@ func TestPeerDeathFailsOverToLocal(t *testing.T) {
 	leakcheck.Check(t)
 	// A fake worker: joins the fleet, then slams the connection shut the
 	// moment the first EXEC arrives — death mid-call.
-	cl, err := Listen("127.0.0.1:0", CoordinatorConfig{Workers: 1, CPUsPerNode: 1})
+	cl, err := Listen("127.0.0.1:0", CoordinatorConfig{
+		Workers: 1, CPUsPerNode: 1,
+		// The fake worker never answers PINGs; keep the sweep inert so
+		// only the explicit connection kill is in play.
+		HeartbeatInterval: time.Hour,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +279,7 @@ func TestPeerDeathFailsOverToLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(appendFrame(nil, fHello, appendHello(nil, 1, []string{"double"}))); err != nil {
+	if _, err := conn.Write(appendFrame(nil, fHello, appendHello(nil, 1, 0, []string{"double"}))); err != nil {
 		t.Fatal(err)
 	}
 	if typ, _, err := readFrame(conn, DefaultMaxFrame); err != nil || typ != fWelcome {
@@ -322,7 +327,7 @@ func TestHelloVersionMismatchRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	bad := appendHello(nil, 1, nil)
+	bad := appendHello(nil, 1, 0, nil)
 	bad[4] = 0xfe // corrupt the version field (bytes 4..5, after the magic)
 	if _, err := conn.Write(appendFrame(nil, fHello, bad)); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,164 @@
+// Peer health: the coordinator-side fault accounting that turns transport
+// misbehavior into scheduling decisions. Three mechanisms cooperate:
+//
+//   - Heartbeats (sweep): the coordinator PINGs any link it has not heard
+//     from within the heartbeat interval, and declares a peer dead — hung,
+//     not just closed — when nothing has arrived for the liveness timeout.
+//     Death closes the connection, which fails every pending EXEC over to
+//     local execution exactly as an observed disconnect does.
+//
+//   - Faults and quarantine: call timeouts, send failures, and unclean
+//     disconnects are recorded per NODE (not per connection — a flapping
+//     worker carries its history across rejoins). FaultLimit faults inside
+//     FaultWindow quarantine the node: it is excluded from dispatch
+//     (ExecBox runs its calls locally) and reported as saturated by Loads,
+//     so load-aware placement and steal scans route around it.
+//
+//   - Probe-back: after QuarantineCooldown the sweep PINGs the quarantined
+//     peer; the first frame that arrives after the cooldown (normally the
+//     PONG) requalifies the node. A dead quarantined node requalifies the
+//     same way after its replacement rejoins and answers a probe.
+//
+// All time flows through Cluster.now() so tests drive the machinery with
+// a synthetic clock instead of sleeping.
+package wire
+
+import (
+	"time"
+)
+
+// unavailableLoad is added to a node's reported load while its worker
+// connection is dead or quarantined: large enough that LeastLoaded never
+// prefers an unavailable node over any reachable one, while keeping the
+// relative order among unavailable nodes intact.
+const unavailableLoad = 1 << 20
+
+// nodeHealth is one node's fault ledger. It belongs to the node id, not
+// the connection: a worker that reconnects inherits its history, which is
+// what makes the flap policy (K faults in a window) meaningful.
+type nodeHealth struct {
+	faults []time.Time // unexpired fault times, oldest first
+	qUntil time.Time   // zero = healthy; else quarantined, probe after this
+}
+
+// fault records one failure event against a node — a call timeout, a send
+// failure, or an unclean disconnect — and quarantines the node when
+// FaultLimit faults have accumulated inside FaultWindow.
+func (c *Cluster) fault(node int, now time.Time) {
+	if node < 1 || node >= len(c.health) {
+		return
+	}
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	h := &c.health[node]
+	keep := h.faults[:0]
+	for _, t := range h.faults {
+		if now.Sub(t) < c.cfg.FaultWindow {
+			keep = append(keep, t)
+		}
+	}
+	h.faults = append(keep, now)
+	if len(h.faults) >= c.cfg.FaultLimit && h.qUntil.IsZero() {
+		h.qUntil = now.Add(c.cfg.QuarantineCooldown)
+		h.faults = h.faults[:0]
+		c.quarantines.Add(1)
+		c.logf("wire: node %d quarantined after %d faults in %v (cool-down %v)",
+			node, c.cfg.FaultLimit, c.cfg.FaultWindow, c.cfg.QuarantineCooldown)
+	}
+}
+
+// quarantined reports whether the node is currently excluded from
+// dispatch and placement.
+func (c *Cluster) quarantined(node int) bool {
+	if node < 1 || node >= len(c.health) {
+		return false
+	}
+	c.healthMu.Lock()
+	q := !c.health[node].qUntil.IsZero()
+	c.healthMu.Unlock()
+	return q
+}
+
+// maybeRequalify clears a node's quarantine when evidence of life (any
+// received frame) arrives after the cool-down has passed. Called from the
+// peer's reader on every frame.
+func (c *Cluster) maybeRequalify(node int, now time.Time) {
+	if node < 1 || node >= len(c.health) {
+		return
+	}
+	c.healthMu.Lock()
+	h := &c.health[node]
+	if !h.qUntil.IsZero() && now.After(h.qUntil) {
+		h.qUntil = time.Time{}
+		h.faults = h.faults[:0]
+		c.healthMu.Unlock()
+		c.logf("wire: node %d requalified after quarantine", node)
+		return
+	}
+	c.healthMu.Unlock()
+}
+
+// probeDue reports whether a quarantined node's cool-down has passed, so
+// the sweep should PING it even though it is excluded from dispatch.
+func (c *Cluster) probeDue(node int, now time.Time) bool {
+	if node < 1 || node >= len(c.health) {
+		return false
+	}
+	c.healthMu.Lock()
+	h := &c.health[node]
+	due := !h.qUntil.IsZero() && now.After(h.qUntil)
+	c.healthMu.Unlock()
+	return due
+}
+
+// now is the cluster's clock: time.Now in production, a synthetic clock in
+// the deterministic fault tests.
+func (c *Cluster) now() time.Time {
+	if c.cfg.clock != nil {
+		return c.cfg.clock()
+	}
+	return time.Now()
+}
+
+// heartbeatLoop drives one sweep per heartbeat interval until Close.
+func (c *Cluster) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.sweep(c.now())
+		}
+	}
+}
+
+// sweep is one heartbeat pass over every live peer: PING links that have
+// been receive-idle for a heartbeat interval (and quarantined links whose
+// probe is due), and declare dead any link silent past the liveness
+// timeout. Death closes the connection; the peer's reader unwinds and
+// fails its pending EXECs over to local slots. Tests call sweep directly
+// with synthetic times, so detection needs no wall-clock waiting.
+func (c *Cluster) sweep(now time.Time) {
+	for i := range c.peers {
+		p := c.peers[i].Load()
+		if p == nil || p.dead.Load() {
+			continue
+		}
+		idle := now.Sub(time.Unix(0, p.lastRecv.Load()))
+		if idle >= c.cfg.LivenessTimeout {
+			c.logf("wire: node %d silent for %v (liveness timeout %v): declaring it dead",
+				p.node, idle, c.cfg.LivenessTimeout)
+			// Closing the connection unwinds the peer's reader, which
+			// records the fault and fails pending EXECs over to local.
+			p.dead.Store(true)
+			p.conn.Close()
+			continue
+		}
+		if idle >= c.cfg.HeartbeatInterval || c.probeDue(p.node, now) {
+			p.sendPing()
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // mr is a bounds-checked message reader over one frame's payload.
@@ -83,18 +84,21 @@ func appendStr16(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// HELLO: magic u32, version u16, cpus u16, box count u16, then each box
-// name u16-length-prefixed.
+// HELLO: magic u32, version u16, cpus u16, rejoin node u16 (0 = fresh
+// join; >0 = RE-HELLO claiming the node id a previous connection held),
+// box count u16, then each box name u16-length-prefixed.
 type helloMsg struct {
 	version int
 	cpus    int
+	node    int // 0 = fresh join, >0 = rejoin as this node
 	boxes   []string
 }
 
-func appendHello(buf []byte, cpus int, boxes []string) []byte {
+func appendHello(buf []byte, cpus, node int, boxes []string) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, helloMagic)
 	buf = appendU16(buf, protoVersion)
 	buf = appendU16(buf, cpus)
+	buf = appendU16(buf, node)
 	buf = appendU16(buf, len(boxes))
 	for _, b := range boxes {
 		buf = appendStr16(buf, b)
@@ -118,6 +122,9 @@ func parseHello(payload []byte) (helloMsg, error) {
 	if h.cpus, err = m.u16(); err != nil {
 		return helloMsg{}, err
 	}
+	if h.node, err = m.u16(); err != nil {
+		return helloMsg{}, err
+	}
 	n, err := m.u16()
 	if err != nil {
 		return helloMsg{}, err
@@ -132,19 +139,40 @@ func parseHello(payload []byte) (helloMsg, error) {
 	return h, nil
 }
 
-// WELCOME: version u16, node u16, nodes u16, slots u16.
+// WELCOME: version u16, node u16, nodes u16, slots u16, heartbeat interval
+// u32 (milliseconds), liveness timeout u32 (milliseconds). The heartbeat
+// parameters tell the worker how aggressively the coordinator probes, so
+// the worker can bound its own reads with the matching deadline; zero
+// disables worker-side read deadlines.
 type welcomeMsg struct {
-	version int
-	node    int
-	nodes   int
-	slots   int
+	version   int
+	node      int
+	nodes     int
+	slots     int
+	heartbeat time.Duration
+	liveness  time.Duration
 }
 
-func appendWelcome(buf []byte, node, nodes, slots int) []byte {
+func appendWelcome(buf []byte, node, nodes, slots int, heartbeat, liveness time.Duration) []byte {
 	buf = appendU16(buf, protoVersion)
 	buf = appendU16(buf, node)
 	buf = appendU16(buf, nodes)
-	return appendU16(buf, slots)
+	buf = appendU16(buf, slots)
+	buf = binary.LittleEndian.AppendUint32(buf, clampMs(heartbeat))
+	return binary.LittleEndian.AppendUint32(buf, clampMs(liveness))
+}
+
+// clampMs converts a duration to whole milliseconds saturating at u32 —
+// the wire form of the heartbeat parameters.
+func clampMs(d time.Duration) uint32 {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	return uint32(ms)
 }
 
 func parseWelcome(payload []byte) (welcomeMsg, error) {
@@ -160,8 +188,20 @@ func parseWelcome(payload []byte) (welcomeMsg, error) {
 	if w.nodes, err = m.u16(); err != nil {
 		return w, err
 	}
-	w.slots, err = m.u16()
-	return w, err
+	if w.slots, err = m.u16(); err != nil {
+		return w, err
+	}
+	hb, err := m.u32()
+	if err != nil {
+		return w, err
+	}
+	lv, err := m.u32()
+	if err != nil {
+		return w, err
+	}
+	w.heartbeat = time.Duration(hb) * time.Millisecond
+	w.liveness = time.Duration(lv) * time.Millisecond
+	return w, nil
 }
 
 // EXEC / STEAL-GRANT: request id u64, home node u16, box name (u16 +

@@ -37,15 +37,27 @@
 // table. The life of a connection:
 //
 //	worker                         coordinator
-//	  HELLO(version, cpus, boxes) →
-//	                              ← WELCOME(node id, cluster size, slots)
+//	  HELLO(version, cpus,
+//	        rejoin node, boxes)   →
+//	                              ← WELCOME(node id, cluster size, slots,
+//	                                        heartbeat interval, liveness)
 //	                              ← EXEC / STEAL-GRANT(req, box, record)
 //	  RESULT(req, emissions)      →
 //	  LOAD(gate occupancy)        →
 //	  STEAL-REQUEST (idle)        →
 //	                              ← RECORD-BATCH (stream hops, mirrored)
+//	                              ← PING (idle link, liveness probe)
+//	  PONG                        →
 //	                              ← GOODBYE
 //	  GOODBYE                     →   (both sides close)
+//
+// PING/PONG keep an idle link observably alive: the coordinator probes any
+// link it has not heard from within the heartbeat interval and declares a
+// peer dead — hung, not just closed — when nothing arrives for the
+// liveness timeout. A worker that loses its connection may reconnect and
+// present its old node id in HELLO (a RE-HELLO); the coordinator resets
+// that link's codec pair and returns the node to the schedulable set. See
+// docs/architecture.md "Failure model" for the full state machine.
 //
 // Record payloads use the negotiated v2 codec (dist.Codec): each direction
 // of each connection owns one codec pair, so a label name crosses each
@@ -65,7 +77,9 @@ import (
 
 // protoVersion is the protocol version exchanged in HELLO/WELCOME; a
 // mismatch is answered with GOODBYE and the connection is closed.
-const protoVersion = 1
+// Version 2 added the rejoin node id to HELLO, the heartbeat parameters to
+// WELCOME, and the PING/PONG frames.
+const protoVersion = 2
 
 // helloMagic leads every HELLO frame ("SNET"), so a stray connection from
 // something that is not a worker fails fast instead of being interpreted.
@@ -73,15 +87,17 @@ const helloMagic = 0x534e4554
 
 // Frame types.
 const (
-	fHello      byte = 1 // worker → coordinator: join with capabilities
-	fWelcome    byte = 2 // coordinator → worker: node id + cluster shape
-	fExec       byte = 3 // coordinator → worker: run a box call
-	fStealGrant byte = 4 // coordinator → worker: run a box call stolen from its home node
-	fResult     byte = 5 // worker → coordinator: a box call's emissions
-	fBatch      byte = 6 // coordinator → worker: a mirrored stream batch (RECORD-BATCH)
-	fLoad       byte = 7 // worker → coordinator: gate occupancy gossip
-	fStealReq   byte = 8 // worker → coordinator: idle, hungry for migrated work
-	fGoodbye    byte = 9 // either direction: orderly leave, with reason
+	fHello      byte = 1  // worker → coordinator: join with capabilities
+	fWelcome    byte = 2  // coordinator → worker: node id + cluster shape
+	fExec       byte = 3  // coordinator → worker: run a box call
+	fStealGrant byte = 4  // coordinator → worker: run a box call stolen from its home node
+	fResult     byte = 5  // worker → coordinator: a box call's emissions
+	fBatch      byte = 6  // coordinator → worker: a mirrored stream batch (RECORD-BATCH)
+	fLoad       byte = 7  // worker → coordinator: gate occupancy gossip
+	fStealReq   byte = 8  // worker → coordinator: idle, hungry for migrated work
+	fGoodbye    byte = 9  // either direction: orderly leave, with reason
+	fPing       byte = 10 // either direction: liveness probe (empty payload)
+	fPong       byte = 11 // either direction: liveness probe answer (empty payload)
 )
 
 // DefaultMaxFrame bounds a single frame (length prefix value). 64 MiB

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -72,17 +73,25 @@ func TestReadFrameZeroLength(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	h, err := parseHello(appendHello(nil, 4, []string{"solver", "fuse"}))
+	h, err := parseHello(appendHello(nil, 4, 0, []string{"solver", "fuse"}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.version != protoVersion || h.cpus != 4 || len(h.boxes) != 2 || h.boxes[1] != "fuse" {
+	if h.version != protoVersion || h.cpus != 4 || h.node != 0 || len(h.boxes) != 2 || h.boxes[1] != "fuse" {
 		t.Fatalf("hello = %+v", h)
+	}
+	// A RE-HELLO carries the node id the worker held before.
+	h, err = parseHello(appendHello(nil, 4, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.node != 2 {
+		t.Fatalf("rejoin node = %d", h.node)
 	}
 }
 
 func TestHelloRejectsBadMagic(t *testing.T) {
-	payload := appendHello(nil, 1, nil)
+	payload := appendHello(nil, 1, 0, nil)
 	payload[0] ^= 0xff
 	if _, err := parseHello(payload); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("err = %v", err)
@@ -90,12 +99,23 @@ func TestHelloRejectsBadMagic(t *testing.T) {
 }
 
 func TestWelcomeRoundTrip(t *testing.T) {
-	w, err := parseWelcome(appendWelcome(nil, 2, 3, 8))
+	w, err := parseWelcome(appendWelcome(nil, 2, 3, 8, time.Second, 4*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if w.version != protoVersion || w.node != 2 || w.nodes != 3 || w.slots != 8 {
 		t.Fatalf("welcome = %+v", w)
+	}
+	if w.heartbeat != time.Second || w.liveness != 4*time.Second {
+		t.Fatalf("heartbeat params = %v / %v", w.heartbeat, w.liveness)
+	}
+	// Sub-millisecond and negative durations clamp rather than wrap.
+	w, err = parseWelcome(appendWelcome(nil, 1, 2, 1, 500*time.Microsecond, -time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.heartbeat != 0 || w.liveness != 0 {
+		t.Fatalf("clamped params = %v / %v", w.heartbeat, w.liveness)
 	}
 }
 
@@ -121,8 +141,8 @@ func TestTruncatedMessages(t *testing.T) {
 	// Every parser must reject every truncation of a valid payload
 	// rather than read out of bounds or mis-split fields.
 	payloads := map[string][]byte{
-		"hello":   appendHello(nil, 2, []string{"a", "bc"}),
-		"welcome": appendWelcome(nil, 1, 2, 4),
+		"hello":   appendHello(nil, 2, 1, []string{"a", "bc"}),
+		"welcome": appendWelcome(nil, 1, 2, 4, time.Second, 4*time.Second),
 		"goodbye": appendGoodbye(nil, "reason"),
 	}
 	for name, full := range payloads {

@@ -4,16 +4,25 @@
 // bodies against its registered table, gated on its own slot count so a
 // worker shared between clusters can never be oversubscribed, and gossips
 // its occupancy back so the coordinator's load-aware placers see reality.
+//
+// Workers are the expendable half of the fault model: a worker that loses
+// its coordinator reconnects with jittered exponential backoff (RunLoop)
+// and presents its old node id in HELLO, so the coordinator can reset the
+// link's codecs and return the node to service without disturbing the
+// running network.
 package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snet/internal/core"
 	"snet/internal/dist"
@@ -30,19 +39,35 @@ type WorkerConfig struct {
 	// AdvertiseCPUs is the capability reported in HELLO (informational;
 	// the WELCOME's slot count governs the gate). Zero means GOMAXPROCS.
 	AdvertiseCPUs int
+	// ReconnectBase is RunLoop's initial backoff delay, doubling per
+	// consecutive failed attempt (capped at 32×base) with ±50% jitter so
+	// a restarted fleet does not stampede the coordinator. Zero means
+	// 250ms.
+	ReconnectBase time.Duration
+	// Dial overrides how Run reaches the coordinator; tests use it to
+	// route the connection through a fault injector
+	// (internal/faultwire). Nil means net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
 	// Logf, when set, receives one-line progress messages (joins, exec
 	// counts at shutdown). Nil is silent.
 	Logf func(format string, args ...any)
 }
 
+// ErrRetriesExhausted wraps the final connection error when RunLoop gives
+// up: the coordinator stayed unreachable through the whole retry budget.
+// cmd/snetd maps it to a distinct exit code so supervisors can tell
+// "coordinator vanished" from a clean shutdown.
+var ErrRetriesExhausted = errors.New("wire: reconnect attempts exhausted")
+
 // Worker executes box calls on behalf of a coordinator. Register every box
 // body before Run; Run dials, joins, and blocks serving EXEC frames until
-// the coordinator says GOODBYE (nil return) or the connection breaks.
+// the coordinator says GOODBYE (nil return) or the connection breaks —
+// RunLoop adds the reconnect policy on top.
 type Worker struct {
 	cfg   WorkerConfig
 	boxes map[string]core.BoxFunc
 
-	node  int
+	node  int // assigned in WELCOME; presented as the rejoin id afterwards
 	nodes int
 	slots int
 	gate  *dist.Cluster // 1 node × slots: the local execution gate
@@ -50,6 +75,15 @@ type Worker struct {
 	conn net.Conn
 	enc  *dist.Codec // worker → coordinator
 	dec  *dist.Codec // coordinator → worker
+
+	// Heartbeat parameters from WELCOME: the worker bounds its reads with
+	// the liveness timeout and probes a silent coordinator, mirroring the
+	// coordinator's policy toward it.
+	heartbeat time.Duration
+	liveness  time.Duration
+	lastRecv  atomic.Int64 // UnixNano of the last received frame
+
+	joined bool // this Run reached WELCOME (resets RunLoop's budget)
 
 	wmu    sync.Mutex
 	wbuf   []byte
@@ -75,6 +109,10 @@ func (w *Worker) Register(name string, fn core.BoxFunc) {
 // joined; primarily for log lines).
 func (w *Worker) Node() int { return w.node }
 
+// Execs returns how many box calls this worker has completed, across all
+// connections it has held.
+func (w *Worker) Execs() int64 { return w.execs.Load() }
+
 func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
 		w.cfg.Logf(format, args...)
@@ -88,11 +126,64 @@ func (w *Worker) maxFrame() int {
 	return DefaultMaxFrame
 }
 
+func (w *Worker) dial(addr string) (net.Conn, error) {
+	if w.cfg.Dial != nil {
+		return w.cfg.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// RunLoop is Run wrapped in the reconnect policy: a lost connection is
+// redialed with jittered exponential backoff, presenting the worker's
+// node id for a rejoin. maxRetries bounds CONSECUTIVE failed attempts —
+// any connection that reaches WELCOME refills the budget, so a worker
+// that flaps daily retries forever while a vanished coordinator exhausts
+// the budget promptly. Returns nil on GOODBYE (orderly shutdown) or an
+// error wrapping ErrRetriesExhausted.
+func (w *Worker) RunLoop(addr string, maxRetries int) error {
+	failures := 0
+	for {
+		err := w.Run(addr)
+		if err == nil {
+			return nil
+		}
+		if w.joined {
+			failures = 0
+			w.joined = false
+		}
+		if failures >= maxRetries {
+			return fmt.Errorf("%w: coordinator at %s unreachable after %d consecutive attempts: %v",
+				ErrRetriesExhausted, addr, failures+1, err)
+		}
+		failures++
+		delay := w.backoff(failures)
+		w.logf("connection lost (%v); reconnect attempt %d/%d in %v", err, failures, maxRetries, delay)
+		time.Sleep(delay)
+	}
+}
+
+// backoff is the delay before the n-th consecutive failed attempt:
+// base×2^(n-1) capped at 32×base, jittered uniformly over [½d, 1½d].
+func (w *Worker) backoff(failure int) time.Duration {
+	base := w.cfg.ReconnectBase
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	shift := failure - 1
+	if shift > 5 {
+		shift = 5
+	}
+	d := base << shift
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
 // Run dials the coordinator, joins with HELLO, and serves box calls until
 // GOODBYE (nil) or a connection/protocol failure (error). It blocks for
-// the life of the connection.
+// the life of the connection. A worker that has joined before presents
+// its node id (a RE-HELLO), asking for its old slot back.
 func (w *Worker) Run(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	w.joined = false
+	conn, err := w.dial(addr)
 	if err != nil {
 		return err
 	}
@@ -114,7 +205,8 @@ func (w *Worker) Run(addr string) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	if err := w.write(fHello, appendHello(nil, cpus, names)); err != nil {
+	rejoin := w.node
+	if err := w.write(fHello, appendHello(nil, cpus, rejoin, names)); err != nil {
 		return fmt.Errorf("wire: sending HELLO: %w", err)
 	}
 
@@ -139,20 +231,49 @@ func (w *Worker) Run(addr string) error {
 			wm.version, protoVersion)
 	}
 	w.node, w.nodes, w.slots = wm.node, wm.nodes, wm.slots
+	w.heartbeat, w.liveness = wm.heartbeat, wm.liveness
 	if w.slots < 1 {
 		w.slots = 1
 	}
 	w.gate = dist.NewCluster(1, w.slots)
-	w.logf("joined as node %d of %d (%d slots, boxes %v)", w.node, w.nodes, w.slots, names)
+	w.joined = true
+	w.lastRecv.Store(time.Now().UnixNano())
+	if rejoin > 0 {
+		w.logf("rejoined as node %d of %d (%d slots, boxes %v)", w.node, w.nodes, w.slots, names)
+	} else {
+		w.logf("joined as node %d of %d (%d slots, boxes %v)", w.node, w.nodes, w.slots, names)
+	}
+	if w.heartbeat > 0 && w.liveness > 0 {
+		pingerDone := make(chan struct{})
+		pingerExited := make(chan struct{})
+		go func() {
+			defer close(pingerExited)
+			w.pinger(pingerDone, w.heartbeat)
+		}()
+		// Join the pinger before returning: a reconnecting Run rewrites
+		// the connection fields this goroutine touches.
+		defer func() {
+			close(pingerDone)
+			<-pingerExited
+		}()
+	}
 
 	var loopErr error
 	goodbye := false
 	for loopErr == nil && !goodbye {
+		if w.liveness > 0 {
+			conn.SetReadDeadline(time.Now().Add(w.liveness))
+		}
 		typ, payload, err := readFrame(br, w.maxFrame())
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("wire: coordinator silent past the %v liveness timeout", w.liveness)
+			}
 			loopErr = err
 			break
 		}
+		w.lastRecv.Store(time.Now().UnixNano())
 		switch typ {
 		case fExec, fStealGrant:
 			e, err := parseExec(payload)
@@ -183,6 +304,12 @@ func (w *Worker) Run(addr string) error {
 			if _, err := w.dec.UnmarshalBatch(b.batch); err != nil {
 				loopErr = fmt.Errorf("wire: decoding RECORD-BATCH: %w", err)
 			}
+		case fPing:
+			// Answered from the reader, so a worker whose every slot is
+			// busy inside long box executions still proves liveness.
+			w.write(fPong)
+		case fPong:
+			// Nothing beyond the lastRecv refresh above.
 		case fGoodbye:
 			goodbye = true
 		default:
@@ -202,6 +329,27 @@ func (w *Worker) Run(addr string) error {
 		return nil
 	}
 	return loopErr
+}
+
+// pinger probes a receive-idle link from the worker side, mirroring the
+// coordinator's sweep: the PONGs it provokes are what keep the worker's
+// read deadline honest on a link that is healthy but quiet (the
+// coordinator only probes when IT is not hearing from the worker, which
+// is not quite the same condition). Exits with the Run that started it.
+func (w *Worker) pinger(done chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			idle := time.Since(time.Unix(0, w.lastRecv.Load()))
+			if idle >= interval {
+				w.write(fPing)
+			}
+		}
+	}
 }
 
 // execute runs one box call on a gate slot and sends its RESULT, with
@@ -272,10 +420,15 @@ func (w *Worker) write(typ byte, parts ...[]byte) error {
 	return w.writeLocked(typ, parts...)
 }
 
-// writeLocked sends one frame; callers hold wmu.
+// writeLocked sends one frame; callers hold wmu. Writes are bounded by
+// the liveness timeout (once known) so a blackholed link cannot wedge a
+// writer behind a full TCP buffer.
 func (w *Worker) writeLocked(typ byte, parts ...[]byte) error {
 	buf := appendFrame(w.wbuf[:0], typ, parts...)
 	w.wbuf = buf
+	if w.liveness > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.liveness))
+	}
 	_, err := w.conn.Write(buf)
 	return err
 }

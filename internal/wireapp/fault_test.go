@@ -1,0 +1,99 @@
+// Application-level fault tolerance: a real raytrace render survives its
+// worker being killed mid-flight, with the pending solver calls completing
+// on local slots and the image coming out pixel-identical to an
+// undisturbed in-process render. The worker here is in-process (its
+// connection severed via faultwire — indistinguishable, from the
+// coordinator's side, from a SIGKILL), which is what lets the test hold
+// solver calls on a channel and kill the link at a moment it controls
+// exactly; scripts/chaos-smoke.sh kills a real OS process the same way.
+package wireapp
+
+import (
+	"testing"
+	"time"
+
+	"snet/internal/core"
+	"snet/internal/faultwire"
+	"snet/internal/leakcheck"
+	"snet/internal/snetray"
+	"snet/internal/wire"
+)
+
+func TestKilledWorkerRaytracePixelIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	cl, err := wire.Listen("127.0.0.1:0", wire.CoordinatorConfig{
+		Workers: 1, CPUsPerNode: 2, Ext: RaytraceExt(testSpec), JoinTimeout: 20 * time.Second,
+		// Keep the heartbeat sweep inert: this test's kill is an observed
+		// disconnect, not a silent hang (fault_test.go in internal/wire
+		// covers that detector).
+		HeartbeatInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The worker's solver boxes hold every call on a channel until
+	// released — so when the link is severed there is, with certainty, a
+	// remote call pending (the render's placement guarantees at least one
+	// solver execution is granted the worker's node).
+	held := make(chan struct{}, 64)
+	gate := make(chan struct{})
+	var d faultwire.Dialer
+	w := wire.NewWorker(wire.WorkerConfig{Ext: RaytraceExt(testSpec), Dial: d.Dial})
+	for name, fn := range snetray.WorkerBoxes(0) {
+		inner := fn
+		w.Register(name, func(c *core.BoxCall) error {
+			held <- struct{}{}
+			<-gate
+			return inner(c)
+		})
+	}
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- w.Run(cl.Addr().String()) }()
+	if err := cl.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { <-workerErr }()
+
+	cfg := snetray.Config{
+		Scene: testSpec.Build(), W: 80, H: 60,
+		Nodes: 2, CPUs: 2, Tasks: 6,
+		Mode: snetray.DynamicSteal,
+	}
+	distCfg := cfg
+	distCfg.Platform = cl
+	renderDone := make(chan struct{})
+	var got *snetray.Result
+	var renderErr error
+	go func() {
+		defer close(renderDone)
+		got, renderErr = snetray.Render(distCfg)
+	}()
+
+	// Kill the worker while at least one remote solver call is held
+	// mid-execution — its RESULT can never arrive, so the coordinator
+	// MUST fail it over for the render to finish at all.
+	<-held
+	d.Last().Sever()
+	close(gate)
+	<-renderDone
+	if renderErr != nil {
+		t.Fatal(renderErr)
+	}
+
+	want, err := snetray.Render(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Image.Equal(want.Image) {
+		t.Fatal("render with a killed worker differs from the in-process render")
+	}
+	ws := cl.WireStats()
+	if ws.Failovers < 1 {
+		t.Fatalf("no failover recorded despite pending calls at the kill: %+v", ws)
+	}
+	if ws.LiveWorkers != 0 {
+		t.Fatalf("killed worker still counted live: %+v", ws)
+	}
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# chaos-smoke.sh — fault-tolerance smoke test for the wire transport:
+# build snetd with -race, start one coordinator and two workers, SIGKILL
+# one worker while a raytrace render is in flight, and assert that
+#
+#   1. the render still completes, pixel-identical to the in-process
+#      reference (the coordinator process checks this itself and refuses
+#      to print the success line otherwise),
+#   2. at least one pending call was failed over to a local slot,
+#   3. a replacement worker started after the kill rejoins the fleet
+#      (claims the dead node's slot, counted in the rejoins stat),
+#   4. shutdown is clean and every surviving process exits 0.
+#
+# The in-process fault tests (internal/wire, internal/wireapp) prove the
+# same properties deterministically with an injected fault schedule; this
+# script proves them against a real SIGKILL of a real OS process.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build snetd (-race)"
+go build -race -o "$workdir/snetd" ./cmd/snetd
+
+# Scale stretches every solver call (the slot is held for scale× the real
+# render time), so the render spans several seconds and the SIGKILL below
+# is guaranteed to land while calls are pending on the victim.
+ray_flags=(-app raytrace -w 320 -h 240 -tasks 16 -scale 60)
+
+coord_log="$workdir/coord.log"
+"$workdir/snetd" -coordinate -listen 127.0.0.1:0 -workers 2 -cpus 1 \
+    "${ray_flags[@]}" >"$coord_log" 2>&1 &
+coord_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on \(.*\)$/\1/p' "$coord_log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$coord_pid" 2>/dev/null || { cat "$coord_log"; echo "coordinator died before listening"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$coord_log"; echo "coordinator never printed its address"; exit 1; }
+echo "== coordinator on $addr (pid $coord_pid)"
+
+"$workdir/snetd" -connect "$addr" "${ray_flags[@]}" >"$workdir/w1.log" 2>&1 &
+w1_pid=$!
+"$workdir/snetd" -connect "$addr" "${ray_flags[@]}" >"$workdir/w2.log" 2>&1 &
+w2_pid=$!
+
+fail() {
+    echo "== FAIL: $1"
+    echo "-- coordinator:"; cat "$coord_log"
+    echo "-- worker 1:"; cat "$workdir/w1.log"
+    echo "-- worker 2:"; cat "$workdir/w2.log"
+    [ -f "$workdir/w3.log" ] && { echo "-- worker 3 (replacement):"; cat "$workdir/w3.log"; }
+    kill "$coord_pid" "$w1_pid" "$w2_pid" "${w3_pid:-}" 2>/dev/null || true
+    exit 1
+}
+
+# Wait for the render to start, let the fleet get calls in flight, then
+# kill worker 1 the way an OOM killer would.
+for _ in $(seq 1 200); do
+    grep -q '^rendering ' "$coord_log" && break
+    kill -0 "$coord_pid" 2>/dev/null || fail "coordinator died before rendering"
+    sleep 0.1
+done
+grep -q '^rendering ' "$coord_log" || fail "render never started"
+sleep 0.7
+echo "== SIGKILL worker 1 (pid $w1_pid) mid-render"
+kill -9 "$w1_pid"
+
+# Start a replacement immediately: a fresh process (no rejoin id) that
+# should be handed the dead node's slot.
+"$workdir/snetd" -connect "$addr" "${ray_flags[@]}" >"$workdir/w3.log" 2>&1 &
+w3_pid=$!
+echo "== replacement worker started (pid $w3_pid)"
+
+wait "$coord_pid" || fail "coordinator exited nonzero"
+wait "$w2_pid"    || fail "worker 2 exited nonzero"
+wait "$w3_pid"    || fail "replacement worker exited nonzero"
+wait "$w1_pid" 2>/dev/null && fail "SIGKILLed worker exited zero?!"
+
+echo "== coordinator output:"
+cat "$coord_log"
+
+grep -q 'pixel-identical' "$coord_log" || fail "render did not complete pixel-identical"
+grep -q 'shutdown clean' "$coord_log"  || fail "no clean shutdown"
+
+failovers=$(sed -n 's/.*failovers \([0-9]*\),.*/\1/p' "$coord_log" | head -1)
+[ -n "$failovers" ] && [ "$failovers" -ge 1 ] || fail "no failover recorded (failovers=$failovers)"
+rejoins=$(sed -n 's/.*rejoins \([0-9]*\),.*/\1/p' "$coord_log" | head -1)
+[ -n "$rejoins" ] && [ "$rejoins" -ge 1 ] || fail "replacement worker never rejoined (rejoins=$rejoins)"
+grep -q 'joined as node' "$workdir/w3.log" || fail "replacement worker log shows no join"
+
+echo "== chaos smoke OK (failovers=$failovers, rejoins=$rejoins)"
