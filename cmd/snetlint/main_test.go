@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the module root from this file's location, so the
+// test is independent of the working directory `go test` chose.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Join(filepath.Dir(thisFile), "..", "..")
+}
+
+// Seeding violations of every invariant into an overlay tree must make
+// snetlint exit nonzero, naming each analyzer at least once.
+func TestSeededBadTreeExitsNonzero(t *testing.T) {
+	overlay := filepath.Join(repoRoot(t), "internal", "analysis", "testdata", "bad", "src")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-dir", repoRoot(t),
+		"-overlay", overlay,
+		"snet/internal/core", "snet/internal/wire", "snet/internal/stream", "hot",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, name := range []string{"doneselect", "wallclock", "codeclock", "symhot"} {
+		if !strings.Contains(stdout.String(), "["+name+"]") {
+			t.Errorf("seeded-bad tree produced no %s diagnostic:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// -list must enumerate the suite without loading any packages.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	for _, name := range []string{"doneselect", "wallclock", "codeclock", "symhot"} {
+		if !strings.Contains(stdout.String(), name+":") {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package analysis is the registry of the repository's invariant
+// checkers. Each analyzer encodes one hand-kept invariant from the PR
+// history — done-channel cancellability (PR 3), injected clocks (PR 7),
+// codec writes under the link mutex (PR 6), interned-Sym hot paths
+// (PR 2) — as a mechanical check. cmd/snetlint and the self-check test
+// both consume the suite through All, so the CLI and CI can never drift
+// apart on which invariants are enforced. docs/invariants.md is the
+// human-readable catalogue.
+package analysis
+
+import (
+	"snet/internal/analysis/codeclock"
+	"snet/internal/analysis/doneselect"
+	"snet/internal/analysis/framework"
+	"snet/internal/analysis/symhot"
+	"snet/internal/analysis/wallclock"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		codeclock.Analyzer,
+		doneselect.Analyzer,
+		symhot.Analyzer,
+		wallclock.Analyzer,
+	}
+}

@@ -1,0 +1,114 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against `// want "regex"` expectation comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest: every
+// diagnostic must be wanted on its exact file and line, and every want
+// must be matched by a diagnostic. Fixtures live under a testdata/src
+// overlay root, where directory structure doubles as import path — which
+// lets a ten-line stand-in impersonate snet/internal/dist for the
+// analyzers that scope themselves by package path.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snet/internal/analysis/framework"
+)
+
+// wantRE matches the quoted patterns of a `// want "p1" "p2"` comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one unconsumed `// want` pattern.
+type expectation struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+// Run loads the fixture packages at the given import paths from
+// testdata/src, runs the analyzers over them, and reports any mismatch
+// between diagnostics and `// want` comments as test errors.
+func Run(t *testing.T, testdata string, analyzers []*framework.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &framework.Loader{Overlay: filepath.Join(testdata, "src")}
+	diags, err := framework.RunAnalyzers(ld, paths, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := collectWants(t, filepath.Join(testdata, "src"), paths)
+	for _, d := range diags {
+		key := fileLine{filepath.Clean(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s:%d: no diagnostic matching want %s", key.file, key.line, w.raw)
+			}
+		}
+	}
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// collectWants parses each fixture package's sources and indexes its
+// `// want` comments by file and line.
+func collectWants(t *testing.T, srcRoot string, paths []string) map[fileLine][]*expectation {
+	t.Helper()
+	wants := make(map[fileLine][]*expectation)
+	fset := token.NewFileSet()
+	for _, p := range paths {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(p))
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("no fixture sources for %s under %s", p, srcRoot)
+		}
+		for _, fname := range matches {
+			f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", fname, err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					const marker = "// want "
+					idx := strings.Index(c.Text, marker)
+					if idx < 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fileLine{filepath.Clean(pos.Filename), pos.Line}
+					for _, q := range wantRE.FindAllString(c.Text[idx:], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: want pattern %q: %v", pos, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: q})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,15 @@
+package codeclock_test
+
+import (
+	"testing"
+
+	"snet/internal/analysis/analysistest"
+	"snet/internal/analysis/codeclock"
+	"snet/internal/analysis/framework"
+)
+
+func TestCodeclock(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*framework.Analyzer{codeclock.Analyzer},
+		"snet/internal/wire")
+}

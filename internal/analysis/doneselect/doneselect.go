@@ -1,0 +1,159 @@
+// Package doneselect enforces the PR-3 lifecycle invariant on the core
+// runtime: every blocking channel operation in snet/internal/core must be
+// cancellable by the instance's done channel, or it strands a goroutine
+// (and, transitively, a platform CPU slot) when the network is stopped.
+//
+// Concretely, in production code of snet/internal/core:
+//
+//   - a channel send or receive must be a case of a select that also has
+//     a `<-...done` case (ident `done` or selector `.done`) or a
+//     `default` clause (a non-blocking fast path cannot strand anything);
+//   - a bare receive is allowed only from the done channel itself
+//     (waiting for shutdown IS the invariant);
+//   - `for range ch` loops over channels are blocking receives with no
+//     escape and are always flagged.
+//
+// Deliberate escapes — a buffered channel provably sized to its senders —
+// carry a `//lint:reason` comment. This is the mechanical form of the bug
+// family PR 3 fixed by hand: entity goroutines blocked forever on sends
+// into abandoned streams.
+package doneselect
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"snet/internal/analysis/framework"
+)
+
+// corePath is the package this analyzer scopes itself to.
+const corePath = "snet/internal/core"
+
+// Analyzer is the doneselect pass.
+var Analyzer = &framework.Analyzer{
+	Name: "doneselect",
+	Doc: "channel operations in the core runtime must select on the instance done channel " +
+		"(or be non-blocking via default), so Instance.Stop can always reclaim every goroutine",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Path != corePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, f *ast.File) {
+	// First pass: map every comm operation to its select, and classify
+	// each select as guarded (has a done case or a default) or not.
+	commOf := make(map[ast.Node]*ast.SelectStmt)
+	guarded := make(map[*ast.SelectStmt]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		ok = false
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil { // default clause: non-blocking
+				ok = true
+				continue
+			}
+			for _, op := range commNodes(cc.Comm) {
+				commOf[op] = sel
+				if u, isRecv := op.(*ast.UnaryExpr); isRecv && isDoneChan(u.X) {
+					ok = true
+				}
+			}
+		}
+		guarded[sel] = ok
+		return true
+	})
+	unguarded := func(sel *ast.SelectStmt, op ast.Node, kind string) {
+		if guarded[sel] || pass.Allowed(op) || pass.Allowed(sel) {
+			return
+		}
+		pass.Reportf(op.Pos(), "channel %s in a select with neither a done case nor a default: "+
+			"a stopped instance cannot reclaim this goroutine", kind)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if sel, inSelect := commOf[n]; inSelect {
+				unguarded(sel, n, "send")
+			} else if !pass.Allowed(n) {
+				pass.Reportf(n.Pos(), "blocking channel send outside a select with a done case: "+
+					"a stopped instance cannot reclaim this goroutine")
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if sel, inSelect := commOf[n]; inSelect {
+				unguarded(sel, n, "receive")
+				return true
+			}
+			if isDoneChan(n.X) {
+				return true // waiting on done itself is the point
+			}
+			if !pass.Allowed(n) {
+				pass.Reportf(n.Pos(), "blocking channel receive outside a select with a done case: "+
+					"a stopped instance cannot reclaim this goroutine")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !pass.Allowed(n) {
+					pass.Reportf(n.Pos(), "range over a channel blocks with no done escape: "+
+						"use a select with the instance done case instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// commNodes extracts the channel-operation nodes of a select comm
+// statement: the SendStmt itself, or the receive UnaryExprs inside an
+// expression or assignment comm.
+func commNodes(comm ast.Stmt) []ast.Node {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return []ast.Node{s}
+	case *ast.ExprStmt:
+		if u, ok := framework.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return []ast.Node{u}
+		}
+	case *ast.AssignStmt:
+		var out []ast.Node
+		for _, rhs := range s.Rhs {
+			if u, ok := framework.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// isDoneChan reports whether expr denotes the instance done channel by
+// the runtime's naming convention: the identifier `done`, any selector
+// field `.done`, or a call to a method named `Done`.
+func isDoneChan(e ast.Expr) bool {
+	switch e := framework.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "done"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "done"
+	case *ast.CallExpr:
+		if sel, ok := framework.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	}
+	return false
+}

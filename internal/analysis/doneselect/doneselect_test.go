@@ -1,0 +1,15 @@
+package doneselect_test
+
+import (
+	"testing"
+
+	"snet/internal/analysis/analysistest"
+	"snet/internal/analysis/doneselect"
+	"snet/internal/analysis/framework"
+)
+
+func TestDoneselect(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*framework.Analyzer{doneselect.Analyzer},
+		"snet/internal/core")
+}

@@ -1,0 +1,80 @@
+// Fixture impersonating snet/internal/core for the doneselect analyzer:
+// every blocking channel op must be cancellable by the instance done
+// channel.
+package core
+
+type env struct {
+	done chan struct{}
+}
+
+type entity struct {
+	env *env
+	in  chan int
+	out chan int
+}
+
+func (e *entity) goodLoop() {
+	for {
+		select {
+		case v := <-e.in:
+			select {
+			case e.out <- v:
+			case <-e.env.done:
+				return
+			}
+		case <-e.env.done:
+			return
+		}
+	}
+}
+
+func (e *entity) goodNonBlocking() {
+	select {
+	case e.out <- 1:
+	default:
+	}
+}
+
+func (e *entity) goodWaitShutdown() {
+	<-e.env.done
+}
+
+func (e *entity) badSend() {
+	e.out <- 1 // want "blocking channel send outside a select with a done case"
+}
+
+func (e *entity) badRecv() {
+	_ = <-e.in // want "blocking channel receive outside a select with a done case"
+}
+
+func (e *entity) badSelect() {
+	select {
+	case e.out <- 1: // want "channel send in a select with neither a done case nor a default"
+	case v := <-e.in: // want "channel receive in a select with neither a done case nor a default"
+		_ = v
+	}
+}
+
+func (e *entity) badRange() {
+	for v := range e.in { // want "range over a channel blocks with no done escape"
+		_ = v
+	}
+}
+
+//lint:reason the buffer is sized to the single producer and can never fill
+func (e *entity) allowlistedFunc() {
+	e.out <- 2
+}
+
+func (e *entity) allowlistedLine() {
+	e.out <- 3 //lint:reason drained by the caller before Stop is observable
+}
+
+func (e *entity) allowlistedSelect() {
+	//lint:reason both channels are buffered and owned by this goroutine
+	select {
+	case e.out <- 1:
+	case v := <-e.in:
+		_ = v
+	}
+}

@@ -1,0 +1,45 @@
+// The driver: load packages, run every analyzer over each, collect and
+// order diagnostics. This is the multichecker core shared by
+// cmd/snetlint, the analysistest harness, and the self-check tests.
+package framework
+
+import (
+	"sort"
+)
+
+// RunAnalyzers loads the packages matching patterns through ld and runs
+// each analyzer over each loaded package. Analyzers scope themselves (a
+// pass over a package outside an analyzer's remit returns without
+// reporting), so the driver is policy-free. Diagnostics come back sorted
+// by position; a non-nil error means loading or an analyzer itself
+// failed, not that diagnostics were found.
+func RunAnalyzers(ld *Loader, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		checkReasons(pkg, report)
+		for _, a := range analyzers {
+			if err := a.Run(newPass(a, pkg, report)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

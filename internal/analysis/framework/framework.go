@@ -1,0 +1,225 @@
+// Package framework is the minimal analysis driver behind cmd/snetlint: a
+// deliberately small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface this repository's invariant
+// checkers need — Analyzer, Pass, Reportf, and a `//lint:reason`
+// allowlist — built on nothing but the standard library's go/ast and
+// go/types.
+//
+// Why not golang.org/x/tools itself? The repo carries zero external
+// dependencies (go.mod lists none, and the build environments it targets
+// cannot assume a populated module cache), and the four invariants the
+// suite enforces need only a file-at-a-time syntactic walk plus type
+// information — no SSA, no facts, no cross-package analysis. Re-creating
+// the thin slice we use keeps the lint gate hermetic: `go build` is the
+// only prerequisite. The API shapes mirror x/tools on purpose, so if the
+// dependency ever becomes available the analyzers port mechanically.
+//
+// # The allowlist contract
+//
+// A diagnostic site that is deliberate — a default real-time binding of a
+// clock seam, a handshake write on a connection no other goroutine can
+// see yet — is silenced with a `//lint:reason <why>` comment on the same
+// line, on the line directly above, or on the enclosing function's
+// declaration (its doc comment works: the comment ends on the line above
+// the declaration). The reason text is mandatory: a bare `//lint:reason`
+// silences nothing and is itself reported, so every escape from an
+// invariant carries a written justification next to the code it excuses.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker: a name (used in diagnostics and for
+// CLI selection), a one-paragraph contract, and a Run function invoked
+// once per analyzed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass: parsed syntax, type information, and a Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // parsed with comments
+	Path     string      // import path of the package under analysis
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+
+	// reasons maps filename -> line -> reason text for every
+	// `//lint:reason` comment in the package (empty string = missing
+	// reason). allowedFuncs holds the body extent of every function whose
+	// declaration is allowlisted, sorted by start position.
+	reasons      map[string]map[int]string
+	allowedFuncs []posRange
+}
+
+// Diagnostic is one finding, already positioned.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p <= r.hi }
+
+// Reportf records a diagnostic at pos. Allowlisting is the analyzer's
+// decision (call Allowed first): reporting is unconditional so an
+// analyzer can also report misuse of the allowlist itself.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether node n is covered by a `//lint:reason` comment
+// with a non-empty reason: on n's own line, on the line directly above
+// it, or on the declaration of a function whose body contains n.
+func (p *Pass) Allowed(n ast.Node) bool {
+	pos := p.Fset.Position(n.Pos())
+	if lines := p.reasons[pos.Filename]; lines != nil {
+		if r, ok := lines[pos.Line]; ok && r != "" {
+			return true
+		}
+		if r, ok := lines[pos.Line-1]; ok && r != "" {
+			return true
+		}
+	}
+	for _, r := range p.allowedFuncs {
+		if r.contains(n.Pos()) {
+			return true
+		}
+	}
+	return false
+}
+
+// reasonPrefix introduces an allowlist comment. The text after the marker
+// is the justification; it must be non-empty to take effect.
+const reasonPrefix = "//lint:reason"
+
+// newPass builds a Pass for one package, pre-indexing its allowlist
+// comments and allowlisted function bodies.
+func newPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Path:     pkg.Path,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		report:   report,
+		reasons:  make(map[string]map[int]string),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, reasonPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, reasonPrefix))
+				cp := pkg.Fset.Position(c.Pos())
+				if p.reasons[cp.Filename] == nil {
+					p.reasons[cp.Filename] = make(map[int]string)
+				}
+				p.reasons[cp.Filename][cp.Line] = reason
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			dp := pkg.Fset.Position(fd.Pos())
+			lines := p.reasons[dp.Filename]
+			if lines == nil {
+				continue
+			}
+			if r, ok := lines[dp.Line]; ok && r != "" {
+				p.allowedFuncs = append(p.allowedFuncs, posRange{fd.Body.Pos(), fd.Body.End()})
+				continue
+			}
+			if r, ok := lines[dp.Line-1]; ok && r != "" {
+				p.allowedFuncs = append(p.allowedFuncs, posRange{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+	}
+	sort.Slice(p.allowedFuncs, func(i, j int) bool { return p.allowedFuncs[i].lo < p.allowedFuncs[j].lo })
+	return p
+}
+
+// checkReasons reports every bare `//lint:reason` (no justification text)
+// in the package: an allowlist entry without a written reason is a
+// violation of the allowlist contract itself.
+func checkReasons(pkg *Package, report func(Diagnostic)) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, reasonPrefix) {
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, reasonPrefix)) == "" {
+					report(Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lintreason",
+						Message:  "lint:reason without a reason: write why this site is exempt",
+					})
+				}
+			}
+		}
+	}
+}
+
+// Unparen strips parentheses from an expression.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// NamedRecv resolves the (possibly pointer) receiver type of a selector's
+// base expression to (package path, type name) when it is a named type,
+// using the pass's type information. ok is false for unresolvable or
+// unnamed types.
+func (p *Pass) NamedRecv(sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	tv, found := p.Info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return "", "", false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

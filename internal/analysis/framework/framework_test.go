@@ -1,0 +1,58 @@
+package framework_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snet/internal/analysis/framework"
+)
+
+// writeOverlay materializes a map of import path -> file content as an
+// overlay root in a temp dir and returns the root.
+func writeOverlay(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "src")
+	for path, content := range files {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// A bare //lint:reason silences nothing and is itself a diagnostic: the
+// allowlist contract demands a written justification.
+func TestBareReasonReported(t *testing.T) {
+	root := writeOverlay(t, map[string]string{
+		"fixture": "package fixture\n\nfunc f() int {\n\treturn 1 //lint:reason\n}\n",
+	})
+	ld := &framework.Loader{Overlay: root}
+	diags, err := framework.RunAnalyzers(ld, []string{"fixture"}, nil)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "lintreason" || !strings.Contains(diags[0].Message, "without a reason") {
+		t.Errorf("unexpected diagnostic: %v", diags[0])
+	}
+}
+
+// A load failure (package with a type error) must surface as an error,
+// not as an empty diagnostic list that CI would read as a clean pass.
+func TestTypeErrorSurfacesAsError(t *testing.T) {
+	root := writeOverlay(t, map[string]string{
+		"broken": "package broken\n\nfunc f() int { return undefined }\n",
+	})
+	ld := &framework.Loader{Overlay: root}
+	if _, err := framework.RunAnalyzers(ld, []string{"broken"}, nil); err == nil {
+		t.Fatal("expected a type-check error, got nil")
+	}
+}

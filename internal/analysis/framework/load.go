@@ -1,0 +1,341 @@
+// Package loading for the analysis driver: file discovery via `go list`
+// (the one tool every build environment already has), type checking from
+// source via go/types. The loader resolves the full dependency closure —
+// standard library included — by parsing and checking each package's
+// sources in dependency order, so it needs neither export data nor a
+// populated module cache.
+//
+// An overlay root (analysistest fixtures, the seeded-bad CI probe) maps
+// import paths onto plain directories: Overlay/<import path>/ takes
+// priority over `go list` resolution, which is how fixture packages can
+// impersonate the runtime packages the analyzers scope themselves to
+// (e.g. a ten-line stand-in for snet/internal/dist) without touching the
+// real tree.
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages and their dependency closures, memoizing
+// type-checked results so shared dependencies (fmt, time, net) are
+// checked once per Loader no matter how many roots need them.
+type Loader struct {
+	// Dir is the working directory for `go list` (the module root, or any
+	// directory inside the module). Empty means the current directory.
+	Dir string
+	// Overlay, when non-empty, is a directory whose <import path>/
+	// subdirectories provide package sources that take priority over
+	// `go list` resolution.
+	Overlay string
+
+	fset     *token.FileSet
+	listed   map[string]*listPkg
+	pkgs     map[string]*Package
+	roots    map[string]bool // packages that get full type Info
+	checking map[string]bool // cycle guard for overlay graphs
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns — `go list` package patterns (./..., import
+// paths) and overlay import paths — and returns the matched packages,
+// type-checked with full syntax and type information.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	if ld.fset == nil {
+		ld.fset = token.NewFileSet()
+		ld.listed = make(map[string]*listPkg)
+		ld.pkgs = make(map[string]*Package)
+		ld.roots = make(map[string]bool)
+		ld.checking = make(map[string]bool)
+	}
+	var overlayRoots, listPats []string
+	for _, p := range patterns {
+		if ld.overlayDir(p) != "" {
+			overlayRoots = append(overlayRoots, p)
+		} else {
+			listPats = append(listPats, p)
+		}
+	}
+	var rootPaths []string
+	if len(listPats) > 0 {
+		out, err := ld.goList(nil, listPats)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Fields(string(out)) {
+			rootPaths = append(rootPaths, line)
+		}
+	}
+	// The external (non-overlay) packages the overlay roots pull in.
+	external := make(map[string]bool)
+	seen := make(map[string]bool)
+	for _, p := range overlayRoots {
+		if err := ld.scanOverlayImports(p, seen, external); err != nil {
+			return nil, err
+		}
+	}
+	need := append([]string{}, rootPaths...)
+	for p := range external {
+		need = append(need, p)
+	}
+	sort.Strings(need)
+	if len(need) > 0 {
+		if err := ld.listDeps(need); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range rootPaths {
+		ld.roots[p] = true
+	}
+	for _, p := range overlayRoots {
+		ld.roots[p] = true
+	}
+	var out []*Package
+	for _, p := range append(rootPaths, overlayRoots...) {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// overlayDir returns the overlay directory providing import path p, or "".
+func (ld *Loader) overlayDir(p string) string {
+	if ld.Overlay == "" || p == "" || strings.HasPrefix(p, ".") || strings.HasPrefix(p, "/") {
+		return ""
+	}
+	dir := filepath.Join(ld.Overlay, filepath.FromSlash(p))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// scanOverlayImports walks the overlay package graph from path, recording
+// every import that must come from `go list` instead.
+func (ld *Loader) scanOverlayImports(path string, seen, external map[string]bool) error {
+	if seen[path] {
+		return nil
+	}
+	seen[path] = true
+	dir := ld.overlayDir(path)
+	files, err := overlayFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, fname := range files {
+		f, err := parser.ParseFile(token.NewFileSet(), fname, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p == "unsafe" || p == "C" {
+				continue
+			}
+			if ld.overlayDir(p) != "" {
+				if err := ld.scanOverlayImports(p, seen, external); err != nil {
+					return err
+				}
+			} else {
+				external[p] = true
+			}
+		}
+	}
+	return nil
+}
+
+// overlayFiles lists the non-test Go sources of an overlay directory.
+func overlayFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("overlay package directory %s has no Go files", dir)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// goList runs `go list` with the given extra flags and arguments. CGO is
+// disabled so every listed package has a pure-Go file set the source
+// type-checker can fully resolve.
+func (ld *Loader) goList(flags, args []string) ([]byte, error) {
+	cmdArgs := append([]string{"list"}, flags...)
+	cmdArgs = append(cmdArgs, "--")
+	cmdArgs = append(cmdArgs, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = ld.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// listDeps populates ld.listed with the full dependency closure of paths.
+func (ld *Loader) listDeps(paths []string) error {
+	out, err := ld.goList([]string{"-deps", "-json"}, paths)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			return fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		ld.listed[lp.ImportPath] = &lp
+	}
+	return nil
+}
+
+// check type-checks one package (memoized), recursively checking its
+// dependencies first via the importer below.
+func (ld *Loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s (overlay packages must be acyclic)", path)
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+	if path == "unsafe" {
+		pkg := &Package{Path: path, Fset: ld.fset, Types: types.Unsafe}
+		ld.pkgs[path] = pkg
+		return pkg, nil
+	}
+	var dir string
+	var fileNames []string
+	var importMap map[string]string
+	if od := ld.overlayDir(path); od != "" {
+		dir = od
+		var err error
+		fileNames, err = overlayFiles(od)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		lp := ld.listed[path]
+		if lp == nil {
+			return nil, fmt.Errorf("package %s is not in the loaded dependency closure", path)
+		}
+		dir = lp.Dir
+		importMap = lp.ImportMap
+		for _, f := range lp.GoFiles {
+			fileNames = append(fileNames, filepath.Join(lp.Dir, f))
+		}
+	}
+	var files []*ast.File
+	for _, fname := range fileNames {
+		f, err := parser.ParseFile(ld.fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files}
+	var firstErr error
+	conf := types.Config{
+		Importer:    importerFunc(func(p string) (*types.Package, error) { return ld.importFor(p, importMap) }),
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	var info *types.Info
+	if ld.roots[path] {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importFor resolves an import seen inside a package whose `go list`
+// ImportMap is m (vendored std imports like golang.org/x/net resolve
+// through it).
+func (ld *Loader) importFor(path string, m map[string]string) (*types.Package, error) {
+	if mapped, ok := m[path]; ok {
+		path = mapped
+	}
+	pkg, err := ld.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

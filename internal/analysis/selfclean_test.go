@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"snet/internal/analysis/framework"
+)
+
+// The full analyzer suite must come up clean on the tree that ships it:
+// every invariant either holds or carries a written //lint:reason. This
+// is the same run scripts/lint.sh performs in CI.
+func TestSuiteCleanOnOwnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository from source")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+	ld := &framework.Loader{Dir: root}
+	diags, err := framework.RunAnalyzers(ld, []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("running the suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,15 @@
+package symhot_test
+
+import (
+	"testing"
+
+	"snet/internal/analysis/analysistest"
+	"snet/internal/analysis/framework"
+	"snet/internal/analysis/symhot"
+)
+
+func TestSymhot(t *testing.T) {
+	analysistest.Run(t, "testdata",
+		[]*framework.Analyzer{symhot.Analyzer},
+		"hot", "cold")
+}

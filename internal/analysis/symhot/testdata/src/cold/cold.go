@@ -1,0 +1,10 @@
+// A package without the hot marker: string-keyed accessors are fine
+// here and must produce no diagnostics.
+package cold
+
+import "snet/internal/record"
+
+func touch(r *record.Record) {
+	r.SetField("x", 1)
+	_ = r.HasField("x")
+}

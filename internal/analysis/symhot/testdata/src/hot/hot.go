@@ -1,0 +1,18 @@
+//snet:hot
+package hot
+
+import "snet/internal/record"
+
+var xSym = record.Intern("x")
+
+func touch(r *record.Record) {
+	r.SetField("x", 1) // want "string-keyed record.Record.SetField"
+	r.SetFieldSym(xSym, 1)
+	if v, ok := r.Tag("t"); ok { // want "string-keyed record.Record.Tag"
+		_ = v
+	}
+	if v, ok := r.TagSym(xSym); ok {
+		_ = v
+	}
+	r.DeleteTag("debug") //lint:reason cold error path, runs once per failed job
+}

@@ -1,0 +1,29 @@
+// Fixture stand-in for snet/internal/record exposing the string- and
+// Sym-keyed accessor pairs the symhot analyzer pattern-matches.
+package record
+
+type Sym uint32
+
+func Intern(name string) Sym { return 0 }
+
+type Record struct{}
+
+func (r *Record) SetField(name string, v any) {}
+
+func (r *Record) SetFieldSym(s Sym, v any) {}
+
+func (r *Record) SetTag(name string, v int) {}
+
+func (r *Record) SetTagSym(s Sym, v int) {}
+
+func (r *Record) Tag(name string) (int, bool) { return 0, false }
+
+func (r *Record) TagSym(s Sym) (int, bool) { return 0, false }
+
+func (r *Record) HasField(name string) bool { return false }
+
+func (r *Record) HasFieldSym(s Sym) bool { return false }
+
+func (r *Record) DeleteTag(name string) {}
+
+func (r *Record) DeleteTagSym(s Sym) {}

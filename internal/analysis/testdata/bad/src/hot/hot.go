@@ -1,0 +1,9 @@
+//snet:hot
+// Seeded-bad fixture: violates the symhot invariant in a hot package.
+package hot
+
+import "snet/internal/record"
+
+func touch(r *record.Record) {
+	r.SetField("x", 1) // string-keyed accessor in a hot package: symhot must flag this
+}

@@ -1,0 +1,10 @@
+// Seeded-bad fixture: violates the doneselect invariant.
+package core
+
+type entity struct {
+	out chan int
+}
+
+func (e *entity) leak() {
+	e.out <- 1 // bare blocking send: doneselect must flag this
+}

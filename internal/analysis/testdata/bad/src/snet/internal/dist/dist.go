@@ -1,0 +1,6 @@
+// Fixture stand-in for snet/internal/dist (see codeclock).
+package dist
+
+type Codec struct{}
+
+func (c *Codec) Marshal(v any) ([]byte, error) { return nil, nil }

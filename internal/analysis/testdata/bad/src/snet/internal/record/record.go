@@ -1,0 +1,12 @@
+// Fixture stand-in for snet/internal/record (see symhot).
+package record
+
+type Sym uint32
+
+func Intern(name string) Sym { return 0 }
+
+type Record struct{}
+
+func (r *Record) SetField(name string, v any) {}
+
+func (r *Record) SetFieldSym(s Sym, v any) {}

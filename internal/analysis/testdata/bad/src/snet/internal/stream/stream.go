@@ -1,0 +1,9 @@
+// Seeded-bad fixture: violates the wallclock invariant in the stream
+// package scope.
+package stream
+
+import "time"
+
+func waitFlush() {
+	time.Sleep(time.Millisecond) // direct sleep: wallclock must flag this
+}

@@ -1,0 +1,25 @@
+// Seeded-bad fixture: violates the wallclock and codeclock invariants.
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"snet/internal/dist"
+)
+
+type peer struct {
+	wmu   sync.Mutex
+	conn  net.Conn
+	codec *dist.Codec
+}
+
+func (p *peer) stamp() time.Time {
+	return time.Now() // direct wall-clock read: wallclock must flag this
+}
+
+func (p *peer) send(v any) {
+	b, _ := p.codec.Marshal(v) // encode outside p.wmu: codeclock must flag this
+	_, _ = p.conn.Write(b)     // write outside p.wmu: codeclock must flag this
+}

@@ -1,0 +1,10 @@
+// Fixture outside the wallclock analyzer's scope: direct time use is
+// fine here and must produce no diagnostics.
+package other
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Fixture impersonating snet/internal/stream for the wallclock analyzer.
+package stream
+
+import "time"
+
+var now = time.Now //lint:reason default binding of the flush-latency clock seam
+
+func pendingFor(since time.Time) time.Duration {
+	return now().Sub(since)
+}
+
+func bad(since time.Time) time.Duration {
+	return time.Since(since) // want "direct time.Since"
+}

@@ -1,0 +1,45 @@
+// Fixture impersonating snet/internal/wire for the wallclock analyzer:
+// no direct wall-clock reads or timer construction outside the clock
+// seam.
+package wire
+
+import "time"
+
+// Clock is the seam; its default binding is the one sanctioned
+// wall-clock read in the package.
+type Clock struct {
+	NowFn func() time.Time
+}
+
+func (c Clock) Now() time.Time {
+	if c.NowFn != nil {
+		return c.NowFn()
+	}
+	return time.Now() //lint:reason default real-time binding of the clock seam
+}
+
+func bad() {
+	_ = time.Now()                  // want "direct time.Now"
+	time.Sleep(time.Millisecond)    // want "direct time.Sleep"
+	_ = time.Since(time.Time{})     // want "direct time.Since"
+	t := time.NewTimer(time.Second) // want "direct time.NewTimer"
+	_ = t
+	k := time.NewTicker(time.Second) // want "direct time.NewTicker"
+	_ = k
+}
+
+func badValueRef() {
+	now := time.Now // want "direct time.Now"
+	_ = now
+}
+
+func methodsAreFine(a, b time.Time) bool {
+	return a.After(b) // time.Time.After is a method, not a wall-clock read
+}
+
+func allowlistedDeadline() (time.Time, time.Time) {
+	a := time.Now() //lint:reason conn deadlines are compared against real time by the kernel
+	//lint:reason conn deadlines are compared against real time by the kernel
+	b := time.Now()
+	return a, b
+}

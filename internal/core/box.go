@@ -44,6 +44,7 @@ type BoxCall struct {
 
 // Field returns the input field value; it panics when absent (the runtime
 // has already verified the matched variant's labels are present).
+//lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) Field(name string) any { return c.In.MustField(name) }
 
 // FieldSym returns the input field value by interned symbol; it panics when
@@ -57,6 +58,7 @@ func (c *BoxCall) FieldSym(id record.Sym) any {
 }
 
 // Tag returns the input tag value; it panics when absent.
+//lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) Tag(name string) int { return c.In.MustTag(name) }
 
 // TagSym returns the input tag value by interned symbol; it panics when
@@ -71,12 +73,14 @@ func (c *BoxCall) TagSym(id record.Sym) int {
 
 // HasTag reports whether the input record carries the tag (useful for
 // optional, flow-inherited tags).
+//lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) HasTag(name string) bool { return c.In.HasTag(name) }
 
 // HasTagSym reports whether the input record carries the tag symbol.
 func (c *BoxCall) HasTagSym(id record.Sym) bool { return c.In.HasTagSym(id) }
 
 // HasField reports whether the input record carries the field.
+//lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) HasField(name string) bool { return c.In.HasField(name) }
 
 // HasFieldSym reports whether the input record carries the field symbol.

@@ -1,3 +1,4 @@
+//snet:hot
 // Package core implements the S-Net streaming runtime: stateless boxes made
 // into asynchronous stream components, the four SISO network combinators
 // (serial ".." and parallel "|" composition, serial replication "*" and

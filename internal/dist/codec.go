@@ -107,17 +107,17 @@ func Marshal(r *record.Record) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(btags)))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(fields)))
 	for _, k := range tags {
-		v, _ := r.Tag(k)
+		v, _ := r.Tag(k) //lint:reason v1 wire format is name-keyed: labels travel as strings
 		buf = appendLabel(buf, k)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
 	}
 	for _, k := range btags {
-		v, _ := r.BTag(k)
+		v, _ := r.BTag(k) //lint:reason v1 wire format is name-keyed: labels travel as strings
 		buf = appendLabel(buf, k)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
 	}
 	for _, k := range fields {
-		v, _ := r.Field(k)
+		v, _ := r.Field(k) //lint:reason v1 wire format is name-keyed: labels travel as strings
 		buf = appendLabel(buf, k)
 		var err error
 		if buf, err = appendValue(buf, k, v); err != nil {
@@ -183,7 +183,7 @@ func Unmarshal(data []byte) (*record.Record, error) {
 		return nil, err
 	}
 	if version == codecVersion2 {
-		return unmarshalV2(data, make(map[uint64]string), nil)
+		return unmarshalV2(data, make(map[uint64]record.Sym), nil)
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("dist: wire version %d, want %d", version, codecVersion)
@@ -218,14 +218,14 @@ func Unmarshal(data []byte) (*record.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.SetTag(k, v)
+		r.SetTag(k, v) //lint:reason v1 wire format is name-keyed: labels travel as strings
 	}
 	for i := 0; i < int(nBTags); i++ {
 		k, v, err := d.labeledInt()
 		if err != nil {
 			return nil, err
 		}
-		r.SetBTag(k, v)
+		r.SetBTag(k, v) //lint:reason v1 wire format is name-keyed: labels travel as strings
 	}
 	for i := 0; i < int(nFields); i++ {
 		k, err := d.label()
@@ -236,7 +236,7 @@ func Unmarshal(data []byte) (*record.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.SetField(k, v)
+		r.SetField(k, v) //lint:reason v1 wire format is name-keyed: labels travel as strings
 	}
 	if len(d.buf) != d.off {
 		return nil, fmt.Errorf("dist: %d trailing bytes after record", len(d.buf)-d.off)

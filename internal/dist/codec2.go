@@ -62,7 +62,7 @@ type ValueCodec interface {
 type Codec struct {
 	mu      sync.Mutex
 	sent    []bool            // encoder side: sym already defined to the peer
-	names   map[uint64]string // decoder side: wire sym -> label name
+	names   map[uint64]record.Sym // decoder side: wire sym -> interned label
 	predefs []record.Sym      // predict-mode sizing scratch, reused under mu
 	ext     ValueCodec        // optional extension for non-scalar field values
 }
@@ -402,7 +402,7 @@ func (c *Codec) UnmarshalBatch(data []byte) ([]*record.Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.names == nil {
-		c.names = make(map[uint64]string)
+		c.names = make(map[uint64]record.Sym)
 	}
 	d := &decoder{buf: data}
 	version, err := d.byte()
@@ -445,14 +445,14 @@ func (c *Codec) Unmarshal(data []byte) (*record.Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.names == nil {
-		c.names = make(map[uint64]string)
+		c.names = make(map[uint64]record.Sym)
 	}
 	return unmarshalV2(data, c.names, c.ext)
 }
 
 // unmarshalV2 decodes a single-record v2 buffer against the given (mutable)
 // label table.
-func unmarshalV2(data []byte, names map[uint64]string, ext ValueCodec) (*record.Record, error) {
+func unmarshalV2(data []byte, names map[uint64]record.Sym, ext ValueCodec) (*record.Record, error) {
 	d := &decoder{buf: data}
 	version, err := d.byte()
 	if err != nil {
@@ -473,7 +473,7 @@ func unmarshalV2(data []byte, names map[uint64]string, ext ValueCodec) (*record.
 
 // decodeRecordV2 decodes one kind byte plus record body from d — the unit
 // a single-record message carries once and a batch message repeats.
-func decodeRecordV2(d *decoder, names map[uint64]string, ext ValueCodec) (*record.Record, error) {
+func decodeRecordV2(d *decoder, names map[uint64]record.Sym, ext ValueCodec) (*record.Record, error) {
 	kind, err := d.byte()
 	if err != nil {
 		return nil, err
@@ -501,30 +501,34 @@ func decodeRecordV2(d *decoder, names map[uint64]string, ext ValueCodec) (*recor
 	if err != nil {
 		return nil, err
 	}
-	label := func() (string, error) {
+	// Labels resolve to interned Syms: a definition interns its name once,
+	// when it first crosses the link, and every later reference is a map
+	// hit returning the Sym directly — the record accessors below never
+	// touch label strings on the decode hot path.
+	label := func() (record.Sym, error) {
 		ref, err := d.uvarint()
 		if err != nil {
-			return "", err
+			return record.NoSym, err
 		}
 		sym := ref >> 1
 		if ref&1 == 0 {
-			name, ok := names[sym]
+			id, ok := names[sym]
 			if !ok {
-				return "", fmt.Errorf("dist: undefined label symbol %d on this link", sym)
+				return record.NoSym, fmt.Errorf("dist: undefined label symbol %d on this link", sym)
 			}
-			return name, nil
+			return id, nil
 		}
 		n, err := d.uvarint()
 		if err != nil {
-			return "", err
+			return record.NoSym, err
 		}
 		b, err := d.take(int(n))
 		if err != nil {
-			return "", err
+			return record.NoSym, err
 		}
-		name := string(b)
-		names[sym] = name
-		return name, nil
+		id := record.Intern(string(b))
+		names[sym] = id
+		return id, nil
 	}
 	for i := 0; i < int(nTags); i++ {
 		k, err := label()
@@ -535,7 +539,7 @@ func decodeRecordV2(d *decoder, names map[uint64]string, ext ValueCodec) (*recor
 		if err != nil {
 			return nil, err
 		}
-		r.SetTag(k, int(int64(v)))
+		r.SetTagSym(k, int(int64(v)))
 	}
 	for i := 0; i < int(nBTags); i++ {
 		k, err := label()
@@ -546,18 +550,18 @@ func decodeRecordV2(d *decoder, names map[uint64]string, ext ValueCodec) (*recor
 		if err != nil {
 			return nil, err
 		}
-		r.SetBTag(k, int(int64(v)))
+		r.SetBTagSym(k, int(int64(v)))
 	}
 	for i := 0; i < int(nFields); i++ {
 		k, err := label()
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.value(k, ext)
+		v, err := d.value(record.SymName(k), ext)
 		if err != nil {
 			return nil, err
 		}
-		r.SetField(k, v)
+		r.SetFieldSym(k, v)
 	}
 	return r, nil
 }

@@ -1,3 +1,4 @@
+//snet:hot
 // Package dist implements the Distributed S-Net platform: an abstract
 // cluster of compute nodes underneath the placement combinators "@" and
 // "!@". The paper maps one S-Net network onto a multi-node installation by

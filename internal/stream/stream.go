@@ -1,3 +1,4 @@
+//snet:hot
 // Package stream implements the batched record transport that connects
 // S-Net entities. A Link replaces the raw one-record-per-channel-op handoff
 // (two scheduler wakeups per hop) with reusable batches of records: senders
@@ -55,6 +56,10 @@ const (
 	// FlushInterval zero.
 	DefaultFlushInterval = 200 * time.Microsecond
 )
+
+// now is the package's clock seam: the linger-flush deadline reads time
+// through it so tests can pin flush-latency decisions to synthetic time.
+var now = time.Now //lint:reason default real-time binding of the clock seam
 
 // Config fixes a Link's batching behavior at creation time.
 type Config struct {
@@ -334,9 +339,9 @@ func (l *Link) flushCause() *int64 {
 		return &l.idleFlushes
 	case l.linger > 0:
 		if !l.pendStamped {
-			l.pendAt = time.Now()
+			l.pendAt = now()
 			l.pendStamped = true
-		} else if n&3 == 0 && time.Since(l.pendAt) >= l.linger {
+		} else if n&3 == 0 && now().Sub(l.pendAt) >= l.linger {
 			return &l.timeFlushes
 		}
 	}

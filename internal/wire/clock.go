@@ -1,0 +1,92 @@
+// The clock seam: every wall-clock read and timer construction in this
+// package flows through Clock, so the fault detectors — heartbeat sweep,
+// liveness timeout, call deadlines, quarantine cool-down, reconnect
+// backoff — can be driven by synthetic time in deterministic tests. The
+// wallclock analyzer (internal/analysis/wallclock) enforces this
+// mechanically; the default real-time bindings below are the package's
+// only sanctioned direct uses of the time package, besides net.Conn
+// deadline arithmetic (the kernel compares deadlines against real time,
+// so a synthetic cluster clock must never shift those).
+package wire
+
+import "time"
+
+// Clock is an injectable time source. The zero value reads real time and
+// builds real timers; tests override individual hooks (usually just
+// NowFn) to drive time by hand.
+type Clock struct {
+	// NowFn overrides Now. Nil means time.Now.
+	NowFn func() time.Time
+	// TimerFn overrides NewTimer. Nil means time.NewTimer.
+	TimerFn func(d time.Duration) *Timer
+	// TickerFn overrides NewTicker. Nil means time.NewTicker.
+	TickerFn func(d time.Duration) *Ticker
+	// AfterFn overrides AfterFunc. Nil means time.AfterFunc.
+	AfterFn func(d time.Duration, f func()) *Timer
+}
+
+// Now returns the current time as the clock sees it.
+func (c Clock) Now() time.Time {
+	if c.NowFn != nil {
+		return c.NowFn()
+	}
+	return time.Now() //lint:reason default real-time binding of the clock seam
+}
+
+// Since is time.Since against this clock.
+func (c Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// NewTimer is time.NewTimer against this clock.
+func (c Clock) NewTimer(d time.Duration) *Timer {
+	if c.TimerFn != nil {
+		return c.TimerFn(d)
+	}
+	t := time.NewTimer(d) //lint:reason default real-time binding of the clock seam
+	return &Timer{C: t.C, StopFn: t.Stop}
+}
+
+// NewTicker is time.NewTicker against this clock.
+func (c Clock) NewTicker(d time.Duration) *Ticker {
+	if c.TickerFn != nil {
+		return c.TickerFn(d)
+	}
+	t := time.NewTicker(d) //lint:reason default real-time binding of the clock seam
+	return &Ticker{C: t.C, StopFn: t.Stop}
+}
+
+// AfterFunc is time.AfterFunc against this clock.
+func (c Clock) AfterFunc(d time.Duration, f func()) *Timer {
+	if c.AfterFn != nil {
+		return c.AfterFn(d, f)
+	}
+	t := time.AfterFunc(d, f) //lint:reason default real-time binding of the clock seam
+	return &Timer{C: t.C, StopFn: t.Stop}
+}
+
+// Timer mirrors time.Timer behind the seam.
+type Timer struct {
+	C      <-chan time.Time
+	StopFn func() bool
+}
+
+// Stop stops the timer; it reports whether the stop preempted the fire,
+// like time.Timer.Stop.
+func (t *Timer) Stop() bool {
+	if t.StopFn != nil {
+		return t.StopFn()
+	}
+	return false
+}
+
+// Ticker mirrors time.Ticker behind the seam.
+type Ticker struct {
+	C      <-chan time.Time
+	StopFn func()
+}
+
+// Stop stops the ticker.
+func (t *Ticker) Stop() {
+	if t.StopFn != nil {
+		t.StopFn()
+	}
+}

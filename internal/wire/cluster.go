@@ -85,10 +85,10 @@ type CoordinatorConfig struct {
 	// deaths, rejoins, quarantines). Nil is silent.
 	Logf func(format string, args ...any)
 
-	// clock overrides the cluster's time source; tests use it to drive
-	// heartbeat and quarantine decisions with synthetic times. Nil means
-	// time.Now.
-	clock func() time.Time
+	// Clock overrides the cluster's time source and timer construction;
+	// tests use it to drive heartbeat, quarantine, and call-deadline
+	// decisions with synthetic time. The zero value reads real time.
+	Clock Clock
 }
 
 // WireStats are the transport-level counters of a coordinator — the
@@ -160,7 +160,7 @@ type Cluster struct {
 	everUp    []bool // this slot has completed a join at least once
 	joined    int
 	readyOnce sync.Once
-	joinTimer *time.Timer
+	joinTimer *Timer
 
 	reqSeq    atomic.Uint64
 	wg        sync.WaitGroup
@@ -311,7 +311,7 @@ func Serve(ln net.Listener, cfg CoordinatorConfig) (*Cluster, error) {
 			c.links[i].dec.SetValueCodec(cfg.Ext)
 		}
 	}
-	c.joinTimer = time.AfterFunc(cfg.JoinTimeout, func() {
+	c.joinTimer = cfg.Clock.AfterFunc(cfg.JoinTimeout, func() {
 		c.joinMu.Lock()
 		n := c.joined
 		c.joinMu.Unlock()
@@ -455,6 +455,7 @@ func (c *Cluster) revertJoin(node int) {
 // label from scratch — and its gossiped load is re-seeded, returning the
 // node to the schedulable set with a clean slate.
 func (c *Cluster) admit(conn net.Conn) (*peer, error) {
+	//lint:reason conn deadlines are compared against real time by the kernel, never against the cluster clock
 	conn.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
 	br := bufio.NewReaderSize(conn, 64<<10)
 	typ, payload, err := readFrame(br, c.cfg.MaxFrame)
@@ -471,18 +472,18 @@ func (c *Cluster) admit(conn net.Conn) (*peer, error) {
 	if h.version != protoVersion {
 		reason := fmt.Sprintf("protocol version %d not supported; coordinator speaks version %d",
 			h.version, protoVersion)
-		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, reason)))
+		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, reason))) //lint:reason handshake rejection: no other goroutine can reach this conn yet, so there is no write order to protect
 		return nil, fmt.Errorf("wire: %s", reason)
 	}
 	node, replace, err := c.assignNode(h.node)
 	if err != nil {
-		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, err.Error())))
+		conn.Write(appendFrame(nil, fGoodbye, appendGoodbye(nil, err.Error()))) //lint:reason handshake rejection: no other goroutine can reach this conn yet, so there is no write order to protect
 		return nil, err
 	}
 	if old := c.peers[node-1].Load(); old != nil {
 		// Wait for the dead predecessor's reader to unwind so its final
 		// decodes cannot interleave with the codec Reset below.
-		t := time.NewTimer(c.cfg.HandshakeTimeout)
+		t := c.cfg.Clock.NewTimer(c.cfg.HandshakeTimeout)
 		select {
 		case <-old.done:
 			t.Stop()
@@ -512,7 +513,7 @@ func (c *Cluster) admit(conn net.Conn) (*peer, error) {
 	}
 	p.lastRecv.Store(c.now().UnixNano())
 	p.wmu.Lock()
-	err = p.write(fWelcome, appendWelcome(nil, node, c.model.Nodes(), c.cfg.CPUsPerNode,
+	err = p.writeLocked(fWelcome, appendWelcome(nil, node, c.model.Nodes(), c.cfg.CPUsPerNode,
 		c.cfg.HeartbeatInterval, c.cfg.LivenessTimeout))
 	p.wmu.Unlock()
 	if err != nil {
@@ -603,14 +604,16 @@ func (c *Cluster) serve(p *peer) {
 	}
 }
 
-// write sends one frame; callers hold p.wmu. Writes are bounded by the
-// liveness timeout so a peer whose TCP buffer has filled (a hung reader)
-// cannot wedge the writer — the deadline expiry marks the peer dead and
-// the reader unwinds it. A write failure marks the peer dead the same way.
-func (p *peer) write(typ byte, parts ...[]byte) error {
+// writeLocked sends one frame; callers hold p.wmu. Writes are bounded by
+// the liveness timeout so a peer whose TCP buffer has filled (a hung
+// reader) cannot wedge the writer — the deadline expiry marks the peer
+// dead and the reader unwinds it. A write failure marks the peer dead
+// the same way.
+func (p *peer) writeLocked(typ byte, parts ...[]byte) error {
 	buf := appendFrame(p.wbuf[:0], typ, parts...)
 	p.wbuf = buf
 	if lt := p.c.cfg.LivenessTimeout; lt > 0 {
+		//lint:reason conn deadlines are compared against real time by the kernel, never against the cluster clock
 		p.conn.SetWriteDeadline(time.Now().Add(lt))
 	}
 	if _, err := p.conn.Write(buf); err != nil {
@@ -675,7 +678,7 @@ func (p *peer) sendExec(req uint64, home int, stolen bool, box string, input *re
 	if stolen {
 		typ = fStealGrant
 	}
-	return p.write(typ, hdr, rec)
+	return p.writeLocked(typ, hdr, rec)
 }
 
 func (p *peer) sendGoodbye(reason string) {
@@ -686,7 +689,7 @@ func (p *peer) sendGoodbye(reason string) {
 	}
 	g := appendGoodbye(p.hdrBuf[:0], reason)
 	p.hdrBuf = g
-	p.write(fGoodbye, g)
+	p.writeLocked(fGoodbye, g)
 }
 
 // sendPing probes a link the coordinator has not heard from; the worker
@@ -698,7 +701,7 @@ func (p *peer) sendPing() {
 	if p.dead.Load() {
 		return
 	}
-	p.write(fPing)
+	p.writeLocked(fPing)
 }
 
 func (p *peer) sendPong() {
@@ -707,7 +710,7 @@ func (p *peer) sendPong() {
 	if p.dead.Load() {
 		return
 	}
-	p.write(fPong)
+	p.writeLocked(fPong)
 }
 
 // norm maps an arbitrary node index onto a real node, like the model does.
@@ -803,7 +806,7 @@ func (c *Cluster) mirror(from, to int, rs []*record.Record) {
 	}
 	hdr := appendBatchHeader(p.hdrBuf[:0], f, t)
 	p.hdrBuf = hdr
-	if p.write(fBatch, hdr, data) == nil {
+	if p.writeLocked(fBatch, hdr, data) == nil {
 		c.mirroredBatches.Add(1)
 	}
 }
@@ -913,7 +916,7 @@ func (c *Cluster) tryCall(p *peer, home int, stolen bool, box string, input *rec
 		}
 		return res.outs, res.err, true
 	}
-	t := time.NewTimer(c.cfg.CallTimeout)
+	t := c.cfg.Clock.NewTimer(c.cfg.CallTimeout)
 	defer t.Stop()
 	select {
 	case res := <-ch:
@@ -1020,6 +1023,7 @@ func (c *Cluster) Close() error {
 			// The reader exits on the worker's GOODBYE ack or, if the
 			// worker never answers, on this deadline — either way every
 			// goroutine is reclaimed.
+			//lint:reason conn deadlines are compared against real time by the kernel, never against the cluster clock
 			p.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
 		}
 	})

@@ -16,7 +16,7 @@ import (
 	"snet/internal/record"
 )
 
-// fakeClock is a hand-advanced time source for CoordinatorConfig.clock.
+// fakeClock is a hand-advanced time source for CoordinatorConfig.Clock.
 type fakeClock struct {
 	mu sync.Mutex
 	t  time.Time
@@ -85,7 +85,7 @@ func TestHungPeerDetectedByHeartbeat(t *testing.T) {
 		// An hour-scale interval keeps the background ticker inert: every
 		// sweep in this test is explicit, at a manufactured time.
 		HeartbeatInterval: time.Hour, // liveness defaults to 4h
-		clock:             fc.now,
+		Clock:             Clock{NowFn: fc.now},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestCallTimeoutQuarantineAndProbeBack(t *testing.T) {
 		FaultLimit:         2,
 		FaultWindow:        24 * time.Hour,
 		QuarantineCooldown: time.Hour,
-		clock:              fc.now,
+		Clock:              Clock{NowFn: fc.now},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -114,16 +114,13 @@ func (c *Cluster) probeDue(node int, now time.Time) bool {
 // now is the cluster's clock: time.Now in production, a synthetic clock in
 // the deterministic fault tests.
 func (c *Cluster) now() time.Time {
-	if c.cfg.clock != nil {
-		return c.cfg.clock()
-	}
-	return time.Now()
+	return c.cfg.Clock.Now()
 }
 
 // heartbeatLoop drives one sweep per heartbeat interval until Close.
 func (c *Cluster) heartbeatLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	t := c.cfg.Clock.NewTicker(c.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
 		select {

@@ -51,6 +51,10 @@ type WorkerConfig struct {
 	// Logf, when set, receives one-line progress messages (joins, exec
 	// counts at shutdown). Nil is silent.
 	Logf func(format string, args ...any)
+	// Clock overrides the worker's time source and timer construction;
+	// tests use it to drive the pinger, liveness stamps, and reconnect
+	// backoff with synthetic time. The zero value reads real time.
+	Clock Clock
 }
 
 // ErrRetriesExhausted wraps the final connection error when RunLoop gives
@@ -158,7 +162,7 @@ func (w *Worker) RunLoop(addr string, maxRetries int) error {
 		failures++
 		delay := w.backoff(failures)
 		w.logf("connection lost (%v); reconnect attempt %d/%d in %v", err, failures, maxRetries, delay)
-		time.Sleep(delay)
+		<-w.cfg.Clock.NewTimer(delay).C
 	}
 }
 
@@ -237,7 +241,7 @@ func (w *Worker) Run(addr string) error {
 	}
 	w.gate = dist.NewCluster(1, w.slots)
 	w.joined = true
-	w.lastRecv.Store(time.Now().UnixNano())
+	w.lastRecv.Store(w.cfg.Clock.Now().UnixNano())
 	if rejoin > 0 {
 		w.logf("rejoined as node %d of %d (%d slots, boxes %v)", w.node, w.nodes, w.slots, names)
 	} else {
@@ -262,6 +266,7 @@ func (w *Worker) Run(addr string) error {
 	goodbye := false
 	for loopErr == nil && !goodbye {
 		if w.liveness > 0 {
+			//lint:reason conn deadlines are compared against real time by the kernel, never against the injected clock
 			conn.SetReadDeadline(time.Now().Add(w.liveness))
 		}
 		typ, payload, err := readFrame(br, w.maxFrame())
@@ -273,7 +278,7 @@ func (w *Worker) Run(addr string) error {
 			loopErr = err
 			break
 		}
-		w.lastRecv.Store(time.Now().UnixNano())
+		w.lastRecv.Store(w.cfg.Clock.Now().UnixNano())
 		switch typ {
 		case fExec, fStealGrant:
 			e, err := parseExec(payload)
@@ -337,14 +342,14 @@ func (w *Worker) Run(addr string) error {
 // coordinator only probes when IT is not hearing from the worker, which
 // is not quite the same condition). Exits with the Run that started it.
 func (w *Worker) pinger(done chan struct{}, interval time.Duration) {
-	t := time.NewTicker(interval)
+	t := w.cfg.Clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-done:
 			return
 		case <-t.C:
-			idle := time.Since(time.Unix(0, w.lastRecv.Load()))
+			idle := w.cfg.Clock.Since(time.Unix(0, w.lastRecv.Load()))
 			if idle >= interval {
 				w.write(fPing)
 			}
@@ -427,6 +432,7 @@ func (w *Worker) writeLocked(typ byte, parts ...[]byte) error {
 	buf := appendFrame(w.wbuf[:0], typ, parts...)
 	w.wbuf = buf
 	if w.liveness > 0 {
+		//lint:reason conn deadlines are compared against real time by the kernel, never against the injected clock
 		w.conn.SetWriteDeadline(time.Now().Add(w.liveness))
 	}
 	_, err := w.conn.Write(buf)

@@ -1,0 +1,122 @@
+// Application-level exercise of the wire.Clock seam: the coordinator's
+// entire fault detector — heartbeat ticker AND wall-clock reads — is
+// driven by a synthetic clock injected through the public
+// CoordinatorConfig.Clock, with a real pipeline running over a real
+// socket underneath. No sleeps, no unexported hooks: detection happens
+// exactly when the test advances time and fires a tick, and the
+// application keeps completing runs afterwards on local slots.
+package wireapp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"snet/internal/leakcheck"
+	"snet/internal/wire"
+)
+
+// syntheticClock is a hand-advanced wire.Clock: Now reads a settable
+// time, and the heartbeat ticker fires only when the test says so.
+type syntheticClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	tick chan time.Time
+}
+
+func newSyntheticClock() *syntheticClock {
+	return &syntheticClock{t: time.Unix(5_000_000, 0), tick: make(chan time.Time, 1)}
+}
+
+func (s *syntheticClock) now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t
+}
+
+func (s *syntheticClock) advance(d time.Duration) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t = s.t.Add(d)
+	return s.t
+}
+
+// clock assembles the wire.Clock: synthetic Now, and a ticker whose
+// channel the test feeds by hand (interval is irrelevant).
+func (s *syntheticClock) clock() wire.Clock {
+	return wire.Clock{
+		NowFn: s.now,
+		TickerFn: func(time.Duration) *wire.Ticker {
+			return &wire.Ticker{C: s.tick, StopFn: func() {}}
+		},
+	}
+}
+
+func TestSyntheticClockDrivesLivenessOverRealPipeline(t *testing.T) {
+	leakcheck.Check(t)
+	sc := newSyntheticClock()
+	cl, err := wire.Listen("127.0.0.1:0", wire.CoordinatorConfig{
+		Workers: 1, CPUsPerNode: 2, JoinTimeout: 20 * time.Second,
+		HeartbeatInterval: time.Second,
+		LivenessTimeout:   4 * time.Second,
+		Clock:             sc.clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	w := wire.NewWorker(wire.WorkerConfig{})
+	for name, fn := range PipelineWorkerBoxes(0) {
+		w.Register(name, fn)
+	}
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- w.Run(cl.Addr().String()) }()
+	if err := cl.WaitReady(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { <-workerErr }()
+
+	// A full pipeline run with the fleet healthy: records cross the
+	// socket, fuse executes remotely. Synthetic time never moves, so the
+	// detector cannot misfire mid-run.
+	const seqs = 6
+	res, err := RunPipeline(cl, seqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != ExpectedPipelineSum(seqs) {
+		t.Fatalf("healthy run sum = %d, want %d", res.Sum, ExpectedPipelineSum(seqs))
+	}
+	if ws := cl.WireStats(); ws.LiveWorkers != 1 {
+		t.Fatalf("worker not live after a successful run: %+v", ws)
+	}
+
+	// Advance past the liveness timeout and fire exactly one heartbeat
+	// tick: the sweep must compare the synthetic idle time against the
+	// stamps it recorded with the same clock and declare the worker dead —
+	// no wall-clock time has passed at all.
+	sc.advance(5 * time.Second)
+	sc.tick <- sc.now()
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.WireStats().LiveWorkers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never declared dead: %+v", cl.WireStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-workerErr; err == nil {
+		t.Fatal("worker Run returned nil after its connection was declared dead")
+	}
+	workerErr <- nil // keep the deferred drain non-blocking
+
+	// The application survives its only worker's death: the next run
+	// completes on the coordinator's local slots.
+	res, err = RunPipeline(cl, seqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != ExpectedPipelineSum(seqs) {
+		t.Fatalf("post-death run sum = %d, want %d", res.Sum, ExpectedPipelineSum(seqs))
+	}
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Lint gate: go vet plus snetlint, the repository's invariant analyzer
+# suite (internal/analysis; catalogued in docs/invariants.md). Exits
+# nonzero on any diagnostic from either tool, which is what makes the
+# hand-kept invariants — done-channel cancellability, injected clocks,
+# codec writes under the link mutex, interned-Sym hot paths — regressions
+# a PR cannot merge with silently.
+#
+# The snetlint binary is built into a cache directory keyed by nothing
+# (the go build cache does the real incremental work), so repeat runs —
+# and the CI step, with the setup-go build cache restored — pay seconds,
+# not a full rebuild.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== snetlint =="
+BIN="${SNETLINT_BIN:-$(go env GOCACHE)/snetlint-bin/snetlint}"
+mkdir -p "$(dirname "$BIN")"
+go build -o "$BIN" ./cmd/snetlint
+"$BIN" ./...
+
+echo "lint: clean"
