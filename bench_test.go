@@ -593,6 +593,180 @@ func BenchmarkSimnetDynamic(b *testing.B) {
 	}
 }
 
+// --- Network optimizer: fused vs as-constructed instantiation ------------
+
+// The fuse benches put a number on what the instantiation-time optimizer
+// (snet.Options.Optimize, see docs/performance.md "Optimizer") buys: the
+// same network, same record stream, instantiated with the full rewrite
+// catalogue versus OptimizeOff. Each pair reports entities/op — the number
+// of entities the instantiation actually spawns — so the recorded
+// BENCH_fuse.json trajectory shows the structural reduction next to ns/op
+// and allocs/op.
+
+// fuseStamp builds [ {} -> {<name=v>} ], the fine-grained coordination
+// stage the fuse pipeline is made of.
+func fuseStamp(name string, v int) *snet.Entity {
+	return snet.NewFilter("", snet.FilterRule{
+		Pattern: snet.NewPattern(snet.NewVariant()),
+		Outputs: []snet.FilterOutput{{SetTags: []snet.TagAssign{{
+			Name: name,
+			Expr: func(*snet.Record) int { return v },
+			Src:  name,
+		}}}},
+	})
+}
+
+// fusePipeline is a deliberately fine-grained pipeline: identities and
+// single-rule filters sandwiching two real boxes — the shape a compiled
+// S-Net program produces when every semantic step is its own entity. The
+// optimizer elides the identities, fuses the filter runs into their
+// neighbouring boxes, and spawns 3 entities where the tree spawns 21.
+func fusePipeline() *snet.Entity {
+	symX := snet.InternLabel("x")
+	sig := snet.MustSig([]snet.Label{snet.F("x")}, []snet.Label{snet.F("x")})
+	box := func(name string) *snet.Entity {
+		return snet.NewBox(name, sig, func(c *snet.BoxCall) error {
+			c.Emit(c.NewRecord().SetFieldSym(symX, c.FieldSym(symX)))
+			return nil
+		})
+	}
+	return snet.SerialAll(
+		snet.Identity(), fuseStamp("p", 1), fuseStamp("q", 2), box("b0"),
+		snet.Identity(), fuseStamp("r", 3), snet.Identity(), fuseStamp("s", 4),
+		box("b1"), fuseStamp("t", 5), snet.Identity())
+}
+
+// fuseLadder adds dispatch structure: a guarded choice whose catch-all
+// branch is dominated (pruned after a widening box) feeding a nested
+// deterministic choice — the flattening and short-circuit half of the
+// catalogue.
+func fuseLadder() *snet.Entity {
+	symX := snet.InternLabel("x")
+	sig := snet.MustSig([]snet.Label{snet.F("x")}, []snet.Label{snet.F("x")})
+	widen := snet.NewBox("widen", sig, func(c *snet.BoxCall) error {
+		c.Emit(c.NewRecord().SetFieldSym(symX, c.FieldSym(symX)))
+		return nil
+	})
+	guard := snet.NewFilter("", snet.FilterRule{
+		Pattern: snet.NewPattern(snet.NewVariant(snet.F("x"))),
+		Outputs: []snet.FilterOutput{{CopyFields: []string{"x"}}},
+	})
+	return snet.SerialAll(
+		widen,
+		snet.Choice(snet.Serial(guard, fuseStamp("p", 1)), snet.Identity()),
+		snet.DetChoice(
+			snet.DetChoice(
+				snet.Serial(guard, fuseStamp("q", 1)),
+				snet.Serial(guard, fuseStamp("r", 2))),
+			snet.Serial(guard, fuseStamp("t", 3))))
+}
+
+// benchFuse drives records batches through build()'s network at the given
+// optimizer level. Both sides report entities/op: the optimized side its
+// post-rewrite count, the reference side the entity count of the tree as
+// constructed (read off a throwaway optimized instantiation's
+// EntitiesBefore — the un-optimized network spawns exactly that many).
+func benchFuse(b *testing.B, build func() *snet.Entity, lvl snet.OptimizeLevel) {
+	net := snet.NewNetwork(build(), snet.Options{Optimize: lvl})
+	entities := float64(net.OptStats().EntitiesAfter)
+	if lvl == snet.OptimizeOff {
+		entities = float64(snet.NewNetwork(build(), snet.Options{}).OptStats().EntitiesBefore)
+	}
+	symX := snet.InternLabel("x")
+	pool := snet.NewRecordPool()
+	const records = 1000
+	ins := make([]*snet.Record, records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ins {
+			ins[j] = pool.Get().SetFieldSym(symX, j)
+		}
+		outs, err := net.Run(ins...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != records {
+			b.Fatalf("lost records: %d", len(outs))
+		}
+		for _, o := range outs {
+			pool.Put(o)
+		}
+	}
+	b.ReportMetric(entities, "entities/op")
+}
+
+// BenchmarkLiveFusePipelineFull runs the fine-grained pipeline with the
+// optimizer on: identities elided, filters fused into the boxes.
+func BenchmarkLiveFusePipelineFull(b *testing.B) {
+	benchFuse(b, fusePipeline, snet.OptimizeFull)
+}
+
+// BenchmarkLiveFusePipelineOff is its as-constructed reference: one
+// goroutine pair and one stream hop per tree entity.
+func BenchmarkLiveFusePipelineOff(b *testing.B) {
+	benchFuse(b, fusePipeline, snet.OptimizeOff)
+}
+
+// BenchmarkLiveFuseLadderFull runs the dispatch ladder with the optimizer
+// on: nested det-choices flattened, the dominated catch-all pruned and the
+// remaining single-branch choice short-circuited into the pipeline.
+func BenchmarkLiveFuseLadderFull(b *testing.B) {
+	benchFuse(b, fuseLadder, snet.OptimizeFull)
+}
+
+// BenchmarkLiveFuseLadderOff is the ladder's as-constructed reference.
+func BenchmarkLiveFuseLadderOff(b *testing.B) {
+	benchFuse(b, fuseLadder, snet.OptimizeOff)
+}
+
+// BenchmarkLiveFuseRenderFull is the application-level pair: the Fig. 2
+// static render network with the optimizer on (the default every other
+// bench in this file inherits).
+func BenchmarkLiveFuseRenderFull(b *testing.B) {
+	benchFuseRender(b, snet.OptimizeFull)
+}
+
+// BenchmarkLiveFuseRenderOff renders with the network spawned exactly as
+// compiled.
+func BenchmarkLiveFuseRenderOff(b *testing.B) {
+	benchFuseRender(b, snet.OptimizeOff)
+}
+
+func benchFuseRender(b *testing.B, lvl snet.OptimizeLevel) {
+	scene := liveScene()
+	entities := -1.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := snetray.Render(snetray.Config{
+			Scene: scene, W: liveW, H: liveH,
+			Nodes: 4, CPUs: 1, Tasks: 8, Mode: snetray.Static,
+			Optimize: lvl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Opt.Enabled {
+			entities = float64(res.Opt.EntitiesAfter)
+		}
+	}
+	if lvl == snet.OptimizeOff {
+		// The un-optimized instantiation spawns the tree as compiled; read
+		// its size off one untimed optimized compile of the same network.
+		b.StopTimer()
+		res, err := snetray.Render(snetray.Config{
+			Scene: scene, W: 8, H: 8,
+			Nodes: 4, CPUs: 1, Tasks: 8, Mode: snetray.Static,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		entities = float64(res.Opt.EntitiesBefore)
+		b.StartTimer()
+	}
+	b.ReportMetric(entities, "entities/op")
+}
+
 // --- Multi-process transport: loopback TCP vs in-process platform --------
 
 // The wire benches put a number on what the transport costs: the same

@@ -303,6 +303,14 @@ func (c *compiler) checkSerialFlow(l, r *core.Entity) {
 				l.Name(), r.Name(), v, l.Name(), r.Name(), r.Signature().In)
 		}
 	}
+	// The static form of the optimizer's branch pruning (core.Optimize):
+	// a choice branch no upstream record can ever win dispatch for is
+	// almost certainly a programming mistake — the branch compiles, spawns
+	// and never fires.
+	for _, b := range core.DeadBranches(l, r) {
+		c.warnf("serial %s..%s: branch %s can never win dispatch for any record of %s's output type %s; the optimizer prunes it",
+			l.Name(), r.Name(), b, l.Name(), l.Signature().Out)
+	}
 }
 
 // mappingToSig converts a box/net signature mapping to an rtype.Signature.

@@ -165,6 +165,37 @@ func TestCompileSerialFlowWarning(t *testing.T) {
 	}
 }
 
+func TestCompileDeadBranchWarning(t *testing.T) {
+	// After a box producing (x), the [] branch of the choice can never
+	// win dispatch: the (x)-consuming filter outscores it on every
+	// record. The compiler must warn statically (and the optimizer
+	// prunes it at instantiation).
+	reg := NewRegistry()
+	reg.RegisterBox("a", func(c *core.BoxCall) error { return nil })
+	res, err := Source(`
+		net w {
+			box a ((x) -> (x));
+		} connect a .. ([ {x} -> {x} ] | []);
+	`, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "can never win dispatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a dead-branch warning, got %q", res.Warnings)
+	}
+	ent, _ := res.Net("w")
+	n := core.NewNetwork(ent, core.Options{})
+	if st := n.OptStats(); st.BranchesPruned != 1 {
+		t.Fatalf("OptStats = %+v, want one pruned branch", st)
+	}
+}
+
 func TestCompileDetChoicePreservesOrder(t *testing.T) {
 	// slow handles records tagged <slow>; fast handles the rest. Under
 	// nondeterministic '|' the fast branch would overtake; under '||'

@@ -147,25 +147,12 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 	return &Entity{
 		name: name,
 		sig:  sig,
+		kind: kindBox,
+		box:  b,
 		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() {
 				defer env.closeLink(out)
-				// One reusable call context and one execution closure per
-				// box instance: boxes are sequential per instance, so both
-				// (including the pending-output buffer) are recycled across
-				// invocations rather than allocated per record.
-				call := &BoxCall{env: env, box: b}
-				call.pending = call.pendArr[:0]
-				run := func() {
-					defer func() {
-						if p := recover(); p != nil {
-							env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
-						}
-					}()
-					if err := b.fn(call); err != nil {
-						env.report(entityError(b.name, err))
-					}
-				}
+				call, run := newBoxRunner(env, b)
 				for {
 					r, ok := env.recv(in)
 					if !ok {
@@ -186,11 +173,37 @@ func NewBox(name string, sig rtype.Signature, fn BoxFunc) *Entity {
 	}
 }
 
-// invoke runs one box execution for record r, reusing the instance's call
-// context and execution closure. It reports false when the instance was
-// stopped (while waiting for a CPU slot or flushing output), in which case
-// the box goroutine must unwind.
-func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *stream.Link) bool {
+// newBoxRunner builds the reusable per-instance call context and execution
+// closure: boxes are sequential per instance, so both (including the
+// pending-output buffer) are recycled across invocations rather than
+// allocated per record. Shared by the standalone box entity and by fused
+// chain stages (each fused box stage is one instance).
+func newBoxRunner(env *Env, b *boxImpl) (*BoxCall, func()) {
+	call := &BoxCall{env: env, box: b}
+	call.pending = call.pendArr[:0]
+	run := func() {
+		defer func() {
+			if p := recover(); p != nil {
+				env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
+			}
+		}()
+		if err := b.fn(call); err != nil {
+			env.report(entityError(b.name, err))
+		}
+	}
+	return call, run
+}
+
+// execute runs one box execution for record r, leaving the emissions in
+// call.pending — matching, platform scheduling (local, cancellable, or
+// remote via RemotePlatform), type checking and flow inheritance, but not
+// delivery. ok is false when the instance was stopped before the body ran
+// (the caller must unwind); matched is false when r matched no input
+// variant (reported, r recycled, nothing pending). On matched, call.In
+// stays set until the caller has flushed call.pending and decided whether
+// r was re-emitted. invoke flushes downstream; fused chain stages hand the
+// emissions to the next stage in memory.
+func (b *boxImpl) execute(call *BoxCall, run func(), r *record.Record) (matched, ok bool) {
 	env := call.env
 	v, score := b.sig.In.BestMatch(r)
 	if score < 0 {
@@ -198,7 +211,7 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 			"record %s does not match input type %s", r, b.sig.In)))
 		// The record matched nothing and is dead; reclaim it.
 		recycle(r)
-		return true
+		return false, true
 	}
 	call.In = r
 	call.Matched = v
@@ -216,7 +229,7 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 		if !ok {
 			call.In = nil
 			call.Matched = nil
-			return false
+			return false, false
 		}
 		if remote {
 			if err != nil {
@@ -237,27 +250,51 @@ func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *strea
 		// ran. Drop the record (stopped instances do not recycle).
 		call.In = nil
 		call.Matched = nil
+		return false, false
+	}
+	return true, true
+}
+
+// finishCall inspects a completed execution's emissions for the input
+// record itself (identity-style bodies may re-emit it) and resets the call
+// context for the next invocation without retaining record references. The
+// emissions must already have been moved out of call.pending (sent, or
+// copied into the next fused stage's input).
+func finishCall(call *BoxCall, r *record.Record) (reemitted bool) {
+	for _, o := range call.pending {
+		if o == r {
+			reemitted = true
+		}
+	}
+	clear(call.pending)
+	call.pending = call.pending[:0]
+	call.In = nil
+	call.Matched = nil
+	return reemitted
+}
+
+// invoke runs one box execution for record r, reusing the instance's call
+// context and execution closure, and flushes the emissions downstream. It
+// reports false when the instance was stopped (while waiting for a CPU
+// slot or flushing output), in which case the box goroutine must unwind.
+func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *stream.Link) bool {
+	matched, ok := b.execute(call, run, r)
+	if !ok {
 		return false
 	}
+	if !matched {
+		return true
+	}
+	env := call.env
 	// Flush outside the platform slot: downstream backpressure must not
 	// hold a node CPU. The whole emission set goes out in one link
 	// operation (SendMany batches it under a single lock), and the
 	// pending buffer stays the box's — records are appended into the
 	// link's own batches. The box consumed its input, so r is dead
 	// afterwards and returns to the pool — unless the body emitted the
-	// input record itself (identity-style bodies may).
-	reemitted := false
-	for _, o := range call.pending {
-		if o == r {
-			reemitted = true
-		}
-	}
+	// input record itself.
 	delivered := env.sendMany(out, call.pending)
-	// Recycle the pending buffer without retaining record references.
-	clear(call.pending)
-	call.pending = call.pending[:0]
-	call.In = nil
-	call.Matched = nil
+	reemitted := finishCall(call, r)
 	if !reemitted && delivered {
 		recycle(r)
 	}

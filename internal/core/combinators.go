@@ -10,27 +10,41 @@ import (
 )
 
 // Serial builds the serial composition A..B: the output stream of a becomes
-// the input stream of b, so the two operate in pipeline mode. An identity
-// operand is elided at instantiation time: [] .. B and A .. [] cost no
-// extra channel or goroutine.
+// the input stream of b, so the two operate in pipeline mode. Identity
+// operands, adjacent stateless stages and nested serial nests are taken
+// apart by the instantiation-time optimizer (see Optimize), not here: the
+// constructor records exactly what was written, so OptimizeOff spawns the
+// tree as constructed.
 func Serial(a, b *Entity) *Entity {
-	return &Entity{
-		nameFn: func() string { return "(" + a.Name() + ".." + b.Name() + ")" },
-		sig:    rtype.NewSignature(a.sig.In, b.sig.Out),
-		kids:   []*Entity{a, b},
-		spawn: func(env *Env, in, out *stream.Link) {
-			switch {
-			case a.identity:
-				b.spawn(env, in, out)
-			case b.identity:
-				a.spawn(env, in, out)
-			default:
-				mid := env.newLink()
-				a.spawn(env, in, mid)
-				b.spawn(env, mid, out)
-			}
-		},
+	return serialChain([]*Entity{a, b})
+}
+
+// serialChain builds the n-ary serial pipeline over ops (at least one; a
+// single op is returned as-is). It is the normal form the optimizer
+// flattens serial nests into — and what Serial itself builds, for two ops.
+func serialChain(ops []*Entity) *Entity {
+	if len(ops) == 1 {
+		return ops[0]
 	}
+	e := &Entity{
+		nameFn:   func() string { return combName(ops, "..") },
+		sig:      rtype.NewSignature(ops[0].sig.In, ops[len(ops)-1].sig.Out),
+		kids:     ops,
+		kind:     kindSerial,
+		detDepth: maxDetDepth(ops),
+		looseOut: ops[len(ops)-1].looseOut,
+	}
+	e.spawn = func(env *Env, in, out *stream.Link) {
+		cur := in
+		last := len(ops) - 1
+		for _, op := range ops[:last] {
+			mid := env.newLink()
+			op.spawn(env, cur, mid)
+			cur = mid
+		}
+		ops[last].spawn(env, cur, out)
+	}
+	return e
 }
 
 // SerialAll folds Serial over two or more entities left to right.
@@ -56,6 +70,15 @@ func Choice(branches ...*Entity) *Entity {
 	if len(branches) == 1 {
 		return branches[0]
 	}
+	tree, ncursors := flatSelTree(len(branches))
+	return choiceEnt(branches, tree, ncursors, false)
+}
+
+// choiceEnt builds the n-ary nondeterministic choice over the given leaf
+// branches, dispatching through the selector tree (see selNode). Choice
+// builds the flat tree; the optimizer builds trees mirroring the nesting it
+// flattened, with elide set so identity leaves bypass spawning.
+func choiceEnt(branches []*Entity, tree *selNode, ncursors int, elide bool) *Entity {
 	inT := rtype.NewType()
 	outT := rtype.NewType()
 	for _, b := range branches {
@@ -63,28 +86,34 @@ func Choice(branches ...*Entity) *Entity {
 		outT = outT.Union(b.sig.Out)
 	}
 	e := &Entity{
-		nameFn: func() string { return combName(branches, "|") },
-		sig:    rtype.NewSignature(inT, outT),
-		kids:   branches,
+		nameFn:     func() string { return combName(branches, "|") },
+		sig:        rtype.NewSignature(inT, outT),
+		kids:       branches,
+		kind:       kindChoice,
+		selTree:    tree,
+		selCursors: ncursors,
+		elide:      elide,
+		detDepth:   maxDetDepth(branches),
+		looseOut:   anyLooseOut(branches),
 	}
 	e.spawn = func(env *Env, in, out *stream.Link) {
-		// Identity branches (the paper's ubiquitous [] bypass) are
-		// elided: the dispatcher forwards their records straight to
-		// the merged output instead of paying two channels and two
-		// goroutines per instantiation. st[i].in == nil marks an elided
-		// branch. The per-branch input links and the bestBranch score
-		// cache share one scratch slice (one allocation per
+		// Elided identity branches (the paper's ubiquitous [] bypass,
+		// when the optimizer marked the choice) forward their records
+		// straight to the merged output instead of paying two channels
+		// and two goroutines per instantiation. st[i].in == nil marks an
+		// elided branch. The per-branch input links and the dispatch
+		// score cache share one scratch slice (one allocation per
 		// instantiation, and star-unrolled choices instantiate a lot).
 		st := make([]branchState, len(branches))
 		spawned := 0
 		for _, b := range branches {
-			if !b.identity {
+			if !(elide && b.kind == kindIdentity) {
 				spawned++
 			}
 		}
 		coll := newCollector(env, out, spawned+1) // +1: the dispatcher
 		for i, b := range branches {
-			if b.identity {
+			if elide && b.kind == kindIdentity {
 				continue
 			}
 			st[i].in = env.newLink()
@@ -112,7 +141,7 @@ func Choice(branches ...*Entity) *Entity {
 					}
 				}
 			}()
-			rr := 0 // round-robin cursor for tie-breaking
+			cursors := make([]int, ncursors) // round-robin tie cursors
 			for {
 				r, ok := env.recv(in)
 				if !ok {
@@ -128,7 +157,7 @@ func Choice(branches ...*Entity) *Entity {
 					}
 					continue
 				}
-				best := bestBranch(branches, st, r, &rr)
+				best := pickBranch(branches, tree, st, cursors, r)
 				if best < 0 {
 					env.report(entityError(e.Name(), fmt.Errorf(
 						"record %s matches no branch input type", r)))
@@ -150,43 +179,106 @@ func Choice(branches ...*Entity) *Entity {
 }
 
 // branchState is per-instantiation dispatcher scratch shared by Choice and
-// DetChoice: the branch's input link (nil for an elided identity branch in
-// Choice, always set in DetChoice) and the bestBranch score cache.
+// DetChoice: the branch's input link (nil for an elided identity branch)
+// and the dispatch score cache.
 type branchState struct {
 	in    *stream.Link
 	score int
 }
 
-// bestBranch picks the branch whose input type matches r best (the most
-// specific matched variant wins); ties break round-robin via the cursor at
-// rr. st is per-dispatcher scratch of len(branches), reused so BestMatch
-// runs exactly once per (record, branch) — the tie-break scan reads the
-// cached scores instead of re-scoring. Returns -1 when no branch matches.
-// Shared by Choice and DetChoice.
-func bestBranch(branches []*Entity, st []branchState, r *record.Record, rr *int) int {
-	best, bestScore, ties := -1, -1, 0
-	for i, b := range branches {
-		_, s := b.sig.In.BestMatch(r)
-		st[i].score = s
-		if s > bestScore {
-			best, bestScore, ties = i, s, 1
-		} else if s == bestScore && s >= 0 {
-			ties++
-		}
+// selNode is one node of a choice dispatcher's selector tree. The tree
+// exists so a flattened choice routes records exactly as the nested one it
+// replaced: best-match dispatch composes (a nest's score is the best of its
+// leaves' — the union type's BestMatch), but round-robin tie-breaking does
+// not, because every nesting level keeps its own cursor that only advances
+// for records it actually tied on. A leaf node names a branch index; a
+// group node holds the sub-choices of one original nesting level plus the
+// index of its cursor in the dispatcher's per-instantiation cursor slice.
+// Choice's own tree is a single group over all leaves, which reproduces the
+// historical flat round-robin.
+type selNode struct {
+	leaf int // branch index, or -1 for a group
+	kids []selNode
+	id   int // cursor slot (groups only)
+}
+
+// flatSelTree is the selector tree of an unnested n-way choice: one group,
+// one cursor.
+func flatSelTree(n int) (*selNode, int) {
+	kids := make([]selNode, n)
+	for i := range kids {
+		kids[i] = selNode{leaf: i}
 	}
-	if best >= 0 && ties > 1 {
-		k := *rr % ties
-		*rr++
-		for i := range st {
-			if st[i].score == bestScore {
-				if k == 0 {
-					return i
-				}
-				k--
-			}
+	return &selNode{leaf: -1, kids: kids}, 1
+}
+
+// score returns the node's dispatch score for the cached leaf scores: a
+// leaf's own, a group's best — exactly BestMatch against the nest's union
+// input type, since a union type's best match is the best over its members.
+func (n *selNode) score(st []branchState) int {
+	if n.leaf >= 0 {
+		return st[n.leaf].score
+	}
+	best := -1
+	for i := range n.kids {
+		if s := n.kids[i].score(st); s > best {
+			best = s
 		}
 	}
 	return best
+}
+
+// pick returns the winning branch index for the cached scores, advancing
+// each level's round-robin cursor exactly as the equivalent nested
+// dispatchers would: ties are counted among this level's best-scoring kids
+// only, the cursor moves only when there is an actual tie, and only the
+// chosen kid is descended into. Returns -1 when nothing matches.
+func (n *selNode) pick(st []branchState, cursors []int) int {
+	for {
+		if n.leaf >= 0 {
+			if st[n.leaf].score < 0 {
+				return -1
+			}
+			return n.leaf
+		}
+		best, bestScore, ties := -1, -1, 0
+		for i := range n.kids {
+			s := n.kids[i].score(st)
+			if s > bestScore {
+				best, bestScore, ties = i, s, 1
+			} else if s == bestScore && s >= 0 {
+				ties++
+			}
+		}
+		if best < 0 {
+			return -1
+		}
+		if ties > 1 {
+			k := cursors[n.id] % ties
+			cursors[n.id]++
+			for i := range n.kids {
+				if n.kids[i].score(st) == bestScore {
+					if k == 0 {
+						best = i
+						break
+					}
+					k--
+				}
+			}
+		}
+		n = &n.kids[best]
+	}
+}
+
+// pickBranch scores every leaf once (BestMatch per branch, cached in st)
+// and resolves dispatch through the selector tree. Shared by Choice and
+// DetChoice.
+func pickBranch(branches []*Entity, tree *selNode, st []branchState, cursors []int, r *record.Record) int {
+	for i, b := range branches {
+		_, s := b.sig.In.BestMatch(r)
+		st[i].score = s
+	}
+	return tree.pick(st, cursors)
 }
 
 // combName renders a combinator name like (a|b|c) lazily.
@@ -220,6 +312,10 @@ func Star(a *Entity, exit *rtype.Pattern) *Entity {
 		nameFn: func() string { return fmt.Sprintf("(%s*%s)", a.Name(), exit) },
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
+		// Records only leave through the exit tap, so the output type
+		// holds structurally even when the operand's does not.
+		detDepth: a.detDepth,
+		rebuild:  func(kids []*Entity) *Entity { return Star(kids[0], exit) },
 		spawn: func(env *Env, in, out *stream.Link) {
 			coll := newCollector(env, out, 1)
 			env.start(func() { starStage(env, a, exit, in, coll, 0, env.node) })
@@ -322,9 +418,17 @@ func splitImpl(a *Entity, tag string, nameFn func() string, placed bool) *Entity
 	}
 	tagSym := record.Intern(tag)
 	e := &Entity{
-		nameFn: nameFn,
-		sig:    rtype.NewSignature(inT, a.sig.Out),
-		kids:   []*Entity{a},
+		nameFn:   nameFn,
+		sig:      rtype.NewSignature(inT, a.sig.Out),
+		kids:     []*Entity{a},
+		detDepth: a.detDepth,
+		looseOut: a.looseOut,
+	}
+	e.rebuild = func(kids []*Entity) *Entity {
+		if placed {
+			return SplitAt(kids[0], tag)
+		}
+		return Split(kids[0], tag)
 	}
 	e.spawn = func(env *Env, in, out *stream.Link) {
 		coll := newCollector(env, out, 1)
@@ -480,9 +584,12 @@ func splitImpl(a *Entity, tag string, nameFn func() string, placed bool) *Entity
 // to that node on entry and back on exit.
 func At(a *Entity, node int) *Entity {
 	return &Entity{
-		nameFn: func() string { return fmt.Sprintf("(%s@%d)", a.Name(), node) },
-		sig:    a.sig,
-		kids:   []*Entity{a},
+		nameFn:   func() string { return fmt.Sprintf("(%s@%d)", a.Name(), node) },
+		sig:      a.sig,
+		kids:     []*Entity{a},
+		detDepth: a.detDepth,
+		looseOut: a.looseOut,
+		rebuild:  func(kids []*Entity) *Entity { return At(kids[0], node) },
 		spawn: func(env *Env, in, out *stream.Link) {
 			target := node
 			if n := env.Nodes(); n > 0 {
@@ -547,6 +654,9 @@ func FeedbackStar(a *Entity, exit *rtype.Pattern) *Entity {
 		nameFn: func() string { return fmt.Sprintf("(%s*fb%s)", a.Name(), exit) },
 		sig:    rtype.NewSignature(inT, rtype.NewType(exit.Variant)),
 		kids:   []*Entity{a},
+		// Like Star: only exit-matching records leave.
+		detDepth: a.detDepth,
+		rebuild:  func(kids []*Entity) *Entity { return FeedbackStar(kids[0], exit) },
 		spawn: func(env *Env, in, out *stream.Link) {
 			var mu sync.Mutex
 			var queue []*record.Record // unbounded feedback queue

@@ -158,6 +158,11 @@ type Options struct {
 	// paper's Fig. 4 solver segment), where flushed tokens would unroll
 	// new star stages indefinitely during shutdown.
 	FlushSyncOnClose bool
+	// Optimize selects how aggressively NewNetwork rewrites the entity
+	// tree before instantiation (see Optimize and OptStats). The zero
+	// value enables the full rewrite catalogue; OptimizeOff spawns the
+	// tree exactly as constructed.
+	Optimize OptimizeLevel
 }
 
 // DefaultBufferSize is used when Options.BufferSize is zero-valued via
@@ -523,6 +528,26 @@ func (s *errSink) count() int {
 // may share its output link with sibling producers under a collector.
 type SpawnFunc func(env *Env, in, out *stream.Link)
 
+// entityKind discriminates what an Entity is, so the network optimizer can
+// rewrite trees structurally (flatten serial/choice nests, fuse filter and
+// box runs, elide identities) without per-combinator knowledge leaking out
+// of the constructors. kindOpaque covers everything the optimizer treats as
+// a black box (stars, splits, placement, observers, feedback); such nodes
+// still participate in optimization through their rebuild hook.
+type entityKind uint8
+
+const (
+	kindOpaque entityKind = iota
+	kindBox
+	kindFilter
+	kindIdentity
+	kindSync
+	kindSerial    // n-ary serial chain; kids are the stages in order
+	kindChoice    // n-ary nondeterministic choice; kids are the leaves
+	kindDetChoice // n-ary deterministic choice; kids are the leaves
+	kindFused     // optimizer-built single-goroutine stage chain
+)
+
 // Entity is a SISO network component: a box, filter, synchrocell, or a
 // network built from combinators. Entities are immutable descriptions and
 // may be instantiated any number of times.
@@ -539,10 +564,69 @@ type Entity struct {
 	sig   rtype.Signature
 	kids  []*Entity
 	spawn SpawnFunc
-	// identity marks the identity filter []: a pure pass-through that
-	// combinators may elide at instantiation time (no channels, no
-	// goroutine) without changing network semantics.
-	identity bool
+	kind  entityKind
+
+	// rebuild reconstructs this node around rewritten children (same
+	// length and order as kids). Set by combinator constructors the
+	// optimizer has no structural rewrite for (star, split, placement,
+	// observe, feedback), so their operands still get optimized.
+	rebuild func(kids []*Entity) *Entity
+
+	// rules is the filter payload (kindFilter): the compiled rule set,
+	// shared with fused entities so a fused filter stage is bit-identical
+	// to the standalone one.
+	rules []compiledRule
+	// box is the box payload (kindBox), shared with fused entities.
+	box *boxImpl
+	// stages is the fused-chain payload (kindFused): the flattened stage
+	// list a single goroutine threads each record through. kids keeps the
+	// original parts for Describe.
+	stages []fuseStage
+	// selTree/selCursors drive choice dispatch (kindChoice/kindDetChoice):
+	// the selector tree reproduces nested round-robin tie-breaking over
+	// the flattened leaf list; selCursors is the number of cursor slots a
+	// dispatcher instance needs. See selNode.
+	selTree    *selNode
+	selCursors int
+	// elide lets a choice dispatcher bypass identity leaves (record goes
+	// straight to the merge, no goroutine per leaf). Only the optimizer
+	// sets it: plain construction spawns what was written.
+	elide bool
+	// seqSym is the hidden sequence tag (kindDetChoice and DetSplit):
+	// deterministic combinators at different nesting depths use distinct
+	// tags so an inner combinator cannot clobber an outer one's stamp.
+	seqSym record.Sym
+
+	// detDepth is the maximum nesting depth of deterministic combinators
+	// in this subtree (0 = none); constructors propagate it so each Det*
+	// entity can pick a sequence tag no nested one will touch.
+	detDepth int
+	// looseOut marks subtrees whose runtime output can fall outside the
+	// declared output type: synchrocells pass unmatched records through
+	// unchanged, so everything downstream of one must not trust sig.Out
+	// (rtype.Dominated-based pruning is disabled there).
+	looseOut bool
+}
+
+// maxDetDepth is the detDepth a combinator inherits from its operands.
+func maxDetDepth(ops []*Entity) int {
+	d := 0
+	for _, op := range ops {
+		if op.detDepth > d {
+			d = op.detDepth
+		}
+	}
+	return d
+}
+
+// anyLooseOut is the looseOut a union-typed combinator (choice) inherits.
+func anyLooseOut(ops []*Entity) bool {
+	for _, op := range ops {
+		if op.looseOut {
+			return true
+		}
+	}
+	return false
 }
 
 // Name returns the entity's diagnostic name.

@@ -34,7 +34,13 @@ const ctrlKey = -1
 // Ordering contract: for each key, evAssign(seq) precedes every
 // evOutput(seq) (dispatchers send the assign event to the FIFO event
 // channel before handing the record to the branch), and a key's outputs
-// arrive in its input order (branches are FIFO).
+// arrive in its input order when the branch is itself order-preserving
+// (serial chains of entities and deterministic combinators are FIFO). A
+// branch containing a nondeterministic combinator (|, !, star) may emit
+// outputs out of input order; the FIFO completion inference then runs
+// ahead of straggler records, whose slot has already passed when they
+// arrive. Such records are emitted immediately — their relative order was
+// never promised by the network, and every record must still come out.
 type detMerger struct {
 	env       *Env
 	out       *stream.Link
@@ -76,6 +82,14 @@ func (m *detMerger) handle(ev detEvent) bool {
 		case ev.seq < 0:
 			// untagged output (sequence tag lost inside the branch):
 			// ordering responsibility is void, emit immediately.
+			m.env.send(m.out, ev.rec)
+		case ev.seq < m.nextSeq:
+			// The slot already passed: a nondeterministic combinator
+			// inside the branch reordered outputs across its input
+			// sequence, so the FIFO completion inference ran ahead of
+			// this record. Its order was never promised — emit it now
+			// rather than burying it in a buffer slot that will never
+			// be flushed again.
 			m.env.send(m.out, ev.rec)
 		case ev.seq == m.nextSeq:
 			m.flushBuffer(m.nextSeq)
@@ -174,8 +188,11 @@ func sendEvent(env *Env, events chan<- detEvent, ev detEvent) bool {
 }
 
 // detPump forwards a branch's outputs as events, stripping the hidden
-// sequence tag.
-func detPump(env *Env, key int, bo *stream.Link, events chan<- detEvent) {
+// sequence tag. seqSym is the owning combinator's depth-indexed tag: a
+// nested deterministic combinator inside the branch stamps and strips its
+// own, different tag, so this pump only ever sees (and removes) its
+// owner's.
+func detPump(env *Env, key int, bo *stream.Link, events chan<- detEvent, seqSym record.Sym) {
 	for {
 		r, ok := env.recv(bo)
 		if !ok {
@@ -183,9 +200,9 @@ func detPump(env *Env, key int, bo *stream.Link, events chan<- detEvent) {
 		}
 		seq := -1
 		if r.IsData() {
-			if s, ok := r.TagSym(seqTagSym); ok {
+			if s, ok := r.TagSym(seqSym); ok {
 				seq = s
-				r.DeleteTagSym(seqTagSym)
+				r.DeleteTagSym(seqSym)
 			}
 		}
 		if !sendEvent(env, events, detEvent{kind: evOutput, key: key, seq: seq, rec: r}) {

@@ -138,8 +138,10 @@ func NewFilter(name string, rules ...FilterRule) *Entity {
 		compiled[i] = compileRule(rule)
 	}
 	e := &Entity{
-		name: name,
-		sig:  rtype.NewSignature(inT, outT),
+		name:  name,
+		sig:   rtype.NewSignature(inT, outT),
+		kind:  kindFilter,
+		rules: compiled,
 	}
 	if name == "" {
 		// The S-Net-ish rendering of the rules is pure diagnostics; defer
@@ -213,6 +215,30 @@ func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, ou
 	return scratch, true
 }
 
+// runRules is the filter's whole per-record semantics minus delivery:
+// apply the first matching rule to r, append the rule's outputs to dst,
+// recycle r (rules build fresh records); report a record matching no rule
+// against e and drop it. Fused chain stages use it to hand a filter's
+// outputs to the next stage in memory; it is kept in lockstep with
+// applyFilter, which adds the standalone entity's direct-send fast path.
+func runRules(env *Env, e *Entity, rules []compiledRule, r *record.Record, dst []*record.Record) []*record.Record {
+	for i := range rules {
+		rule := &rules[i]
+		if !rule.pattern.Matches(r) {
+			continue
+		}
+		for oi := range rule.outputs {
+			dst = append(dst, buildOutput(&rule.outputs[oi], rule, r))
+		}
+		recycle(r)
+		return dst
+	}
+	env.report(entityError(e.Name(), fmt.Errorf(
+		"record %s matches no filter rule", r)))
+	recycle(r)
+	return dst
+}
+
 // buildOutput instantiates one output template against the input record,
 // flow inheritance included.
 func buildOutput(o *compiledOutput, rule *compiledRule, r *record.Record) *record.Record {
@@ -242,13 +268,15 @@ func buildOutput(o *compiledOutput, rule *compiledRule, r *record.Record) *recor
 // Identity builds the identity filter [], which passes every record through
 // unchanged. Its input type is the empty variant (accepts everything with
 // match score 0), which is what makes it usable as the bypass branch in the
-// paper's merger and solver networks.
+// paper's merger and solver networks. The optimizer elides identities from
+// serial chains and choice dispatch (the trivial case of fusion); under
+// OptimizeOff the pass-through goroutine spawns as written.
 func Identity() *Entity {
 	empty := rtype.NewType(rtype.NewVariant())
 	return &Entity{
-		name:     "[]",
-		sig:      rtype.NewSignature(empty, empty),
-		identity: true,
+		name: "[]",
+		sig:  rtype.NewSignature(empty, empty),
+		kind: kindIdentity,
 		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() { env.pump(in, out) })
 		},

@@ -18,21 +18,34 @@ var ErrStopped = errors.New("snet: instance stopped")
 // A Network may be instantiated many times; each Start/Run creates a fresh
 // set of goroutines and channels.
 type Network struct {
-	entity *Entity
-	opts   Options
+	entity    *Entity
+	optimized *Entity
+	opts      Options
+	optStats  OptStats
 }
 
 // NewNetwork wraps an entity into a runnable network. A zero Options value
-// selects the LocalPlatform and DefaultBufferSize.
+// selects the LocalPlatform, DefaultBufferSize and the full optimizer
+// (see Optimize); OptimizeOff instantiates the tree exactly as built.
 func NewNetwork(e *Entity, opts Options) *Network {
 	if opts.BufferSize == 0 {
 		opts.BufferSize = DefaultBufferSize
 	}
-	return &Network{entity: e, opts: opts}
+	n := &Network{entity: e, optimized: e, opts: opts}
+	if opts.Optimize != OptimizeOff {
+		n.optimized, n.optStats = Optimize(e)
+	}
+	return n
 }
 
-// Entity returns the underlying toplevel entity.
+// Entity returns the underlying toplevel entity, as constructed (not the
+// optimized form Start instantiates).
 func (n *Network) Entity() *Entity { return n.entity }
+
+// OptStats reports what the instantiation-time optimizer did to this
+// network's entity tree. With Options.Optimize set to OptimizeOff the
+// zero value is returned (Enabled false).
+func (n *Network) OptStats() OptStats { return n.optStats }
 
 // Instance is one running network instantiation. It terminates in one of
 // two ways:
@@ -57,6 +70,7 @@ type Instance struct {
 
 	env       *Env
 	in        chan *record.Record
+	optStats  OptStats
 	stopOnce  sync.Once
 	closeOnce sync.Once
 }
@@ -72,7 +86,7 @@ func (n *Network) Start() *Instance {
 	out := make(chan *record.Record, max(0, n.opts.BufferSize))
 	first := env.newLink()
 	last := env.newLink()
-	n.entity.Spawn(env, first, last)
+	n.optimized.Spawn(env, first, last)
 	// Intake: channel -> first link. The link's own flush policy decides
 	// batch boundaries; closing In cascades into the network.
 	env.start(func() {
@@ -116,7 +130,7 @@ func (n *Network) Start() *Instance {
 			stream.FreeBatch(b)
 		}
 	})
-	return &Instance{In: in, Out: out, env: env, in: in}
+	return &Instance{In: in, Out: out, env: env, in: in, optStats: n.optStats}
 }
 
 // LinkStats is a snapshot of one stream link's traffic counters: records
@@ -135,6 +149,10 @@ type LinkStats = stream.Stats
 // into one cumulative entry to bound memory; when any have been folded,
 // that aggregate is the first element of the result.
 func (i *Instance) LinkStats() []LinkStats { return i.env.links.snapshot() }
+
+// OptStats reports what the instantiation-time optimizer did to the
+// network this instance was started from (see Network.OptStats).
+func (i *Instance) OptStats() OptStats { return i.optStats }
 
 // Err returns all runtime errors reported so far, joined, or nil. After
 // Stop the result includes ErrStopped.

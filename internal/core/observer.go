@@ -41,6 +41,11 @@ func Observe(a *Entity, fn func(dir ObserveDirection, r *record.Record)) *Entity
 		nameFn: func() string { return fmt.Sprintf("observe(%s)", a.Name()) },
 		sig:    a.sig,
 		kids:   []*Entity{a},
+		// The tap is a fusion barrier (fn must see every record cross the
+		// boundary), but the operand itself still gets optimized.
+		detDepth: a.detDepth,
+		looseOut: a.looseOut,
+		rebuild:  func(kids []*Entity) *Entity { return Observe(kids[0], fn) },
 		spawn: func(env *Env, in, out *stream.Link) {
 			innerIn := env.newLink()
 			innerOut := env.newLink()

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"snet/internal/record"
+	"snet/internal/rtype"
+	"snet/internal/stream"
+)
+
+// OptimizeLevel selects how aggressively NewNetwork rewrites the entity
+// tree before instantiation.
+type OptimizeLevel int
+
+const (
+	// OptimizeFull — the zero value, on by default — enables the whole
+	// rewrite catalogue: serial/choice flattening, identity elision,
+	// filter/box fusion, and signature-driven branch pruning.
+	OptimizeFull OptimizeLevel = iota
+	// OptimizeOff disables the optimizer: the tree spawns exactly as
+	// constructed. It is the escape hatch (and the reference side of the
+	// internal/netdiff differential equivalence harness).
+	OptimizeOff
+)
+
+// OptStats reports what the instantiation-time optimizer did to a network,
+// rewrite by rewrite; Network.OptStats and Instance.OptStats return it
+// next to LinkStats. Entity counts are spawn-faithful (a subtree shared by
+// reference counts once per reference, a fused chain counts as one).
+type OptStats struct {
+	// Enabled is false when the network was built with OptimizeOff.
+	Enabled bool
+	// EntitiesBefore/EntitiesAfter count entity-tree nodes around the
+	// rewrite; the difference is roughly goroutines-and-links not spawned.
+	EntitiesBefore int
+	EntitiesAfter  int
+	// SerialsFlattened counts nested serial nodes spliced into an n-ary
+	// chain; ChoicesFlattened counts same-determinism choice nests spliced
+	// into an n-ary dispatch.
+	SerialsFlattened int
+	ChoicesFlattened int
+	// IdentitiesElided counts identity filters removed from serial chains
+	// (choice-embedded identities stay as dispatch targets but spawn
+	// nothing; they are not counted here).
+	IdentitiesElided int
+	// Fusions by adjacent-stage kind: each counts one boundary where two
+	// entities became stages of one fused goroutine.
+	FilterFilterFused int
+	FilterBoxFused    int
+	BoxFilterFused    int
+	// BranchesPruned counts choice branches removed because no upstream
+	// record can ever win dispatch for them (rtype.Dominated);
+	// ChoicesShortCircuited counts choices replaced outright by their sole
+	// surviving branch.
+	BranchesPruned        int
+	ChoicesShortCircuited int
+}
+
+// fuseStage is one stage of a fused chain: a filter rule set or a box,
+// with the original entity kept for error attribution.
+type fuseStage struct {
+	ent   *Entity
+	rules []compiledRule // filter stage (box == nil)
+	box   *boxImpl       // box stage
+}
+
+// Optimize rewrites an entity tree into a cheaper equivalent and reports
+// what it did. The input is never mutated (entities are immutable and may
+// be shared); unchanged subtrees are returned by reference. The catalogue:
+//
+//   - Flattening: nested Serial nests become one n-ary chain; nested
+//     Choice (and nested DetChoice) nests become one n-ary dispatch whose
+//     selector tree reproduces the nest's per-level round-robin
+//     tie-breaking exactly.
+//   - Identity elision: identity filters disappear from serial chains, and
+//     choice dispatchers route records for identity branches straight to
+//     the merge — the trivial case of fusion, generalized from the
+//     per-combinator special cases earlier versions hard-coded in spawn.
+//   - Fusion: a maximal run of adjacent filters containing at most one box
+//     becomes a single entity whose one goroutine threads each record
+//     through the stages in memory — no links, no per-hop handoff. Runs
+//     with two or more boxes are not merged across the second box: box
+//     pipelining is real parallelism, and serializing heavy stages to save
+//     a hop is a loss. Stage semantics are shared code with the standalone
+//     entities (runRules, boxImpl.execute), so matching, flow inheritance,
+//     error reporting, recycling, and remote/stealable box execution are
+//     identical.
+//   - Branch pruning: a choice branch no upstream record can ever win
+//     dispatch for (rtype.Dominated over the declared signatures, sound
+//     under flow inheritance) is removed; a choice left with one branch is
+//     replaced by it. Disabled when the upstream entity's output type is
+//     not trustworthy (Entity.looseOut: synchrocells and what follows
+//     them).
+//
+// Stateful or structural entities — boxes under observation taps,
+// synchrocells, stars, splits, placement — are never merged into fused
+// chains; their operands are still rewritten through their rebuild hooks.
+func Optimize(e *Entity) (*Entity, OptStats) {
+	st := OptStats{Enabled: true, EntitiesBefore: countEntities(e)}
+	o := &optimizer{stats: &st, memo: map[*Entity]*Entity{}}
+	root := o.rewrite(e)
+	st.EntitiesAfter = countEntities(root)
+	return root, st
+}
+
+type optimizer struct {
+	stats *OptStats
+	// memo keeps rewrites by identity: entity trees are DAGs (one entity
+	// may be referenced several times), and each reference must resolve to
+	// the same rewritten node.
+	memo map[*Entity]*Entity
+}
+
+func (o *optimizer) rewrite(e *Entity) *Entity {
+	if r, ok := o.memo[e]; ok {
+		return r
+	}
+	var r *Entity
+	switch e.kind {
+	case kindSerial:
+		r = o.rewriteSerial(e)
+	case kindChoice, kindDetChoice:
+		r = o.rewriteChoice(e)
+	default:
+		r = o.rewriteGeneric(e)
+	}
+	o.memo[e] = r
+	return r
+}
+
+// rewriteGeneric handles nodes the optimizer has no structural rewrite
+// for: leaves pass through, and nodes with a rebuild hook are
+// reconstructed around their rewritten children (only when any changed).
+func (o *optimizer) rewriteGeneric(e *Entity) *Entity {
+	if len(e.kids) == 0 || e.rebuild == nil {
+		return e
+	}
+	kids := make([]*Entity, len(e.kids))
+	same := true
+	for i, k := range e.kids {
+		kids[i] = o.rewrite(k)
+		if kids[i] != k {
+			same = false
+		}
+	}
+	if same {
+		return e
+	}
+	return e.rebuild(kids)
+}
+
+// rewriteSerial flattens a serial nest into one op list, simplifies it
+// (identity elision, branch pruning, short-circuiting) and fuses adjacent
+// stateless runs.
+func (o *optimizer) rewriteSerial(e *Entity) *Entity {
+	var ops []*Entity
+	serialNodes := 0
+	var collect func(n *Entity)
+	collect = func(n *Entity) {
+		if n.kind == kindSerial {
+			serialNodes++
+			for _, k := range n.kids {
+				collect(k)
+			}
+			return
+		}
+		op := o.rewrite(n)
+		if op.kind == kindSerial {
+			// The operand's rewrite produced a chain (e.g. a
+			// short-circuited choice whose surviving branch was serial);
+			// splice it.
+			serialNodes++
+			ops = append(ops, op.kids...)
+			return
+		}
+		ops = append(ops, op)
+	}
+	collect(e)
+	o.stats.SerialsFlattened += serialNodes - 1
+
+	ops = o.simplifyChain(ops)
+	ops = o.fuseChain(ops)
+	return serialChain(ops)
+}
+
+// simplifyChain runs identity elision and choice pruning/short-circuiting
+// over a flattened op list to a fixpoint (a short-circuited choice may
+// expose a serial to splice, new identities to elide, or a next choice to
+// prune).
+func (o *optimizer) simplifyChain(ops []*Entity) []*Entity {
+	for {
+		changed := false
+
+		// Identity elision: a pure pass-through contributes nothing to a
+		// chain. An all-identity chain keeps one.
+		nonID := 0
+		for _, op := range ops {
+			if op.kind != kindIdentity {
+				nonID++
+			}
+		}
+		switch {
+		case nonID == 0:
+			if len(ops) > 1 {
+				o.stats.IdentitiesElided += len(ops) - 1
+				ops = ops[:1]
+			}
+		case nonID < len(ops):
+			o.stats.IdentitiesElided += len(ops) - nonID
+			kept := ops[:0]
+			for _, op := range ops {
+				if op.kind != kindIdentity {
+					kept = append(kept, op)
+				}
+			}
+			ops = kept
+			changed = true
+		}
+
+		// Branch pruning: a choice fed by a trustworthy upstream sheds
+		// branches that can never win dispatch.
+		for i := 1; i < len(ops); i++ {
+			op := ops[i]
+			if op.kind != kindChoice && op.kind != kindDetChoice {
+				continue
+			}
+			up := ops[i-1]
+			if up.looseOut {
+				continue
+			}
+			if np := o.pruneChoice(op, up.sig.Out); np != op {
+				ops[i] = np
+				changed = true
+			}
+		}
+
+		// Splice chains a short-circuit may have exposed.
+		for _, op := range ops {
+			if op.kind == kindSerial {
+				var flat []*Entity
+				for _, op := range ops {
+					if op.kind == kindSerial {
+						o.stats.SerialsFlattened++
+						flat = append(flat, op.kids...)
+					} else {
+						flat = append(flat, op)
+					}
+				}
+				ops = flat
+				changed = true
+				break
+			}
+		}
+
+		if !changed {
+			return ops
+		}
+	}
+}
+
+// pruneChoice removes branches that can never win dispatch against records
+// of the upstream output type (rtype.Dominated). Returns op unchanged when
+// nothing is dominated, or the sole surviving branch when all others are
+// (the short circuit: single-branch dispatch is the branch itself, for
+// the deterministic variant too — one FIFO branch needs no reorder
+// machinery). Pruning cannot perturb the surviving branches' round-robin
+// routing: a dominated branch is strictly outscored whenever it matches,
+// so it never participates in a winning tie at any selector level.
+func (o *optimizer) pruneChoice(op *Entity, upstream *rtype.Type) *Entity {
+	ins := make([]*rtype.Type, len(op.kids))
+	for i, b := range op.kids {
+		ins[i] = b.sig.In
+	}
+	dom := rtype.Dominated(upstream, ins)
+	n := 0
+	for _, d := range dom {
+		if d {
+			n++
+		}
+	}
+	if n == 0 {
+		return op
+	}
+	o.stats.BranchesPruned += n
+	var leaves []*Entity
+	remap := make([]int, len(op.kids))
+	for i, b := range op.kids {
+		if dom[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(leaves)
+		leaves = append(leaves, b)
+	}
+	if len(leaves) == 1 {
+		o.stats.ChoicesShortCircuited++
+		return leaves[0]
+	}
+	nc := 0
+	tree := pruneSelTree(op.selTree, remap, &nc)
+	if op.kind == kindDetChoice {
+		return detChoiceEnt(leaves, tree, nc, op.elide)
+	}
+	return choiceEnt(leaves, tree, nc, op.elide)
+}
+
+// pruneSelTree copies a selector tree without the pruned leaves,
+// renumbering surviving leaves (remap) and cursor slots (nc). Groups left
+// with a single kid collapse into it: a one-way tie never advances a
+// cursor, so the collapse is routing-neutral.
+func pruneSelTree(n *selNode, remap []int, nc *int) *selNode {
+	if n.leaf >= 0 {
+		if remap[n.leaf] < 0 {
+			return nil
+		}
+		return &selNode{leaf: remap[n.leaf]}
+	}
+	var kids []selNode
+	for i := range n.kids {
+		if k := pruneSelTree(&n.kids[i], remap, nc); k != nil {
+			kids = append(kids, *k)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return nil
+	case 1:
+		return &kids[0]
+	}
+	id := *nc
+	*nc++
+	return &selNode{leaf: -1, kids: kids, id: id}
+}
+
+// rewriteChoice flattens same-determinism choice nests into one n-ary
+// dispatch. Each nested choice contributes its selector tree (grafted with
+// its own cursor slots), so the flattened dispatcher breaks ties exactly
+// as the nest did, level by level. Branches of the other determinism, and
+// everything else, stay leaves — rewritten, not spliced.
+func (o *optimizer) rewriteChoice(e *Entity) *Entity {
+	var leaves []*Entity
+	nc := 0
+	var graft func(n *selNode, kids []*Entity) selNode
+	graft = func(n *selNode, kids []*Entity) selNode {
+		if n.leaf >= 0 {
+			idx := len(leaves)
+			leaves = append(leaves, kids[n.leaf])
+			return selNode{leaf: idx}
+		}
+		gk := make([]selNode, len(n.kids))
+		for i := range n.kids {
+			gk[i] = graft(&n.kids[i], kids)
+		}
+		id := nc
+		nc++
+		return selNode{leaf: -1, kids: gk, id: id}
+	}
+	kids := make([]selNode, 0, len(e.kids))
+	for _, k := range e.kids {
+		rk := o.rewrite(k)
+		if rk.kind == e.kind && rk.selTree != nil {
+			o.stats.ChoicesFlattened++
+			kids = append(kids, graft(rk.selTree, rk.kids))
+			continue
+		}
+		kids = append(kids, selNode{leaf: len(leaves)})
+		leaves = append(leaves, rk)
+	}
+	id := nc
+	nc++
+	tree := &selNode{leaf: -1, kids: kids, id: id}
+	if e.kind == kindDetChoice {
+		return detChoiceEnt(leaves, tree, nc, true)
+	}
+	return choiceEnt(leaves, tree, nc, true)
+}
+
+// fusableBoxes reports how many box stages op would contribute to a fused
+// chain, or -1 when op cannot be a fused stage.
+func fusableBoxes(op *Entity) int {
+	switch op.kind {
+	case kindFilter:
+		return 0
+	case kindBox:
+		return 1
+	case kindFused:
+		n := 0
+		for i := range op.stages {
+			if op.stages[i].box != nil {
+				n++
+			}
+		}
+		return n
+	}
+	return -1
+}
+
+// fuseChain merges maximal fusable runs (filters plus at most one box) in
+// an op list into single fused entities.
+func (o *optimizer) fuseChain(ops []*Entity) []*Entity {
+	var res []*Entity
+	i := 0
+	for i < len(ops) {
+		if fusableBoxes(ops[i]) < 0 {
+			res = append(res, ops[i])
+			i++
+			continue
+		}
+		j, boxes := i, 0
+		for j < len(ops) {
+			n := fusableBoxes(ops[j])
+			if n < 0 || boxes+n > 1 {
+				break
+			}
+			boxes += n
+			j++
+		}
+		if j-i >= 2 {
+			res = append(res, o.fuseParts(ops[i:j]))
+		} else {
+			res = append(res, ops[i])
+		}
+		i = j
+	}
+	return res
+}
+
+// boundaryStageIsBox resolves what stage kind a part presents at its first
+// (last=false) or last (last=true) stage, for fusion accounting.
+func boundaryStageIsBox(op *Entity, last bool) bool {
+	if op.kind == kindFused {
+		if last {
+			return op.stages[len(op.stages)-1].box != nil
+		}
+		return op.stages[0].box != nil
+	}
+	return op.kind == kindBox
+}
+
+// fuseParts builds one fused entity over the given adjacent parts.
+func (o *optimizer) fuseParts(parts []*Entity) *Entity {
+	var stages []fuseStage
+	for _, p := range parts {
+		switch p.kind {
+		case kindFilter:
+			stages = append(stages, fuseStage{ent: p, rules: p.rules})
+		case kindBox:
+			stages = append(stages, fuseStage{ent: p, box: p.box})
+		case kindFused:
+			stages = append(stages, p.stages...)
+		}
+	}
+	// Count the new part boundaries only (an already-fused part's internal
+	// boundaries were counted when it was built).
+	for i := 1; i < len(parts); i++ {
+		a := boundaryStageIsBox(parts[i-1], true)
+		b := boundaryStageIsBox(parts[i], false)
+		switch {
+		case !a && !b:
+			o.stats.FilterFilterFused++
+		case !a && b:
+			o.stats.FilterBoxFused++
+		case a && !b:
+			o.stats.BoxFilterFused++
+		}
+	}
+	parts = append([]*Entity(nil), parts...)
+	e := &Entity{
+		nameFn: func() string { return "fused" + combName(parts, "..") },
+		sig:    rtype.NewSignature(parts[0].sig.In, parts[len(parts)-1].sig.Out),
+		kids:   parts,
+		kind:   kindFused,
+		stages: stages,
+	}
+	e.spawn = spawnFused(e)
+	return e
+}
+
+// spawnFused instantiates a fused chain: one goroutine threads each input
+// record through the stage list in memory, emitting the final stage's
+// outputs downstream in the same DFS order the unfused pipeline would
+// produce. Control records pass straight through, FIFO with the data.
+func spawnFused(e *Entity) SpawnFunc {
+	stages := e.stages
+	return func(env *Env, in, out *stream.Link) {
+		env.start(func() {
+			defer env.closeLink(out)
+			// One reusable call context and execution closure per box
+			// stage (boxes are sequential per instance).
+			calls := make([]*BoxCall, len(stages))
+			runs := make([]func(), len(stages))
+			for i := range stages {
+				if stages[i].box != nil {
+					calls[i], runs[i] = newBoxRunner(env, stages[i].box)
+				}
+			}
+			// cur/next are the record front between stages, reused across
+			// inputs.
+			var cur, next []*record.Record
+			for {
+				r, ok := env.recv(in)
+				if !ok {
+					return
+				}
+				if !r.IsData() {
+					if !env.send(out, r) {
+						return
+					}
+					continue
+				}
+				cur = append(cur[:0], r)
+				for si := range stages {
+					s := &stages[si]
+					next = next[:0]
+					if s.box == nil {
+						for _, rec := range cur {
+							next = runRules(env, s.ent, s.rules, rec, next)
+						}
+					} else {
+						for _, rec := range cur {
+							matched, ok := s.box.execute(calls[si], runs[si], rec)
+							if !ok {
+								// Stopped mid-chain: unwind; in-flight
+								// records are dropped like any stopped
+								// instance's.
+								return
+							}
+							if !matched {
+								continue
+							}
+							next = append(next, calls[si].pending...)
+							if !finishCall(calls[si], rec) {
+								recycle(rec)
+							}
+						}
+					}
+					cur, next = next, cur
+				}
+				if !env.sendMany(out, cur) {
+					return
+				}
+				// Drop the references so recycled records are not retained
+				// past delivery.
+				clear(cur)
+				clear(next)
+			}
+		})
+	}
+}
+
+// countEntities counts entity-tree nodes with spawn multiplicity: a
+// subtree referenced twice instantiates twice, so it counts twice; a fused
+// chain instantiates one goroutine, so it counts once regardless of how
+// many parts it swallowed.
+func countEntities(e *Entity) int {
+	type memoEnt struct {
+		n int
+	}
+	memo := map[*Entity]memoEnt{}
+	var walk func(n *Entity) int
+	walk = func(n *Entity) int {
+		if m, ok := memo[n]; ok {
+			return m.n
+		}
+		c := 1
+		if n.kind != kindFused {
+			for _, k := range n.kids {
+				c += walk(k)
+			}
+		}
+		memo[n] = memoEnt{n: c}
+		return c
+	}
+	return walk(e)
+}
+
+// DeadBranches reports the names of choice branches of e that can never
+// win dispatch against records produced by up (rtype.Dominated over the
+// declared signatures) — the static form of the optimizer's branch
+// pruning, used by the compiler to warn about dead branches. Nil unless e
+// is a choice and up's declared output type is trustworthy (Entity
+// looseness: synchrocells pass unmatched records through outside their
+// declared type).
+func DeadBranches(up, e *Entity) []string {
+	if e.kind != kindChoice && e.kind != kindDetChoice {
+		return nil
+	}
+	if up.looseOut {
+		return nil
+	}
+	ins := make([]*rtype.Type, len(e.kids))
+	for i, b := range e.kids {
+		ins[i] = b.sig.In
+	}
+	dom := rtype.Dominated(up.sig.Out, ins)
+	var names []string
+	for i, d := range dom {
+		if d {
+			names = append(names, e.kids[i].Name())
+		}
+	}
+	return names
+}

@@ -35,6 +35,11 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 	return &Entity{
 		nameFn: func() string { return syncName(patterns) },
 		sig:    rtype.NewSignature(inT, outT),
+		kind:   kindSync,
+		// Records matching no unfilled pattern pass through unchanged —
+		// possibly outside the declared output type — so downstream
+		// signature-driven rewrites (branch pruning) must not trust it.
+		looseOut: true,
 		spawn: func(env *Env, in, out *stream.Link) {
 			env.start(func() {
 				defer env.closeLink(out)

@@ -1,0 +1,219 @@
+package netdiff
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"snet/internal/core"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// xrecs builds n records {x=i, <k=i%3>}, tag <a> on even i — the stream
+// shape the whole corpus (and the generator) uses.
+func xrecs(n int) func() []*record.Record {
+	return func() []*record.Record {
+		ins := make([]*record.Record, n)
+		for i := range ins {
+			b := record.Build().F("x", i).T("k", i%3)
+			if i%2 == 0 {
+				b = b.T("a", 1)
+			}
+			ins[i] = b.Rec()
+		}
+		return ins
+	}
+}
+
+func inc(delta int) *core.Entity {
+	sig := core.MustSig([]rtype.Label{rtype.F("x")}, []rtype.Label{rtype.F("x")})
+	return core.NewBox(fmt.Sprintf("inc%d", delta), sig, func(c *core.BoxCall) error {
+		c.Emit(record.New().SetField("x", c.Field("x").(int)+delta))
+		return nil
+	})
+}
+
+// TestFixedTopologies drives every combinator topology the core test
+// suite exercises through the differential harness: the fused, flattened,
+// pruned instantiation must be observably equal to the tree as built.
+func TestFixedTopologies(t *testing.T) {
+	cases := []struct {
+		name    string
+		ordered bool
+		build   func() *core.Entity
+	}{
+		{"serial-filters", true, func() *core.Entity {
+			return core.SerialAll(setTag("p", 1), setTag("q", 2), setTag("r", 3))
+		}},
+		{"serial-identities", true, func() *core.Entity {
+			return core.SerialAll(core.Identity(), core.Identity(), core.Identity())
+		}},
+		{"identity-box-sandwich", true, func() *core.Entity {
+			return core.SerialAll(core.Identity(), inc(1), core.Identity(), inc(10), core.Identity())
+		}},
+		{"filter-box-filter", true, func() *core.Entity {
+			return core.SerialAll(setTag("p", 1), inc(1), setTag("q", 2))
+		}},
+		{"box-chain", true, func() *core.Entity {
+			return core.SerialAll(inc(1), inc(2), inc(3), inc(4))
+		}},
+		{"fanout-chain", true, func() *core.Entity {
+			fan := core.NewFilter("", core.FilterRule{
+				Pattern: rtype.NewPattern(rtype.NewVariant()),
+				Outputs: []core.FilterOutput{
+					{SetTags: []core.TagAssign{constTag("h", 0)}},
+					{SetTags: []core.TagAssign{constTag("h", 1)}},
+				},
+			})
+			return core.SerialAll(fan, setTag("p", 1), inc(1))
+		}},
+		{"nested-choice-ties", false, func() *core.Entity {
+			return core.Choice(
+				core.Choice(core.Serial(guardX(), setTag("b0", 1)), core.Serial(guardX(), setTag("b1", 1))),
+				core.Serial(guardX(), setTag("b2", 1)))
+		}},
+		{"choice-guarded", false, func() *core.Entity {
+			return core.Choice(
+				core.Serial(guardXA(), setTag("ba", 1)),
+				core.Serial(guardX(), setTag("bx", 1)))
+		}},
+		{"choice-identity-branch", false, func() *core.Entity {
+			return core.Choice(core.Serial(guardXA(), inc(5)), core.Identity())
+		}},
+		{"choice-dominated-branch", false, func() *core.Entity {
+			// After inc, every record matches {x}: the empty-pattern
+			// branch is dominated and pruned; routing must not change.
+			return core.Serial(inc(1), core.Choice(guardX(), core.Identity()))
+		}},
+		{"nested-detchoice", true, func() *core.Entity {
+			return core.DetChoice(
+				core.DetChoice(core.Serial(guardX(), setTag("b0", 1)), core.Serial(guardX(), setTag("b1", 1))),
+				core.Serial(guardX(), setTag("b2", 1)))
+		}},
+		{"detchoice-identity-branch", true, func() *core.Entity {
+			return core.DetChoice(core.Serial(guardXA(), inc(5)), core.Identity())
+		}},
+		{"mixed-det-nondet-choice", false, func() *core.Entity {
+			return core.Choice(
+				core.DetChoice(core.Serial(guardXA(), setTag("da", 1)), core.Serial(guardX(), setTag("dx", 1))),
+				core.Serial(guardX(), setTag("nx", 1)))
+		}},
+		{"sync-firing", true, func() *core.Entity {
+			return core.SerialAll(
+				setTag("p", 1),
+				core.NewSync(
+					rtype.NewPattern(rtype.NewVariant(rtype.T("a"))),
+					rtype.NewPattern(rtype.NewVariant(rtype.F("x"))),
+				),
+				setTag("q", 2))
+		}},
+		{"sync-then-choice-no-pruning", false, func() *core.Entity {
+			// The sync's loose output type must block pruning; dispatch
+			// still has unique winners, so results stay equal.
+			return core.Serial(
+				core.NewSync(
+					rtype.NewPattern(rtype.NewVariant(rtype.T("nv1"))),
+					rtype.NewPattern(rtype.NewVariant(rtype.T("nv2"))),
+				),
+				core.Choice(core.Serial(guardXA(), setTag("ba", 1)), core.Serial(guardX(), setTag("bx", 1))))
+		}},
+		{"star-countdown", false, func() *core.Entity {
+			return starWrap(core.Serial(setTag("p", 1), inc(1)), 2)
+		}},
+		{"feedback-star", false, func() *core.Entity {
+			arm := setTag("s", 2)
+			dec := core.NewFilter("", core.FilterRule{
+				Pattern: rtype.NewPattern(rtype.NewVariant(rtype.T("s"))),
+				Outputs: []core.FilterOutput{{SetTags: []core.TagAssign{{
+					Name: "s",
+					Expr: func(r *record.Record) int { v, _ := r.Tag("s"); return v - 1 },
+					Src:  "s-=1",
+				}}}},
+			})
+			exit := rtype.NewPattern(rtype.NewVariant(rtype.T("s"))).
+				WithGuard(func(r *record.Record) bool { v, _ := r.Tag("s"); return v <= 0 }, "s<=0")
+			return core.Serial(arm, core.FeedbackStar(core.Serial(inc(1), dec), exit))
+		}},
+		{"split", false, func() *core.Entity {
+			return core.Split(core.Serial(setTag("p", 1), inc(1)), "k")
+		}},
+		{"detsplit", true, func() *core.Entity {
+			return core.DetSplit(core.Serial(setTag("p", 1), inc(1)), "k")
+		}},
+		{"split-of-choice", false, func() *core.Entity {
+			return core.Split(core.Choice(
+				core.Serial(guardXA(), setTag("ba", 1)),
+				core.Serial(guardX(), setTag("bx", 1))), "k")
+		}},
+		{"deep-mixed", false, func() *core.Entity {
+			return core.SerialAll(
+				setTag("p", 1),
+				core.DetChoice(
+					core.Serial(guardXA(), core.SerialAll(inc(1), setTag("da", 1))),
+					core.Serial(guardX(), starWrap(inc(2), 1))),
+				core.Identity(),
+				setTag("q", 2))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			Check(t, tc.build(), Config{Ordered: tc.ordered}, xrecs(18))
+		})
+	}
+}
+
+// TestErrorEquivalence feeds a record that matches no filter rule: the
+// fused instantiation must report the type error exactly like the plain
+// one (and neither may leak).
+func TestErrorEquivalence(t *testing.T) {
+	narrow := core.NewFilter("", core.FilterRule{
+		Pattern: rtype.NewPattern(rtype.NewVariant(rtype.F("missing"))),
+	})
+	e := core.Serial(setTag("p", 1), narrow)
+	Check(t, e, Config{}, xrecs(4))
+}
+
+// TestDetBatchSizes runs the deterministic corpus across transport batch
+// sizes 1–16: sequence preservation under fusion and flattening must not
+// depend on batch boundaries (extends the PR 4/5 determinism matrix to
+// the optimizer).
+func TestDetBatchSizes(t *testing.T) {
+	build := func() *core.Entity {
+		return core.SerialAll(
+			setTag("p", 1),
+			core.DetChoice(
+				core.DetChoice(core.Serial(guardXA(), inc(1)), core.Serial(guardX(), inc(2))),
+				core.Serial(guardX(), setTag("b2", 1))),
+			core.DetSplit(core.Serial(inc(3), setTag("q", 2)), "k"))
+	}
+	for _, bs := range []int{1, 2, 3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("batch%d", bs), func(t *testing.T) {
+			Check(t, build(), Config{Ordered: true, Opts: core.Options{BatchSize: bs}}, xrecs(24))
+		})
+	}
+}
+
+// TestRandomNetworks drives seeded random combinator trees through the
+// harness. The seed count is SNET_NETDIFF_SEEDS (default 32; CI runs a
+// larger budget under -race). A failing case is identified by its seed in
+// the subtest name — rerun with -run 'TestRandomNetworks/seed42'.
+func TestRandomNetworks(t *testing.T) {
+	seeds := 32
+	if s := os.Getenv("SNET_NETDIFF_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("SNET_NETDIFF_SEEDS=%q: %v", s, err)
+		}
+		seeds = n
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g := Generate(int64(seed))
+			t.Logf("seed %d: %s", seed, g.Desc)
+			Check(t, g.Entity, Config{Ordered: g.Ordered}, g.Inputs)
+		})
+	}
+}

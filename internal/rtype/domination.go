@@ -1,0 +1,78 @@
+package rtype
+
+// Dominated analyses best-match dispatch over a set of member input types
+// (the branches of a choice combinator) fed by records of an upstream
+// output type. Member j is *dominated* when no record credited to the
+// upstream type can ever win dispatch for j: for every record, some other
+// member matches with a strictly higher score. Dominated members are dead
+// routing targets — the network optimizer prunes them, and the compiler
+// warns about them — without changing which branch any record reaches.
+//
+// The analysis is sound under flow inheritance: a record leaving an
+// upstream entity carries the labels of one declared output variant u plus
+// arbitrary inherited extras. Member j's score for such a record is the
+// size of its largest matching variant vj; j is dominated when, for every
+// pair (u, vj), some other member has a variant vk with
+//
+//	vk ⊆ u ∪ vj  and  |vk| > |vj|
+//
+// — vk matches every record that u and vj jointly describe (extras only
+// enlarge the label set, which cannot un-match vk) and always outscores
+// vj. Domination is transitive along strictly growing variant sizes, so
+// pruning every dominated member at once is safe: each keeps an
+// undominated dominator among the survivors, and at least one member
+// always survives.
+//
+// The guarantee is only as good as the upstream type: it assumes records
+// really carry some declared output variant's labels. Filters and the star
+// combinator enforce this structurally; boxes promise it by contract
+// (Options.CheckTypes verifies it); synchrocells do not (records matching
+// no storage pattern pass through outside the declared output type), so
+// callers must not feed a synchrocell-derived type to this analysis.
+//
+// A nil or empty upstream type yields no domination (nothing is known
+// about the records), as does an empty member type.
+func Dominated(upstream *Type, members []*Type) []bool {
+	out := make([]bool, len(members))
+	if upstream == nil || len(upstream.variants) == 0 {
+		return out
+	}
+	for j, m := range members {
+		if m == nil || len(m.variants) == 0 {
+			continue
+		}
+		out[j] = dominatedMember(upstream, members, j)
+	}
+	return out
+}
+
+// dominatedMember reports whether every (upstream variant, member variant)
+// pair of member j has a strictly better competitor.
+func dominatedMember(upstream *Type, members []*Type, j int) bool {
+	for _, u := range upstream.variants {
+		for _, vj := range members[j].variants {
+			if !hasDominator(u, vj, members, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasDominator searches the other members for a variant vk ⊆ u ∪ vj with
+// |vk| > |vj|.
+func hasDominator(u, vj *Variant, members []*Type, j int) bool {
+	base := u.Union(vj)
+	size := vj.Size()
+	for k, mk := range members {
+		if k == j || mk == nil {
+			continue
+		}
+		for _, vk := range mk.variants {
+			if vk.Size() > size && vk.SubsetOf(base) {
+				return true
+			}
+		}
+	}
+	return false
+}

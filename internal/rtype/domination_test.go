@@ -1,0 +1,125 @@
+package rtype
+
+import "testing"
+
+func TestDominatedBasic(t *testing.T) {
+	// Upstream emits {a,b}. A branch matching {a} is always outscored by a
+	// branch matching {a,b}; the empty-pattern identity branch likewise.
+	up := NewType(NewVariant(F("a"), F("b")))
+	members := []*Type{
+		NewType(NewVariant(F("a"))),
+		NewType(NewVariant(F("a"), F("b"))),
+		NewType(NewVariant()),
+	}
+	got := Dominated(up, members)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dominated[%d] = %v, want %v (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestDominatedRespectsFlowInheritedExtras(t *testing.T) {
+	// Upstream emits {chunk}. Branch 0 wants {chunk,fst}: it cannot match a
+	// bare {chunk} record, but a flow-inherited fst label would make it win
+	// over the identity branch — so neither branch is dominated.
+	up := NewType(NewVariant(F("chunk")))
+	members := []*Type{
+		NewType(NewVariant(F("chunk"), T("fst"))),
+		NewType(NewVariant()),
+	}
+	got := Dominated(up, members)
+	if got[0] || got[1] {
+		t.Fatalf("Dominated = %v, want [false false]: inherited extras can activate branch 0", got)
+	}
+}
+
+func TestDominatedDominatorMayUseInheritedLabels(t *testing.T) {
+	// Upstream emits {a,b}. Branch 0 wants {a,c}: it only matches when c is
+	// inherited, but any such record also matches branch 1's {a,b,c} with a
+	// higher score — branch 0 is dead even though its variant is not a
+	// subset of the upstream variant.
+	up := NewType(NewVariant(F("a"), F("b")))
+	members := []*Type{
+		NewType(NewVariant(F("a"), F("c"))),
+		NewType(NewVariant(F("a"), F("b"), F("c"))),
+	}
+	got := Dominated(up, members)
+	if !got[0] || got[1] {
+		t.Fatalf("Dominated = %v, want [true false]", got)
+	}
+}
+
+func TestDominatedMultiVariantUpstream(t *testing.T) {
+	// Domination must hold for every upstream variant. Branch 0 is dominated
+	// for {a,b} records but wins {a}-only records, so it stays live.
+	up := NewType(NewVariant(F("a"), F("b")), NewVariant(F("a")))
+	members := []*Type{
+		NewType(NewVariant(F("a"))),
+		NewType(NewVariant(F("a"), F("b"))),
+	}
+	got := Dominated(up, members)
+	if got[0] || got[1] {
+		t.Fatalf("Dominated = %v, want [false false]", got)
+	}
+}
+
+func TestDominatedTransitiveChainKeepsSurvivor(t *testing.T) {
+	// a < ab < abc: the two smaller branches are dominated, the largest
+	// survives — pruning all dominated members at once leaves a winner.
+	up := NewType(NewVariant(F("a"), F("b"), F("c")))
+	members := []*Type{
+		NewType(NewVariant(F("a"))),
+		NewType(NewVariant(F("a"), F("b"))),
+		NewType(NewVariant(F("a"), F("b"), F("c"))),
+	}
+	got := Dominated(up, members)
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dominated = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDominatedEqualSizesNeverDominate(t *testing.T) {
+	// Two branches with same-size variants tie; ties round-robin, so
+	// neither is dead.
+	up := NewType(NewVariant(F("a")))
+	members := []*Type{
+		NewType(NewVariant(F("a"))),
+		NewType(NewVariant(F("a"))),
+	}
+	got := Dominated(up, members)
+	if got[0] || got[1] {
+		t.Fatalf("Dominated = %v, want [false false]: equal scores tie, not dominate", got)
+	}
+}
+
+func TestDominatedUnknownUpstream(t *testing.T) {
+	members := []*Type{
+		NewType(NewVariant(F("a"))),
+		NewType(NewVariant(F("a"), F("b"))),
+	}
+	for _, up := range []*Type{nil, EmptyType()} {
+		got := Dominated(up, members)
+		if got[0] || got[1] {
+			t.Fatalf("Dominated(upstream=%v) = %v, want all false", up, got)
+		}
+	}
+}
+
+func TestDominatedClassesDistinct(t *testing.T) {
+	// A tag t is not a field t: branch 0's tag variant is not covered by
+	// branch 1's field variant.
+	up := NewType(NewVariant(F("a"), T("t")))
+	members := []*Type{
+		NewType(NewVariant(T("t"))),
+		NewType(NewVariant(F("t"), F("a"))),
+	}
+	got := Dominated(up, members)
+	if got[0] {
+		t.Fatalf("Dominated = %v: field t must not cover tag t", got)
+	}
+}

@@ -117,6 +117,10 @@ type Config struct {
 	// other OS processes. Result.Cluster is populated when the platform
 	// has a Stats() dist.Stats method (wire.Cluster and dist.Cluster do).
 	Platform core.Platform
+	// Optimize selects the instantiation-time network optimizer level
+	// (core.Optimize). The zero value enables it; core.OptimizeOff
+	// renders on the network exactly as compiled.
+	Optimize core.OptimizeLevel
 }
 
 // MergerSource is the paper's Fig. 3 merger network, verbatim.
@@ -425,6 +429,10 @@ func (cfg *Config) build() (*core.Entity, *imageSink, error) {
 type Result struct {
 	Image   *raytrace.Image
 	Cluster dist.Stats
+	// Opt reports what the instantiation-time optimizer did to the
+	// compiled network (core.OptStats; zero when Config.Optimize was
+	// core.OptimizeOff).
+	Opt core.OptStats
 }
 
 // Render compiles and runs the configured network on a cluster platform and
@@ -459,7 +467,7 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		plat = cluster
 	}
-	opts := core.Options{Platform: plat, Placer: cfg.Placer}
+	opts := core.Options{Platform: plat, Placer: cfg.Placer, Optimize: cfg.Optimize}
 	if cfg.Mode == DynamicSteal {
 		opts.WorkStealing = true
 		if opts.Placer == nil {
@@ -483,7 +491,7 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(sink.pics) != 1 {
 		return nil, fmt.Errorf("snetray: genImg received %d pictures, want 1", len(sink.pics))
 	}
-	res := &Result{Image: sink.pics[0]}
+	res := &Result{Image: sink.pics[0], Opt: net.OptStats()}
 	if s, ok := plat.(interface{ Stats() dist.Stats }); ok {
 		res.Cluster = s.Stats()
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"snet/internal/core"
 	"snet/internal/dist"
 	"snet/internal/mpiray"
 	"snet/internal/raytrace"
@@ -219,6 +220,37 @@ func TestDynamicUsesAllNodesWhenTokensSpan(t *testing.T) {
 		if e == 0 {
 			t.Fatalf("node %d never executed: %v", n, res.Cluster.Execs)
 		}
+	}
+}
+
+// TestOptimizerPixelEquality is the application-level differential check:
+// the fused, flattened render network must produce a pixel-identical image
+// to the un-optimized instantiation of the same network (the end-to-end
+// counterpart of internal/netdiff's record-level harness).
+func TestOptimizerPixelEquality(t *testing.T) {
+	scene := raytrace.BalancedScene(30, 1)
+	base := Config{
+		Scene: scene, W: testW, H: testH,
+		Nodes: 4, CPUs: 1, Tasks: 8, Mode: Static,
+	}
+	off := base
+	off.Optimize = core.OptimizeOff
+	refRes, err := Render(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := Render(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !optRes.Image.Equal(refRes.Image) {
+		t.Fatal("optimized render differs from OptimizeOff render")
+	}
+	if !optRes.Opt.Enabled {
+		t.Fatalf("optimizer stats not recorded: %+v", optRes.Opt)
+	}
+	if optRes.Opt.EntitiesAfter >= optRes.Opt.EntitiesBefore {
+		t.Fatalf("optimizer did not shrink the render network: %+v", optRes.Opt)
 	}
 }
 

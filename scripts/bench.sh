@@ -27,6 +27,11 @@
 #                  the cross-check against the model's Stats.Bytes):
 #                    BENCH_OUT=BENCH_wire.json \
 #                    BENCH_PATTERN='BenchmarkLiveWire' scripts/bench.sh
+#                  and the FUSE trajectory (instantiation-time optimizer on
+#                  vs off on the same networks, with entities/op — the
+#                  spawned entity count — recorded as entities_op):
+#                    BENCH_OUT=BENCH_fuse.json \
+#                    BENCH_PATTERN='BenchmarkLiveFuse' scripts/bench.sh
 #
 # The JSON layout is line-oriented on purpose (one benchmark per line) so
 # this script can re-read its own baseline with awk and CI can diff it
@@ -44,19 +49,21 @@ raw="$(go test -run xxx -bench "$BENCH_PATTERN" \
 	-benchmem -benchtime "$BENCHTIME" -count 1 .)"
 printf '%s\n' "$raw"
 
-# "name ns bytes allocs steals" per line, CPU-count suffix stripped;
-# steals is "-" for benchmarks that do not report the steals/op metric.
+# "name ns bytes allocs steals entities" per line, CPU-count suffix
+# stripped; steals/entities are "-" for benchmarks that do not report the
+# corresponding metric.
 current="$(printf '%s\n' "$raw" | awk '
 	/^BenchmarkLive/ && /ns\/op/ && /allocs\/op/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
-		steals = "-"
+		steals = "-"; entities = "-"
 		for (i = 2; i <= NF; i++) {
-			if ($i == "ns/op")     ns = $(i-1)
-			if ($i == "B/op")      bytes = $(i-1)
-			if ($i == "allocs/op") allocs = $(i-1)
-			if ($i == "steals/op") steals = $(i-1)
+			if ($i == "ns/op")       ns = $(i-1)
+			if ($i == "B/op")        bytes = $(i-1)
+			if ($i == "allocs/op")   allocs = $(i-1)
+			if ($i == "steals/op")   steals = $(i-1)
+			if ($i == "entities/op") entities = $(i-1)
 		}
-		print name, ns, bytes, allocs, steals
+		print name, ns, bytes, allocs, steals, entities
 	}')"
 if [ -z "$current" ]; then
 	echo "bench.sh: no benchmark results parsed" >&2
@@ -79,24 +86,26 @@ if [ "$SET_BASELINE" -eq 0 ] && [ -f "$BENCH_OUT" ]; then
 			line = $0
 			gsub(/[",:{}]/, " ", line)
 			n = split(line, f, /[ \t]+/)
-			name = ""; ns = ""; bytes = ""; allocs = ""; steals = "-"
+			name = ""; ns = ""; bytes = ""; allocs = ""; steals = "-"; entities = "-"
 			for (i = 1; i <= n; i++) {
-				if (f[i] ~ /^Benchmark/) name = f[i]
-				if (f[i] == "ns_op")     ns = f[i+1]
-				if (f[i] == "bytes_op")  bytes = f[i+1]
-				if (f[i] == "allocs_op") allocs = f[i+1]
-				if (f[i] == "steals_op") steals = f[i+1]
+				if (f[i] ~ /^Benchmark/)   name = f[i]
+				if (f[i] == "ns_op")       ns = f[i+1]
+				if (f[i] == "bytes_op")    bytes = f[i+1]
+				if (f[i] == "allocs_op")   allocs = f[i+1]
+				if (f[i] == "steals_op")   steals = f[i+1]
+				if (f[i] == "entities_op") entities = f[i+1]
 			}
-			if (name != "") print name, ns, bytes, allocs, steals
+			if (name != "") print name, ns, bytes, allocs, steals, entities
 		}' "$BENCH_OUT")"
 fi
 [ -z "$baseline" ] && baseline="$current"
 
-emit_section() { # $1 = "name ns bytes allocs steals" lines; steals "-" omitted
+emit_section() { # $1 = "name ns bytes allocs steals entities" lines; "-" columns omitted
 	printf '%s\n' "$1" | awk '
 		{
 			extra = ""
-			if (NF >= 5 && $5 != "-") extra = sprintf(", \"steals_op\": %s", $5)
+			if (NF >= 5 && $5 != "-") extra = extra sprintf(", \"steals_op\": %s", $5)
+			if (NF >= 6 && $6 != "-") extra = extra sprintf(", \"entities_op\": %s", $6)
 			lines[NR] = sprintf("    \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s%s}", $1, $2, $3, $4, extra)
 		}
 		END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "") }'

@@ -132,8 +132,9 @@ type (
 	// capacity (BufferSize, in records), transport batching (BatchSize,
 	// FlushInterval — see docs/performance.md), the placement policy
 	// (Placer) and work stealing (WorkStealing — see docs/performance.md
-	// "Scheduling & placement"), runtime type checking and synchrocell
-	// flushing.
+	// "Scheduling & placement"), the instantiation-time optimizer
+	// (Optimize — see OptimizeLevel), runtime type checking and
+	// synchrocell flushing.
 	Options = core.Options
 	// Network is an instantiable S-Net. Beyond Run, it offers
 	// RunContext (Run bounded by a context: cancellation stops the
@@ -152,6 +153,17 @@ type (
 	// breakdown (fill-up, downstream-idle, timer, steal) — as returned by
 	// Instance.LinkStats, one entry per link in creation order.
 	LinkStats = core.LinkStats
+	// OptimizeLevel selects how aggressively NewNetwork rewrites the
+	// entity tree before instantiation (Options.Optimize): the zero value
+	// OptimizeFull flattens combinator nests, elides identities, fuses
+	// adjacent stateless entities and prunes dead choice branches;
+	// OptimizeOff spawns the tree exactly as constructed. See
+	// docs/performance.md "Optimizer".
+	OptimizeLevel = core.OptimizeLevel
+	// OptStats reports what the optimizer did to a network — entity
+	// counts before/after and per-rewrite tallies — as returned by
+	// Network.OptStats and Instance.OptStats next to LinkStats.
+	OptStats = core.OptStats
 	// Platform abstracts the compute substrate (see dist.Cluster).
 	Platform = core.Platform
 	// CancellablePlatform is optionally implemented by platforms whose
@@ -201,6 +213,14 @@ type (
 // cancelled RunContext: the network did not run to completion and records
 // in flight were discarded. Test with errors.Is.
 var ErrStopped = core.ErrStopped
+
+// Optimizer levels for Options.Optimize (see OptimizeLevel).
+const (
+	// OptimizeFull — the default — enables the whole rewrite catalogue.
+	OptimizeFull = core.OptimizeFull
+	// OptimizeOff instantiates the entity tree exactly as constructed.
+	OptimizeOff = core.OptimizeOff
+)
 
 // Batched-transport defaults, selected when the corresponding Options
 // field is zero (see docs/performance.md for the model and tuning).
