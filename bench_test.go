@@ -890,3 +890,66 @@ func BenchmarkLiveWireCommBound(b *testing.B) {
 func BenchmarkLiveWireCommBoundInProc(b *testing.B) {
 	benchWire(b, snetray.Dynamic, 1, 64, 6, false)
 }
+
+// --- Durability: what the ingress journal costs per record ----------------
+
+// The journal benches put a number on what at-least-once delivery costs on
+// a record-throughput workload: the same two-box pipeline, 1000 records per
+// op, with (a) no durability, (b) the journal on with flushing left to the
+// OS page cache (FsyncNever — the write-path CPU cost: framing, CRC, codec,
+// completion tracking), and (c) the journal on with batched fsync
+// (FsyncBatch — adds the bounded-loss flush). FsyncAlways is deliberately
+// not a trajectory: one fsync per record is a per-device constant that
+// would track the CI host's disk, not the code.
+func benchJournal(b *testing.B, durable bool, fsync snet.FsyncPolicy) {
+	symX := snet.InternLabel("x")
+	sig := snet.MustSig([]snet.Label{snet.F("x")}, []snet.Label{snet.F("x")})
+	box := func(name string) *snet.Entity {
+		return snet.NewBox(name, sig, func(c *snet.BoxCall) error {
+			c.Emit(c.NewRecord().SetFieldSym(symX, c.FieldSym(symX)))
+			return nil
+		})
+	}
+	opts := snet.Options{}
+	if durable {
+		opts.Durability = &snet.Durability{Dir: b.TempDir(), Fsync: fsync}
+	}
+	net := snet.NewNetwork(snet.Serial(box("j0"), box("j1")), opts)
+	pool := snet.NewRecordPool()
+	const records = 1000
+	ins := make([]*snet.Record, records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ins {
+			ins[j] = pool.Get().SetFieldSym(symX, j)
+		}
+		outs, err := net.Run(ins...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != records {
+			b.Fatalf("lost records: %d", len(outs))
+		}
+		for _, o := range outs {
+			pool.Put(o)
+		}
+	}
+}
+
+// BenchmarkLiveJournalOff is the reference: the pipeline with no journal.
+func BenchmarkLiveJournalOff(b *testing.B) {
+	benchJournal(b, false, snet.FsyncNever)
+}
+
+// BenchmarkLiveJournalNoSync journals every record, flushing left to the
+// OS: the durability write path minus the disk.
+func BenchmarkLiveJournalNoSync(b *testing.B) {
+	benchJournal(b, true, snet.FsyncNever)
+}
+
+// BenchmarkLiveJournalBatchSync journals every record with interval-batched
+// fsync: the bounded-loss configuration a deployment would run.
+func BenchmarkLiveJournalBatchSync(b *testing.B) {
+	benchJournal(b, true, snet.FsyncBatch)
+}

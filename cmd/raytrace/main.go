@@ -21,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
+	"snet/internal/core"
 	"snet/internal/dist"
+	"snet/internal/journal"
 	"snet/internal/mpi"
 	"snet/internal/mpiray"
 	"snet/internal/raytrace"
@@ -50,6 +53,8 @@ func main() {
 		unbal   = flag.Bool("unbalanced", true, "use the unbalanced scene")
 		outFile = flag.String("o", "", "output image (.png or .ppm)")
 		timeout = flag.Duration("timeout", 0, "abort the render after this long (snet engines; 0 = no limit)")
+		jdir    = flag.String("journal", "", "snet engines: durable ingress journal directory — the render input is fsynced to disk before rendering and acknowledged on completion, so a killed render can be replayed with -recover")
+		doRec   = flag.Bool("recover", false, "with -journal: replay an unacknowledged (crashed) render from the journal instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -128,6 +133,16 @@ func main() {
 				cfg.Policy = snetray.FactoringPolicy
 			}
 		}
+		if *jdir != "" {
+			// The journal ships the scene by spec, so the render must use
+			// the spec's cached instance — like the multi-process engine.
+			spec := wireapp.SceneSpec{Unbalanced: *unbal, Objects: *nobj, Seed: *seed}
+			cfg.Scene = spec.Build()
+			cfg.Durability = &core.Durability{
+				Dir: *jdir, Fsync: journal.FsyncAlways, Ext: wireapp.RaytraceExt(spec),
+			}
+			cfg.Recover = *doRec
+		}
 		res, err := snetray.RenderContext(ctx, cfg)
 		if err != nil {
 			// A deadline abort reclaims the whole network (no goroutine
@@ -135,6 +150,10 @@ func main() {
 			log.Fatal(err)
 		}
 		img = res.Image
+		if *jdir != "" {
+			fmt.Printf("journal: recovered %d input(s), %d dead letter(s)\n",
+				res.Recovered, len(res.DeadLetters))
+		}
 		defer fmt.Printf("cluster: %d transfers, %.1f KiB, execs/node %v, %d steals (%d sections migrated)\n",
 			res.Cluster.Transfers, float64(res.Cluster.Bytes)/1024, res.Cluster.Execs,
 			res.Cluster.Steals, res.Cluster.Migrated)
@@ -145,13 +164,22 @@ func main() {
 		// spec's cached instance — and every snetd worker must be launched
 		// with the same -objects/-seed/-unbalanced flags.
 		spec := wireapp.SceneSpec{Unbalanced: *unbal, Objects: *nobj, Seed: *seed}
-		cl, err := wire.Listen(*listen, wire.CoordinatorConfig{
+		ccfg := wire.CoordinatorConfig{
 			Workers: *nwork, CPUsPerNode: *cpus, Ext: wireapp.RaytraceExt(spec),
-		})
+		}
+		if *jdir != "" {
+			// The exec journal (dispatched-but-uncompleted solver calls)
+			// lives beside the ingress journal, not in it.
+			ccfg.JournalDir = filepath.Join(*jdir, "wire")
+		}
+		cl, err := wire.Listen(*listen, ccfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer cl.Close()
+		if n := len(cl.Orphans()); n > 0 {
+			fmt.Printf("wire: exec journal holds %d orphaned dispatch(es) from a previous coordinator\n", n)
+		}
 		fmt.Printf("waiting for %d workers on %s  (launch: snetd -connect %s -app raytrace -objects %d -seed %d -unbalanced=%v)\n",
 			*nwork, cl.Addr(), cl.Addr(), *nobj, *seed, *unbal)
 		if err := cl.WaitReady(); err != nil {
@@ -165,6 +193,12 @@ func main() {
 		}
 		if *pol == "factoring" {
 			cfg.Policy = snetray.FactoringPolicy
+		}
+		if *jdir != "" {
+			cfg.Durability = &core.Durability{
+				Dir: *jdir, Fsync: journal.FsyncAlways, Ext: wireapp.RaytraceExt(spec),
+			}
+			cfg.Recover = *doRec
 		}
 		res, err := snetray.RenderContext(ctx, cfg)
 		if err != nil {

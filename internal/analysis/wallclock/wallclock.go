@@ -1,11 +1,12 @@
 // Package wallclock enforces the PR-7 testability invariant on the
-// transport layers: production code in snet/internal/wire and
-// snet/internal/stream must not read the wall clock or create timers
-// directly — all time flows through the injected clock seams (wire.Clock,
-// the stream package's `now` hook), which is what lets the fault
-// detectors (heartbeat sweep, liveness timeout, call deadlines,
-// quarantine cool-down) be driven by synthetic time in deterministic
-// tests instead of by sleeping.
+// transport and durability layers: production code in snet/internal/wire,
+// snet/internal/stream, and snet/internal/journal must not read the wall
+// clock or create timers directly — all time flows through the injected
+// clock seams (wire.Clock, the stream package's `now` hook,
+// journal.Clock), which is what lets the fault detectors (heartbeat
+// sweep, liveness timeout, call deadlines, quarantine cool-down) and the
+// journal's batched-fsync interval be driven by synthetic time in
+// deterministic tests instead of by sleeping.
 //
 // Banned in those packages: time.Now, time.Sleep, time.Since, time.Until,
 // time.After, time.AfterFunc, time.NewTimer, time.NewTicker, time.Tick —
@@ -26,8 +27,9 @@ import (
 // packages is the analyzer's scope: transport production code whose fault
 // detectors must be drivable by synthetic time.
 var packages = map[string]bool{
-	"snet/internal/wire":   true,
-	"snet/internal/stream": true,
+	"snet/internal/wire":    true,
+	"snet/internal/stream":  true,
+	"snet/internal/journal": true,
 }
 
 // banned is the set of time-package functions that read the wall clock or

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
+	"snet/internal/journal"
 	"snet/internal/record"
 	"snet/internal/rtype"
 	"snet/internal/stream"
@@ -32,6 +35,10 @@ type BoxCall struct {
 	consumeF []record.Sym
 	consumeT []record.Sym
 	emitted  int
+	// err is the completed execution's failure (body error, or recovered
+	// panic as *panicError), left for the caller to handle: attempt
+	// decides between report-and-continue, retry, and dead-letter.
+	err error
 	// noInherit marks a detached call (CallBox): the emissions leave as the
 	// box's raw output and the process that dispatched the call applies
 	// flow inheritance when they return (see RemotePlatform).
@@ -44,6 +51,7 @@ type BoxCall struct {
 
 // Field returns the input field value; it panics when absent (the runtime
 // has already verified the matched variant's labels are present).
+//
 //lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) Field(name string) any { return c.In.MustField(name) }
 
@@ -58,6 +66,7 @@ func (c *BoxCall) FieldSym(id record.Sym) any {
 }
 
 // Tag returns the input tag value; it panics when absent.
+//
 //lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) Tag(name string) int { return c.In.MustTag(name) }
 
@@ -73,6 +82,7 @@ func (c *BoxCall) TagSym(id record.Sym) int {
 
 // HasTag reports whether the input record carries the tag (useful for
 // optional, flow-inherited tags).
+//
 //lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) HasTag(name string) bool { return c.In.HasTag(name) }
 
@@ -80,6 +90,7 @@ func (c *BoxCall) HasTag(name string) bool { return c.In.HasTag(name) }
 func (c *BoxCall) HasTagSym(id record.Sym) bool { return c.In.HasTagSym(id) }
 
 // HasField reports whether the input record carries the field.
+//
 //lint:reason string-keyed convenience surface for cold boxes; hot boxes use the Sym forms below
 func (c *BoxCall) HasField(name string) bool { return c.In.HasField(name) }
 
@@ -103,8 +114,8 @@ func (c *BoxCall) Node() int { return c.env.node }
 // of the box contract that an execution is one atomic transformation.
 func (c *BoxCall) Emit(r *record.Record) {
 	if c.env.opts.CheckTypes && !c.box.sig.Out.Accepts(r) {
-		c.env.report(entityError(c.box.name, fmt.Errorf(
-			"emitted record %s does not match output type %s", r, c.box.sig.Out)))
+		c.env.reportRT(c.box.name, ErrCatTypeCheck, r.String(), fmt.Errorf(
+			"emitted record %s does not match output type %s", r, c.box.sig.Out))
 	}
 	if !c.noInherit {
 		r.InheritFromExcept(c.In, c.consumeF, c.consumeT)
@@ -184,15 +195,20 @@ func newBoxRunner(env *Env, b *boxImpl) (*BoxCall, func()) {
 	run := func() {
 		defer func() {
 			if p := recover(); p != nil {
-				env.report(entityError(b.name, fmt.Errorf("box panicked: %v", p)))
+				call.err = &panicError{val: p}
 			}
 		}()
-		if err := b.fn(call); err != nil {
-			env.report(entityError(b.name, err))
-		}
+		call.err = b.fn(call)
 	}
 	return call, run
 }
+
+// panicError is a recovered box panic, kept distinguishable from an
+// ordinary body error so it reports under ErrCatPanic (and so dead letters
+// say what actually happened).
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("box panicked: %v", p.val) }
 
 // execute runs one box execution for record r, leaving the emissions in
 // call.pending — matching, platform scheduling (local, cancellable, or
@@ -207,9 +223,11 @@ func (b *boxImpl) execute(call *BoxCall, run func(), r *record.Record) (matched,
 	env := call.env
 	v, score := b.sig.In.BestMatch(r)
 	if score < 0 {
-		env.report(entityError(b.name, fmt.Errorf(
-			"record %s does not match input type %s", r, b.sig.In)))
-		// The record matched nothing and is dead; reclaim it.
+		env.reportRT(b.name, ErrCatNoMatch, r.String(), fmt.Errorf(
+			"record %s does not match input type %s", r, b.sig.In))
+		// The record matched nothing and is dead; the drop is sanctioned,
+		// so its delivery completes here. Reclaim it.
+		env.trackDrop(r)
 		recycle(r)
 		return false, true
 	}
@@ -218,6 +236,7 @@ func (b *boxImpl) execute(call *BoxCall, run func(), r *record.Record) (matched,
 	call.consumeF = v.FieldSyms()
 	call.consumeT = v.TagSyms()
 	call.emitted = 0
+	call.err = nil
 	if env.remPlat != nil {
 		// The platform can ship whole box calls across processes: offer it
 		// the box name and triggering record. When the call does execute
@@ -232,13 +251,11 @@ func (b *boxImpl) execute(call *BoxCall, run func(), r *record.Record) (matched,
 			return false, false
 		}
 		if remote {
-			if err != nil {
-				env.report(entityError(b.name, err))
-			}
+			call.err = err
 			for _, o := range outs {
 				if env.opts.CheckTypes && !b.sig.Out.Accepts(o) {
-					env.report(entityError(b.name, fmt.Errorf(
-						"emitted record %s does not match output type %s", o, b.sig.Out)))
+					env.reportRT(b.name, ErrCatTypeCheck, o.String(), fmt.Errorf(
+						"emitted record %s does not match output type %s", o, b.sig.Out))
 				}
 				o.InheritFromExcept(r, call.consumeF, call.consumeT)
 			}
@@ -253,6 +270,81 @@ func (b *boxImpl) execute(call *BoxCall, run func(), r *record.Record) (matched,
 		return false, false
 	}
 	return true, true
+}
+
+// boxErrCategory classifies an execution failure: panics — local (typed) or
+// remote (flattened to text by the wire) — report under ErrCatPanic,
+// everything else is an ordinary box error.
+func boxErrCategory(err error) ErrorCategory {
+	var pe *panicError
+	if errors.As(err, &pe) || strings.HasPrefix(err.Error(), "box panicked:") {
+		return ErrCatPanic
+	}
+	return ErrCatBox
+}
+
+// attempt runs box executions for record r under the instance's retry
+// policy (Options.BoxRetry), leaving the successful execution's emissions
+// in call.pending. Outcomes mirror execute's, plus dead: with retry enabled
+// (Attempts >= 1), a failed attempt's partial emissions are discarded and
+// the box re-runs against the unchanged input after a backoff; once the
+// budget is exhausted the record moves to the dead-letter queue and dead is
+// true — call.pending is empty and r now belongs to the queue, the caller
+// must neither send nor recycle. Without retry, a failure is reported and
+// the partial emissions flow (the historical behaviour).
+func (b *boxImpl) attempt(call *BoxCall, run func(), r *record.Record) (matched, ok, dead bool) {
+	env := call.env
+	policy := env.opts.BoxRetry
+	for n := 1; ; n++ {
+		matched, ok = b.execute(call, run, r)
+		if !ok || !matched {
+			return matched, ok, false
+		}
+		err := call.err
+		call.err = nil
+		if err == nil {
+			env.trackFork(r, len(call.pending))
+			return true, true, false
+		}
+		cat := boxErrCategory(err)
+		if policy.Attempts <= 0 {
+			env.reportRT(b.name, cat, r.String(), err)
+			env.trackFork(r, len(call.pending))
+			return true, true, false
+		}
+		// Failed under retry: the attempt's partial emissions are
+		// discarded — a re-run must start from the input record alone, or
+		// the attempts' outputs would compound.
+		b.discardAttempt(call, r)
+		if n >= policy.Attempts {
+			env.reportRT(b.name, cat, r.String(), fmt.Errorf(
+				"dead-lettered after %d attempts: %w", n, err))
+			env.trackDrop(r)
+			env.deadLetter(b.name, r, n, err)
+			call.In = nil
+			call.Matched = nil
+			return true, true, true
+		}
+		if !env.retryWait(journal.Backoff(policy.Backoff, policy.MaxBackoff, n)) {
+			call.In = nil
+			call.Matched = nil
+			return false, false, false
+		}
+	}
+}
+
+// discardAttempt reclaims a failed attempt's partial emissions. The input
+// record survives even when the body re-emitted it — it is the retry's (or
+// the dead letter's) subject.
+func (b *boxImpl) discardAttempt(call *BoxCall, r *record.Record) {
+	for _, o := range call.pending {
+		if o != r {
+			recycle(o)
+		}
+	}
+	clear(call.pending)
+	call.pending = call.pending[:0]
+	call.emitted = 0
 }
 
 // finishCall inspects a completed execution's emissions for the input
@@ -278,11 +370,11 @@ func finishCall(call *BoxCall, r *record.Record) (reemitted bool) {
 // reports false when the instance was stopped (while waiting for a CPU
 // slot or flushing output), in which case the box goroutine must unwind.
 func (b *boxImpl) invoke(call *BoxCall, run func(), r *record.Record, out *stream.Link) bool {
-	matched, ok := b.execute(call, run, r)
+	matched, ok, dead := b.attempt(call, run, r)
 	if !ok {
 		return false
 	}
-	if !matched {
+	if !matched || dead {
 		return true
 	}
 	env := call.env

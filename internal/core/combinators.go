@@ -159,9 +159,11 @@ func choiceEnt(branches []*Entity, tree *selNode, ncursors int, elide bool) *Ent
 				}
 				best := pickBranch(branches, tree, st, cursors, r)
 				if best < 0 {
-					env.report(entityError(e.Name(), fmt.Errorf(
-						"record %s matches no branch input type", r)))
-					// The dropped record is dead; reclaim it.
+					env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+						"record %s matches no branch input type", r))
+					// The dropped record is dead; its delivery completes
+					// here. Reclaim it.
+					env.trackDrop(r)
 					recycle(r)
 					continue
 				}
@@ -547,9 +549,11 @@ func splitImpl(a *Entity, tag string, nameFn func() string, placed bool) *Entity
 							i++
 							continue
 						}
-						env.report(entityError(e.Name(), fmt.Errorf(
-							"record %s lacks index tag <%s>", r, tag)))
-						// The dropped record is dead; reclaim it.
+						env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+							"record %s lacks index tag <%s>", r, tag))
+						// The dropped record is dead; its delivery
+						// completes here. Reclaim it.
+						env.trackDrop(r)
 						recycle(r)
 						i++
 						continue

@@ -1,4 +1,3 @@
-//snet:hot
 // Package core implements the S-Net streaming runtime: stateless boxes made
 // into asynchronous stream components, the four SISO network combinators
 // (serial ".." and parallel "|" composition, serial replication "*" and
@@ -18,6 +17,8 @@
 // is tracked by a WaitGroup, so an aborted network — even one wedged
 // against an unread output or a saturated platform — unwinds completely
 // and leaks nothing.
+//
+//snet:hot
 package core
 
 import (
@@ -26,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snet/internal/journal"
 	"snet/internal/record"
 	"snet/internal/rtype"
 	"snet/internal/stream"
@@ -163,6 +165,15 @@ type Options struct {
 	// value enables the full rewrite catalogue; OptimizeOff spawns the
 	// tree exactly as constructed.
 	Optimize OptimizeLevel
+	// Durability enables the ingress journal: at-least-once delivery with
+	// replay after a crash (see Durability and Instance.Recover). Nil
+	// keeps the in-memory-only behaviour.
+	Durability *Durability
+	// BoxRetry governs failed box executions: the zero value reports and
+	// moves on (historical behaviour); Attempts >= 1 retries with backoff
+	// and dead-letters the record once the budget is exhausted (see
+	// BoxRetry and Instance.DeadLetters).
+	BoxRetry BoxRetry
 }
 
 // DefaultBufferSize is used when Options.BufferSize is zero-valued via
@@ -185,9 +196,12 @@ type Env struct {
 	node      int
 	opts      Options
 	errs      *errSink
-	done      chan struct{}   // closed by Instance.Stop; nil never happens
-	wg        *sync.WaitGroup // counts every goroutine started via start
-	links     *linkReg        // every stream link of the instance
+	done      chan struct{}    // closed by Instance.Stop; nil never happens
+	wg        *sync.WaitGroup  // counts every goroutine started via start
+	links     *linkReg         // every stream link of the instance
+	jnl       *journal.Journal // ingress journal; nil without Durability
+	track     *tracker         // delivery completion tracking; nil without a journal
+	dead      *deadSink        // retry-exhausted records (BoxRetry)
 }
 
 // newEnv builds the root environment.
@@ -203,6 +217,7 @@ func newEnv(opts Options) *Env {
 		done:     make(chan struct{}),
 		wg:       &sync.WaitGroup{},
 		links:    &linkReg{},
+		dead:     &deadSink{},
 	}
 	e.cancPlat, _ = opts.Platform.(CancellablePlatform)
 	e.batchPlat, _ = opts.Platform.(BatchPlatform)
@@ -469,11 +484,12 @@ const maxRetainedErrors = 64
 // outside the capped retention: ErrStopped must surface from Err even when
 // an error flood has already filled the sink.
 type errSink struct {
-	mu      sync.Mutex
-	errs    []error
-	total   int // every error ever reported, retained or not
-	dropped int // errors beyond the retention cap
-	stopped bool
+	mu        sync.Mutex
+	errs      []error
+	total     int // every error ever reported, retained or not
+	dropped   int // errors beyond the retention cap
+	droppedBy [numErrorCategories]int
+	stopped   bool
 }
 
 func (s *errSink) add(err error) {
@@ -486,6 +502,7 @@ func (s *errSink) add(err error) {
 		s.errs = append(s.errs, err)
 	} else {
 		s.dropped++
+		s.droppedBy[categoryOf(err)]++
 	}
 	s.mu.Unlock()
 }
@@ -519,6 +536,26 @@ func (s *errSink) count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// report builds the structured snapshot behind Instance.Errs.
+func (s *errSink) report() ErrorReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := ErrorReport{Stopped: s.stopped, Total: s.total}
+	rep.Retained = make([]*RuntimeError, len(s.errs))
+	for i, err := range s.errs {
+		rep.Retained[i] = asRuntimeError(err)
+	}
+	if s.dropped > 0 {
+		rep.Dropped = make(map[ErrorCategory]int)
+		for c, n := range s.droppedBy {
+			if n > 0 {
+				rep.Dropped[ErrorCategory(c)] = n
+			}
+		}
+	}
+	return rep
 }
 
 // SpawnFunc instantiates an entity: it must start whatever goroutines the

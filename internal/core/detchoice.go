@@ -139,8 +139,9 @@ func detChoiceEnt(branches []*Entity, tree *selNode, ncursors int, elide bool) *
 				}
 				best := pickBranch(branches, tree, st, cursors, r)
 				if best < 0 {
-					env.report(entityError(e.Name(), fmt.Errorf(
-						"record %s matches no branch input type", r)))
+					env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+						"record %s matches no branch input type", r))
+					env.trackDrop(r)
 					recycle(r)
 					continue
 				}
@@ -225,8 +226,9 @@ func DetSplit(a *Entity, tag string) *Entity {
 				}
 				v, ok := r.TagSym(tagSym)
 				if !ok {
-					env.report(entityError(e.Name(), fmt.Errorf(
-						"record %s lacks index tag <%s>", r, tag)))
+					env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+						"record %s lacks index tag <%s>", r, tag))
+					env.trackDrop(r)
 					recycle(r)
 					continue
 				}

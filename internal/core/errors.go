@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// ErrorCategory classifies a runtime error for aggregation: Instance.Errs
+// reports dropped-beyond-retention counts per category, so a flood of one
+// failure mode cannot hide what kinds of errors occurred.
+type ErrorCategory uint8
+
+const (
+	// ErrCatOther covers errors with no more specific category (including
+	// raw errors reported by platform integrations).
+	ErrCatOther ErrorCategory = iota
+	// ErrCatNoMatch is a record matching no input variant, filter rule,
+	// choice branch, or missing a split's index tag — a dynamic type error.
+	// The record is dropped (and its delivery acked: the drop is
+	// sanctioned, replay would only drop it again).
+	ErrCatNoMatch
+	// ErrCatBox is a box body returning an error.
+	ErrCatBox
+	// ErrCatPanic is a box body panicking (recovered by the runtime).
+	ErrCatPanic
+	// ErrCatTypeCheck is a CheckTypes violation: an emitted record outside
+	// the box's declared output type.
+	ErrCatTypeCheck
+	// ErrCatJournal is a durability failure: the ingress journal refusing
+	// an append or an ack. The record still flows — durability degrades,
+	// delivery does not stop.
+	ErrCatJournal
+
+	numErrorCategories
+)
+
+// String names the category.
+func (c ErrorCategory) String() string {
+	switch c {
+	case ErrCatNoMatch:
+		return "no-match"
+	case ErrCatBox:
+		return "box"
+	case ErrCatPanic:
+		return "panic"
+	case ErrCatTypeCheck:
+		return "type-check"
+	case ErrCatJournal:
+		return "journal"
+	}
+	return "other"
+}
+
+// RuntimeError is a structured runtime error: which entity raised it, what
+// kind of failure it was, and the shape of the record involved (its String
+// rendering at fault time — the record itself may since have been recycled
+// or retried). Every error the runtime itself reports is a *RuntimeError;
+// Instance.Err flattens them into the joined error text callers already
+// parse, Instance.Errs returns them structured.
+type RuntimeError struct {
+	// Entity is the diagnostic name of the reporting entity; empty for
+	// instance-level failures (journal open, ack write-back).
+	Entity string
+	// Category classifies the failure.
+	Category ErrorCategory
+	// Shape is the involved record's rendering at fault time, when a
+	// record was involved.
+	Shape string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the error in the runtime's established format.
+func (e *RuntimeError) Error() string {
+	if e.Entity == "" {
+		return fmt.Sprintf("snet: %v", e.Err)
+	}
+	return fmt.Sprintf("snet: entity %s: %v", e.Entity, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// ErrorReport is the structured view of an instance's error sink.
+//
+// Retention contract: the sink keeps the first maxRetainedErrors errors
+// verbatim (the ones that tell the story); everything beyond the cap is
+// counted in Dropped by category, and Total counts every report ever made.
+// Stopped lives outside the cap — an aborted instance always reports it.
+type ErrorReport struct {
+	// Stopped reports whether the instance was aborted with Stop.
+	Stopped bool
+	// Total is every error ever reported, retained or not (Stopped
+	// included, matching ErrCount).
+	Total int
+	// Retained are the first errors reported, oldest first, at most
+	// maxRetainedErrors of them.
+	Retained []*RuntimeError
+	// Dropped counts the errors beyond the retention cap, by category.
+	// Nil when nothing was dropped.
+	Dropped map[ErrorCategory]int
+}
+
+// reportRT records a structured runtime error against the instance sink.
+func (e *Env) reportRT(entity string, cat ErrorCategory, shape string, err error) {
+	e.errs.add(&RuntimeError{Entity: entity, Category: cat, Shape: shape, Err: err})
+}
+
+// asRuntimeError returns err structured, wrapping foreign errors as
+// ErrCatOther so ErrorReport is uniformly typed.
+func asRuntimeError(err error) *RuntimeError {
+	if re, ok := err.(*RuntimeError); ok {
+		return re
+	}
+	return &RuntimeError{Category: ErrCatOther, Err: err}
+}
+
+// categoryOf classifies an arbitrary reported error for drop accounting.
+func categoryOf(err error) ErrorCategory {
+	if re, ok := err.(*RuntimeError); ok {
+		return re.Category
+	}
+	return ErrCatOther
+}

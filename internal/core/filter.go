@@ -192,11 +192,14 @@ func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, ou
 		}
 		var delivered bool
 		if len(rule.outputs) == 1 {
+			// Fan count 1: the output carries the input's delivery
+			// lineage, no accounting needed.
 			delivered = env.send(out, buildOutput(&rule.outputs[0], rule, r))
 		} else {
 			for oi := range rule.outputs {
 				scratch = append(scratch, buildOutput(&rule.outputs[oi], rule, r))
 			}
+			env.trackFork(r, len(rule.outputs))
 			delivered = env.sendMany(out, scratch)
 			clear(scratch)
 		}
@@ -208,9 +211,11 @@ func applyFilter(env *Env, e *Entity, rules []compiledRule, r *record.Record, ou
 		recycle(r)
 		return scratch, true
 	}
-	env.report(entityError(e.Name(), fmt.Errorf(
-		"record %s matches no filter rule", r)))
-	// The unmatched record was dropped; reclaim it.
+	env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+		"record %s matches no filter rule", r))
+	// The unmatched record was dropped on purpose; its delivery completes
+	// here. Reclaim it.
+	env.trackDrop(r)
 	recycle(r)
 	return scratch, true
 }
@@ -230,11 +235,13 @@ func runRules(env *Env, e *Entity, rules []compiledRule, r *record.Record, dst [
 		for oi := range rule.outputs {
 			dst = append(dst, buildOutput(&rule.outputs[oi], rule, r))
 		}
+		env.trackFork(r, len(rule.outputs))
 		recycle(r)
 		return dst
 	}
-	env.report(entityError(e.Name(), fmt.Errorf(
-		"record %s matches no filter rule", r)))
+	env.reportRT(e.Name(), ErrCatNoMatch, r.String(), fmt.Errorf(
+		"record %s matches no filter rule", r))
+	env.trackDrop(r)
 	recycle(r)
 	return dst
 }

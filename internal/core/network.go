@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
+	"snet/internal/journal"
 	"snet/internal/record"
 	"snet/internal/stream"
 )
@@ -73,6 +75,8 @@ type Instance struct {
 	optStats  OptStats
 	stopOnce  sync.Once
 	closeOnce sync.Once
+	jnlOnce   sync.Once
+	recovered bool
 }
 
 // Start instantiates the network and returns its global input and output
@@ -82,13 +86,33 @@ type Instance struct {
 // runs on the batched transport.
 func (n *Network) Start() *Instance {
 	env := newEnv(n.opts)
+	if d := n.opts.Durability; d != nil {
+		// A journal that cannot open degrades durability, not delivery:
+		// the failure is reported and the instance runs untracked.
+		j, err := journal.Open(journal.Config{
+			Dir: d.Dir, FS: d.FS, SegmentBytes: d.SegmentBytes,
+			Fsync: d.Fsync, FsyncInterval: d.FsyncInterval,
+			Clock: d.Clock, Ext: d.Ext,
+		})
+		if err != nil {
+			env.reportRT("", ErrCatJournal, "", fmt.Errorf("journal open: %w", err))
+		} else {
+			env.jnl = j
+			env.track = newTracker(j, env.errs)
+		}
+	}
 	in := make(chan *record.Record, max(0, n.opts.BufferSize))
 	out := make(chan *record.Record, max(0, n.opts.BufferSize))
 	first := env.newLink()
 	last := env.newLink()
 	n.optimized.Spawn(env, first, last)
 	// Intake: channel -> first link. The link's own flush policy decides
-	// batch boundaries; closing In cascades into the network.
+	// batch boundaries; closing In cascades into the network. With a
+	// journal, each accepted data record is logged and stamped with its
+	// delivery id before it enters the network — a record arriving with a
+	// delivery id already set is a replay (Recover) and is tracked without
+	// being re-journaled. Records the journal cannot encode (opaque field
+	// values without an Ext codec) flow through untracked.
 	env.start(func() {
 		defer env.closeLink(first)
 		for {
@@ -102,21 +126,46 @@ func (n *Network) Start() *Instance {
 			if !ok {
 				return
 			}
+			if env.jnl != nil && r.IsData() {
+				if id := r.Delivery(); id != 0 {
+					env.track.open(id)
+				} else if env.jnl.Marshalable(r) {
+					id, err := env.jnl.Append("", r)
+					if err != nil {
+						env.reportRT("", ErrCatJournal, r.String(),
+							fmt.Errorf("journal append: %w", err))
+					} else {
+						r.SetDelivery(id)
+						env.track.open(id)
+					}
+				}
+			}
 			if !first.Send(r, env.done) {
 				return
 			}
 		}
 	})
 	// Outlet: last link -> channel. Records are delivered one at a time
-	// (the public contract), whole batches are drained per wakeup.
+	// (the public contract), whole batches are drained per wakeup. The
+	// hand-off to Out is the completion boundary of a tracked delivery:
+	// each record's id is acknowledged — batched, one tracker call per
+	// link batch — after the record is in the caller's channel.
+	var sink stream.AckSink
+	if env.track != nil {
+		sink = env.track
+	}
 	env.start(func() {
 		defer close(out)
+		acker := stream.NewAcker(sink)
 		for {
 			b, ok := last.RecvBatch(env.done)
 			if !ok {
 				return
 			}
 			for _, r := range b.Recs {
+				// Read the id before the send: the channel hand-off
+				// transfers ownership, the receiver may recycle at once.
+				id := r.Delivery()
 				select {
 				case out <- r: // buffered fast path
 				default:
@@ -126,7 +175,9 @@ func (n *Network) Start() *Instance {
 						return
 					}
 				}
+				acker.Observe(id)
 			}
+			acker.Flush()
 			stream.FreeBatch(b)
 		}
 	})
@@ -158,6 +209,70 @@ func (i *Instance) OptStats() OptStats { return i.optStats }
 // Stop the result includes ErrStopped.
 func (i *Instance) Err() error {
 	return errors.Join(i.env.errs.all()...)
+}
+
+// Errs returns the structured view of the instance's runtime errors: each
+// retained error with the reporting entity, a failure category and the
+// involved record's shape, plus per-category counts of errors dropped
+// beyond the retention cap (see ErrorReport for the retention contract).
+func (i *Instance) Errs() ErrorReport { return i.env.errs.report() }
+
+// DeadLetters returns the records the runtime has given up on under
+// Options.BoxRetry: for each, the exact input record of the failed box
+// executions, the box's name, the attempt count and the final error. The
+// queue keeps the first maxDeadLetters letters; dropped is how many more
+// were discarded beyond that cap. The records stay owned by the instance —
+// treat them as read-only.
+func (i *Instance) DeadLetters() (letters []DeadLetter, dropped int) {
+	return i.env.dead.snapshot()
+}
+
+// Recover replays the journal's unacknowledged records — deliveries whose
+// derivation trees had not completed when the previous instance died —
+// into this instance's input, in original acceptance order. dir must match
+// Options.Durability.Dir (a cross-check that the caller is replaying the
+// journal this instance actually opened). Replayed records keep their
+// original delivery ids: they are tracked without being re-journaled, and
+// the journal's own replay already deduplicated by id, so a record is
+// re-offered at most once per restart.
+//
+// Call Recover once, after Start and before feeding new input, so replayed
+// records precede fresh ones. It returns how many records were re-offered.
+func (i *Instance) Recover(dir string) (int, error) {
+	if i.env.jnl == nil {
+		return 0, errors.New("snet: Recover: instance has no journal (Options.Durability unset or open failed)")
+	}
+	if d := i.env.opts.Durability.Dir; dir != d {
+		return 0, fmt.Errorf("snet: Recover: dir %q does not match the instance journal dir %q", dir, d)
+	}
+	if i.recovered {
+		return 0, errors.New("snet: Recover: already recovered")
+	}
+	i.recovered = true
+	n := 0
+	for _, e := range i.env.jnl.Recovered() {
+		e.Rec.SetDelivery(e.ID)
+		if !i.Send(e.Rec) {
+			return n, ErrStopped
+		}
+		n++
+	}
+	return n, nil
+}
+
+// closeJournal releases the ingress journal once, reporting a failed close
+// to the error sink. It must only run after every runtime goroutine has
+// finished (no more appends or acks in flight).
+func (i *Instance) closeJournal() {
+	if i.env.jnl == nil {
+		return
+	}
+	i.jnlOnce.Do(func() {
+		if err := i.env.jnl.Close(); err != nil {
+			i.env.errs.add(&RuntimeError{Category: ErrCatJournal,
+				Err: fmt.Errorf("journal close: %w", err)})
+		}
+	})
 }
 
 // ErrCount returns the number of runtime errors reported so far, including
@@ -196,6 +311,15 @@ func (i *Instance) Send(r *record.Record) bool {
 	}
 }
 
+// CloseIn closes the instance's input stream, idempotently, initiating
+// orderly shutdown; Out closes once the network has drained. Use it when
+// the caller collects Out itself and only then calls Close (which becomes
+// the completion barrier — its own drain finds Out already empty). The
+// channel rules still apply: every producer must have stopped sending.
+func (i *Instance) CloseIn() {
+	i.closeOnce.Do(func() { close(i.in) })
+}
+
 // Stop aborts the instance: all entity goroutines — wherever they are
 // blocked — unwind, platform CPU slots being waited on are released, Out is
 // closed and drained, and every runtime goroutine is reclaimed before Stop
@@ -214,6 +338,9 @@ func (i *Instance) Stop() error {
 	for r := range i.Out {
 		recycle(r)
 	}
+	// Discarded in-flight records were never acknowledged — that is the
+	// point: a successor instance over the same directory replays them.
+	i.closeJournal()
 	return ErrStopped
 }
 
@@ -232,6 +359,7 @@ func (i *Instance) Close() error {
 		recycle(r)
 	}
 	i.env.wg.Wait()
+	i.closeJournal()
 	return i.Err()
 }
 
@@ -271,6 +399,7 @@ func (n *Network) RunContext(ctx context.Context, inputs ...*record.Record) ([]*
 		outs = append(outs, r)
 	}
 	inst.env.wg.Wait()
+	inst.closeJournal()
 	if ctx.Err() != nil {
 		return outs, errors.Join(ctx.Err(), inst.Err())
 	}

@@ -516,14 +516,17 @@ func spawnFused(e *Entity) SpawnFunc {
 						}
 					} else {
 						for _, rec := range cur {
-							matched, ok := s.box.execute(calls[si], runs[si], rec)
+							matched, ok, dead := s.box.attempt(calls[si], runs[si], rec)
 							if !ok {
 								// Stopped mid-chain: unwind; in-flight
 								// records are dropped like any stopped
 								// instance's.
 								return
 							}
-							if !matched {
+							if !matched || dead {
+								// Dropped (no match) or dead-lettered:
+								// nothing pending, the record is no
+								// longer ours.
 								continue
 							}
 							next = append(next, calls[si].pending...)

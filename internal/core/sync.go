@@ -49,9 +49,22 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 				// Storage discarded at close (no flush, or a stopped
 				// instance mid-flush) is dead — the cell is its only
 				// owner — so it goes back to the pool instead of leaking.
+				// The termination discard is sanctioned (the reference
+				// runtime's behaviour), so the deliveries complete here —
+				// except under Stop, where discarded records stay
+				// unacknowledged on purpose: a recovery replays them.
 				defer func() {
+					stopped := false
+					select {
+					case <-env.done:
+						stopped = true
+					default:
+					}
 					for i, s := range stored {
 						if s != nil {
+							if !stopped {
+								env.trackDrop(s)
+							}
 							recycle(s)
 							stored[i] = nil
 						}
@@ -90,8 +103,15 @@ func NewSync(patterns ...*rtype.Pattern) *Entity {
 						}
 						fired = true
 						// The stored records died in the merge; recycle
-						// them (field values flow on by reference).
+						// them (field values flow on by reference). The
+						// merged record carries stored[0]'s delivery
+						// lineage (Copy); the others' deliveries complete
+						// here — their labels flowed into m, replaying
+						// them would double the contribution.
 						for i, s := range stored {
+							if i > 0 {
+								env.trackDrop(s)
+							}
 							recycle(s)
 							stored[i] = nil
 						}

@@ -1,0 +1,159 @@
+// Package faultfs wraps a journal.FS with a deterministic disk fault
+// schedule — the disk sibling of internal/faultwire. Journal recovery
+// paths (short writes, torn frames, failing fsyncs, crash-truncated
+// tails) are unit-testable without real crashes: the test arms a fault,
+// drives the journal, and asserts the recovery outcome.
+//
+// Faults are armed on the FS and apply to the files opened through it:
+//
+//   - FailWrite(n, keep): the n-th Write (1-based, counted across all
+//     files) writes only keep bytes and returns an error — a short write.
+//   - FailSync(n): the n-th and every later Sync returns an error.
+//   - CutAfter(total): writes beyond total bytes (counted across all
+//     files) are silently discarded while still reporting success — the
+//     page-cache tail lost to a crash, which is how a torn frame reaches
+//     disk in the wild.
+//
+// The zero schedule is transparent. All methods are safe for concurrent
+// use.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+
+	"snet/internal/journal"
+)
+
+// ErrInjected is the error returned by injected write and sync failures.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner journal.FS with the fault schedule.
+type FS struct {
+	inner journal.FS
+
+	mu        sync.Mutex
+	writes    int // Writes observed so far
+	syncs     int // Syncs observed so far
+	written   int // payload bytes accepted so far (CutAfter accounting)
+	failWrite int // 1-based write index to shorten; 0 = disarmed
+	shortKeep int // bytes the failing write still persists
+	failSync  int // 1-based sync index from which Syncs fail; 0 = disarmed
+	cutAfter  int // byte budget; <0 = disarmed
+}
+
+// New wraps inner with an empty fault schedule.
+func New(inner journal.FS) *FS {
+	return &FS{inner: inner, cutAfter: -1}
+}
+
+// FailWrite arms a short write: the n-th Write (1-based, from now) persists
+// only keep bytes and returns ErrInjected.
+func (f *FS) FailWrite(n, keep int) {
+	f.mu.Lock()
+	f.failWrite = f.writes + n
+	f.shortKeep = keep
+	f.mu.Unlock()
+}
+
+// FailSync makes the n-th (1-based, from now) and all later Syncs return
+// ErrInjected.
+func (f *FS) FailSync(n int) {
+	f.mu.Lock()
+	f.failSync = f.syncs + n
+	f.mu.Unlock()
+}
+
+// CutAfter discards (successfully, from the writer's point of view) every
+// byte written past the given budget from now — the crash-torn tail.
+func (f *FS) CutAfter(total int) {
+	f.mu.Lock()
+	f.cutAfter = f.written + total
+	f.mu.Unlock()
+}
+
+// Writes returns how many Write calls the FS has observed.
+func (f *FS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Syncs returns how many Sync calls the FS has observed.
+func (f *FS) Syncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.syncs }
+
+// OpenAppend opens the inner file wrapped with the fault schedule.
+func (f *FS) OpenAppend(name string) (journal.File, error) {
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// ReadFile delegates to the inner FS.
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Remove delegates to the inner FS.
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+// List delegates to the inner FS.
+func (f *FS) List() ([]string, error) { return f.inner.List() }
+
+type file struct {
+	fs    *FS
+	inner journal.File
+}
+
+// Write applies the armed write faults before delegating.
+func (w *file) Write(p []byte) (int, error) {
+	f := w.fs
+	f.mu.Lock()
+	f.writes++
+	short := f.failWrite > 0 && f.writes == f.failWrite
+	keep := f.shortKeep
+	cut := f.cutAfter
+	if short {
+		f.failWrite = 0
+	}
+	if short && keep > len(p) {
+		keep = len(p)
+	}
+	persist := p
+	if short {
+		persist = p[:keep]
+	}
+	if cut >= 0 {
+		room := cut - f.written
+		if room < 0 {
+			room = 0
+		}
+		if room < len(persist) {
+			persist = persist[:room]
+		}
+	}
+	f.written += len(persist)
+	f.mu.Unlock()
+	if len(persist) > 0 {
+		if n, err := w.inner.Write(persist); err != nil {
+			return n, err
+		}
+	}
+	if short {
+		return len(persist), ErrInjected
+	}
+	// A cut write lies like a crashed kernel would: success, tail gone.
+	return len(p), nil
+}
+
+// Sync applies the armed sync fault before delegating.
+func (w *file) Sync() error {
+	f := w.fs
+	f.mu.Lock()
+	f.syncs++
+	fail := f.failSync > 0 && f.syncs >= f.failSync
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return w.inner.Sync()
+}
+
+// Close delegates to the inner file.
+func (w *file) Close() error { return w.inner.Close() }

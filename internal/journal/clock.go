@@ -1,0 +1,69 @@
+package journal
+
+import "time"
+
+// Clock is the journal's injected time source, mirroring wire.Clock: the
+// fsync-interval batching decision and the box-retry backoff waits read
+// time only through it, so durability tests (and the wallclock lint, whose
+// scope covers this package) can drive both with synthetic time instead of
+// sleeping.
+//
+// The zero value binds to real time on first use via the accessors below.
+type Clock struct {
+	// NowFn returns the current time; nil means time.Now.
+	NowFn func() time.Time
+	// TimerFn starts a one-shot timer; nil means time.NewTimer semantics.
+	TimerFn func(d time.Duration) Timer
+}
+
+// Timer is a stoppable one-shot timer, the subset of *time.Timer the
+// runtime's backoff waits need.
+type Timer struct {
+	C      <-chan time.Time
+	StopFn func() bool
+}
+
+// Stop cancels the timer; it is safe on a Timer whose StopFn is nil.
+func (t Timer) Stop() bool {
+	if t.StopFn == nil {
+		return false
+	}
+	return t.StopFn()
+}
+
+// Now returns the clock's current time.
+func (c Clock) Now() time.Time {
+	if c.NowFn != nil {
+		return c.NowFn()
+	}
+	return time.Now() //lint:reason default real-time binding of the clock seam
+}
+
+// Timer starts a one-shot timer on the clock.
+func (c Clock) Timer(d time.Duration) Timer {
+	if c.TimerFn != nil {
+		return c.TimerFn(d)
+	}
+	t := time.NewTimer(d) //lint:reason default real-time binding of the clock seam
+	return Timer{C: t.C, StopFn: t.Stop}
+}
+
+// Backoff returns the delay before retry attempt n (1-based: the wait after
+// the n-th failed attempt): base doubled per prior failure, capped at max.
+// A non-positive base disables waiting; a non-positive max means uncapped.
+func Backoff(base, max time.Duration, n int) time.Duration {
+	if base <= 0 || n < 1 {
+		return 0
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			return max
+		}
+	}
+	if max > 0 && d > max {
+		return max
+	}
+	return d
+}

@@ -1,0 +1,74 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FS is the journal's filesystem seam: everything the segmented log does to
+// disk goes through it, so recovery paths — short writes, torn frames,
+// failing fsyncs — are testable deterministically (internal/faultfs wraps
+// any FS with an injected fault schedule, the disk sibling of
+// internal/faultwire). Names are segment file names relative to the
+// journal's directory; implementations own the rooting.
+type FS interface {
+	// OpenAppend opens name for appending, creating it (and the root
+	// directory) if needed.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Remove deletes name (used by segment truncation).
+	Remove(name string) error
+	// List returns the existing file names in lexical order; a root that
+	// does not exist yet lists empty, not an error.
+	List() ([]string, error)
+}
+
+// File is an append-target segment file.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage (the fsync-policy hook).
+	Sync() error
+	Close() error
+}
+
+// DirFS returns the real-disk FS rooted at dir. The directory is created
+// lazily on the first OpenAppend.
+func DirFS(dir string) FS { return dirFS{dir: dir} }
+
+type dirFS struct{ dir string }
+
+func (d dirFS) OpenAppend(name string) (File, error) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (d dirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d dirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(d.dir, name))
+}
+
+func (d dirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), segPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

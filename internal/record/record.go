@@ -88,6 +88,15 @@ type Record struct {
 	kind  Kind
 	shape uint64 // cached shape hash; 0 means not computed
 
+	// delivery is the at-least-once delivery id stamped by the runtime's
+	// ingress journal (0 = untracked). It is runtime lineage metadata, not
+	// a label: it never participates in matching, inheritance's override
+	// rule, marshaling or Equal. Copy preserves it and InheritFromExcept
+	// propagates it to derived records (unless they already carry one), so
+	// every record descended from a journaled ingress record stays
+	// attributable to its delivery id without per-entity bookkeeping.
+	delivery uint64
+
 	// Entries sorted by Sym; they alias the inline arrays below until they
 	// outgrow them.
 	fields []fieldEntry
@@ -133,8 +142,17 @@ func (r *Record) Reset() *Record {
 	r.tags = r.tags[:0]
 	r.btags = r.btags[:0]
 	r.shape = 0
+	r.delivery = 0
 	return r
 }
+
+// Delivery returns the record's at-least-once delivery id (0 = untracked).
+func (r *Record) Delivery() uint64 { return r.delivery }
+
+// SetDelivery stamps the record's delivery id. Only the runtime's ingress
+// path (journal append, replay) should call it; derived records pick the id
+// up automatically through Copy and flow inheritance.
+func (r *Record) SetDelivery(id uint64) { r.delivery = id }
 
 // searchEntries returns the first index with an id >= the key in a sorted
 // entry slice.
@@ -539,7 +557,7 @@ func hasAll[E interface{ sym() Sym }](entries []E, ids []Sym) bool {
 // boxes are stateless, so sharing is safe as long as boxes treat inputs as
 // immutable — the same contract the paper imposes on C boxes).
 func (r *Record) Copy() *Record {
-	c := &Record{kind: r.kind, shape: r.shape}
+	c := &Record{kind: r.kind, shape: r.shape, delivery: r.delivery}
 	c.fields = append(c.fbuf[:0], r.fields...)
 	c.tags = append(c.tbuf[:0], r.tags...)
 	c.btags = append(c.bbuf[:0], r.btags...)
@@ -626,6 +644,13 @@ func (r *Record) InheritFrom(src *Record) *Record {
 // matched by the box input variant are considered consumed by the box. It
 // allocates only if the receiver outgrows its entry capacity.
 func (r *Record) InheritFromExcept(src *Record, consumedFields, consumedTags []Sym) *Record {
+	if r.delivery == 0 {
+		// Lineage rides inheritance: a record derived from a journaled
+		// input keeps the input's delivery id so completion tracking can
+		// attribute it. An id the receiver already carries wins (it was
+		// stamped by an earlier derivation).
+		r.delivery = src.delivery
+	}
 	var changed bool
 	if r.fields, changed = mergeMissing(r.fields, src.fields, consumedFields); changed {
 		r.shape = 0

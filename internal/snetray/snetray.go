@@ -121,6 +121,27 @@ type Config struct {
 	// (core.Optimize). The zero value enables it; core.OptimizeOff
 	// renders on the network exactly as compiled.
 	Optimize core.OptimizeLevel
+	// Durability, when non-nil, journals the render's input record to
+	// disk before it enters the network and acknowledges it only when the
+	// whole derivation tree — every section, chunk, and the final picture
+	// — has completed (core.Options.Durability). A render killed
+	// mid-flight leaves the input unacknowledged; the next render over
+	// the same directory replays it with Recover. The journal needs an
+	// Ext codec that can encode the scene field — wireapp.RaytraceExt
+	// provides one keyed by SceneSpec (use the spec's cached scene as
+	// Config.Scene so journal and render agree).
+	Durability *core.Durability
+	// Recover, with Durability set, replays the journal's unacknowledged
+	// inputs into the fresh render. When the journal holds a crashed
+	// render's input, the replay IS the render and the configured scene
+	// input is not re-sent; with a clean journal the render proceeds
+	// normally. Result.Recovered reports which happened.
+	Recover bool
+	// BoxRetry is the per-box failure policy (core.Options.BoxRetry): the
+	// zero value reports failures and lets partial emissions flow; with
+	// Attempts >= 1, failed executions are retried with backoff and
+	// exhausted records land in Result.DeadLetters.
+	BoxRetry core.BoxRetry
 }
 
 // MergerSource is the paper's Fig. 3 merger network, verbatim.
@@ -433,6 +454,14 @@ type Result struct {
 	// compiled network (core.OptStats; zero when Config.Optimize was
 	// core.OptimizeOff).
 	Opt core.OptStats
+	// Recovered counts journal entries replayed into this render
+	// (Config.Recover): 0 means a fresh render, 1 means a crashed
+	// predecessor's input was replayed instead.
+	Recovered int
+	// DeadLetters are the records that exhausted Config.BoxRetry, with
+	// DeadDropped counting any beyond the runtime's retention cap.
+	DeadLetters []core.DeadLetter
+	DeadDropped int
 }
 
 // Render compiles and runs the configured network on a cluster platform and
@@ -467,31 +496,65 @@ func RenderContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		plat = cluster
 	}
-	opts := core.Options{Platform: plat, Placer: cfg.Placer, Optimize: cfg.Optimize}
+	opts := core.Options{Platform: plat, Placer: cfg.Placer, Optimize: cfg.Optimize,
+		Durability: cfg.Durability, BoxRetry: cfg.BoxRetry}
 	if cfg.Mode == DynamicSteal {
 		opts.WorkStealing = true
 		if opts.Placer == nil {
 			opts.Placer = &core.LeastLoaded{}
 		}
 	}
+	if cfg.Recover && cfg.Durability == nil {
+		return nil, fmt.Errorf("snetray: Recover needs Durability")
+	}
 	net := core.NewNetwork(ent, opts)
-	outs, err := net.RunContext(ctx, record.Build().
+	input := record.Build().
 		F("scene", cfg.Scene).
 		T("nodes", cfg.Nodes).
 		T("tasks", cfg.Tasks).
-		Rec())
+		Rec()
+	inst := net.Start()
+	unwatch := context.AfterFunc(ctx, func() { inst.Stop() })
+	defer unwatch()
+	recovered := 0
+	if cfg.Recover {
+		n, err := inst.Recover(cfg.Durability.Dir)
+		if err != nil {
+			inst.Stop()
+			return nil, fmt.Errorf("snetray: %w", err)
+		}
+		recovered = n
+	}
+	go func() {
+		// A replayed input IS the render: re-sending the configured one
+		// would run the image twice and confuse the merger's task count.
+		if recovered == 0 {
+			inst.Send(input)
+		}
+		inst.CloseIn()
+	}()
+	leaked := 0
+	//lint:reason collection drain: the feeder closes In (or ctx cancellation stops the instance), so the cascade closes Out in finite time
+	for range inst.Out {
+		leaked++
+	}
+	err = inst.Close()
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("snetray: %w", ctx.Err())
+	}
 	if err != nil {
 		return nil, err
 	}
-	if len(outs) != 0 {
-		return nil, fmt.Errorf("snetray: network leaked %d records past genImg", len(outs))
+	if leaked != 0 {
+		return nil, fmt.Errorf("snetray: network leaked %d records past genImg", leaked)
 	}
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
 	if len(sink.pics) != 1 {
 		return nil, fmt.Errorf("snetray: genImg received %d pictures, want 1", len(sink.pics))
 	}
-	res := &Result{Image: sink.pics[0], Opt: net.OptStats()}
+	res := &Result{Image: sink.pics[0], Opt: net.OptStats(), Recovered: recovered}
+	res.DeadLetters, res.DeadDropped = inst.DeadLetters()
 	if s, ok := plat.(interface{ Stats() dist.Stats }); ok {
 		res.Cluster = s.Stats()
 	}

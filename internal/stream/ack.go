@@ -1,0 +1,43 @@
+package stream
+
+// AckSink receives delivery-id acknowledgements in batches. The runtime's
+// completion tracker implements it; the outlet pump feeds it through an
+// Acker so a whole received Batch costs one sink call instead of one per
+// record.
+type AckSink interface {
+	// AckBatch acknowledges the given delivery ids. The slice is only
+	// valid for the duration of the call.
+	AckBatch(ids []uint64)
+}
+
+// Acker coalesces per-record delivery acknowledgements into batched
+// AckSink calls. It is not safe for concurrent use; each pump owns its
+// own Acker.
+type Acker struct {
+	sink AckSink
+	ids  []uint64
+}
+
+// NewAcker returns an Acker feeding sink. A nil sink yields a no-op Acker.
+func NewAcker(sink AckSink) *Acker {
+	return &Acker{sink: sink}
+}
+
+// Observe records one delivery id for the next Flush; id 0 (untracked) is
+// ignored.
+func (a *Acker) Observe(id uint64) {
+	if a.sink == nil || id == 0 {
+		return
+	}
+	a.ids = append(a.ids, id)
+}
+
+// Flush forwards the accumulated ids to the sink in one call and resets
+// the accumulator.
+func (a *Acker) Flush() {
+	if a.sink == nil || len(a.ids) == 0 {
+		return
+	}
+	a.sink.AckBatch(a.ids)
+	a.ids = a.ids[:0]
+}

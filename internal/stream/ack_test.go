@@ -1,0 +1,45 @@
+package stream
+
+import "testing"
+
+type captureSink struct {
+	calls   int
+	batches [][]uint64
+}
+
+func (c *captureSink) AckBatch(ids []uint64) {
+	c.calls++
+	cp := make([]uint64, len(ids))
+	copy(cp, ids)
+	c.batches = append(c.batches, cp)
+}
+
+func TestAckerBatchesPerFlush(t *testing.T) {
+	sink := &captureSink{}
+	a := NewAcker(sink)
+	a.Observe(1)
+	a.Observe(0) // untracked: dropped
+	a.Observe(2)
+	a.Flush()
+	a.Observe(3)
+	a.Flush()
+	a.Flush() // empty: no call
+	if sink.calls != 2 {
+		t.Fatalf("sink called %d times, want 2", sink.calls)
+	}
+	if len(sink.batches[0]) != 2 || sink.batches[0][0] != 1 || sink.batches[0][1] != 2 {
+		t.Errorf("first batch = %v, want [1 2]", sink.batches[0])
+	}
+	if len(sink.batches[1]) != 1 || sink.batches[1][0] != 3 {
+		t.Errorf("second batch = %v, want [3]", sink.batches[1])
+	}
+}
+
+func TestAckerNilSink(t *testing.T) {
+	a := NewAcker(nil)
+	a.Observe(1)
+	a.Flush() // must not panic
+	if len(a.ids) != 0 {
+		t.Fatalf("nil-sink Acker accumulated %d ids", len(a.ids))
+	}
+}

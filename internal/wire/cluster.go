@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"snet/internal/dist"
+	"snet/internal/journal"
 	"snet/internal/record"
 )
 
@@ -81,6 +82,22 @@ type CoordinatorConfig struct {
 	// QuarantineCooldown is how long a quarantined node sits excluded
 	// before the sweep probes it back in. Zero means 5s.
 	QuarantineCooldown time.Duration
+	// JournalDir, when set, opens an exec journal in that directory:
+	// every remote box dispatch is journaled (box name + input record)
+	// before its EXEC frame ships and acknowledged when the call
+	// completes — by a RESULT, or by local failover. After a coordinator
+	// crash, the next coordinator opening the same directory finds the
+	// orphans (dispatched, never completed) in Orphans and re-runs them
+	// with RedriveOrphans. Calls that run locally from the start are not
+	// journaled here — the runtime's ingress journal (core.Durability)
+	// covers in-process loss. The journal syncs on every append: a
+	// dispatch is already a network round trip, so the write is
+	// proportionate, and an unsynced dispatch is exactly the loss the
+	// journal exists to prevent.
+	JournalDir string
+	// JournalFS overrides the exec journal's filesystem (fault injection
+	// in tests); when set, JournalDir may be empty.
+	JournalFS journal.FS
 	// Logf, when set, receives one-line lifecycle messages (joins,
 	// deaths, rejoins, quarantines). Nil is silent.
 	Logf func(format string, args ...any)
@@ -161,6 +178,13 @@ type Cluster struct {
 	joined    int
 	readyOnce sync.Once
 	joinTimer *Timer
+
+	// Exec journal (CoordinatorConfig.JournalDir): dispatched-but-
+	// uncompleted remote calls, for orphan re-drive after a restart.
+	jnl      *journal.Journal
+	jnlClose sync.Once
+	orphanMu sync.Mutex
+	orphans  []journal.Entry
 
 	reqSeq    atomic.Uint64
 	wg        sync.WaitGroup
@@ -303,6 +327,19 @@ func Serve(ln net.Listener, cfg CoordinatorConfig) (*Cluster, error) {
 	}
 	if cfg.Ext != nil {
 		c.probe.SetValueCodec(cfg.Ext)
+	}
+	if cfg.JournalDir != "" || cfg.JournalFS != nil {
+		jcfg := journal.Config{Dir: cfg.JournalDir, FS: cfg.JournalFS, Fsync: journal.FsyncAlways}
+		if cfg.Ext != nil {
+			jcfg.Ext = cfg.Ext
+		}
+		jnl, err := journal.Open(jcfg)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("wire: exec journal: %w", err)
+		}
+		c.jnl = jnl
+		c.orphans = jnl.Recovered()
 	}
 	for i := range c.links {
 		c.links[i] = linkCodecs{enc: dist.NewCodec(), dec: dist.NewCodec()}
@@ -858,13 +895,19 @@ func (c *Cluster) ExecBox(node int, cancel <-chan struct{}, box string, input *r
 			local()
 			return
 		}
+		jid := c.journalDispatch(box, input)
 		rs, err, failed := c.roundTrip(p, home, got != home, box, input)
 		if failed {
 			c.failovers.Add(1)
 			c.localExecs.Add(1)
 			local()
+			// The failover ran the call to completion locally, so the
+			// dispatch is done — an orphan only exists when no process
+			// finished the work.
+			c.journalComplete(jid)
 			return
 		}
+		c.journalComplete(jid)
 		c.remoteExecs.Add(1)
 		if got != home {
 			c.stolenExecs.Add(1)
@@ -872,6 +915,102 @@ func (c *Cluster) ExecBox(node int, cancel <-chan struct{}, box string, input *r
 		outs, boxErr, remote = rs, err, true
 	})
 	return outs, remote, granted, boxErr
+}
+
+// journalDispatch records a remote box dispatch in the exec journal,
+// returning the delivery id to acknowledge on completion. Zero means
+// untracked: no journal configured, or the append failed — the dispatch
+// proceeds either way (durability degrades before availability does),
+// with the failure logged.
+func (c *Cluster) journalDispatch(box string, input *record.Record) uint64 {
+	if c.jnl == nil {
+		return 0
+	}
+	id, err := c.jnl.Append(box, input)
+	if err != nil {
+		c.logf("wire: exec journal append: %v", err)
+		return 0
+	}
+	return id
+}
+
+// journalComplete acknowledges a completed dispatch in the exec journal.
+func (c *Cluster) journalComplete(id uint64) {
+	if id == 0 {
+		return
+	}
+	if err := c.jnl.Ack([]uint64{id}); err != nil {
+		c.logf("wire: exec journal ack: %v", err)
+	}
+}
+
+// Orphans returns the calls a previous coordinator dispatched to workers
+// but never saw complete — journaled before their EXEC frames shipped,
+// never acknowledged — as found in the exec journal when this
+// coordinator opened it. Entry.Meta is the box name, Entry.Rec the input
+// record, exactly as dispatched. Nil without a journal, or after
+// RedriveOrphans has consumed them; the records belong to the cluster
+// until then.
+func (c *Cluster) Orphans() []journal.Entry {
+	c.orphanMu.Lock()
+	defer c.orphanMu.Unlock()
+	return c.orphans
+}
+
+// RedriveOrphans re-executes every orphaned call through the normal
+// dispatch path: each call is placed round-robin across the worker
+// nodes and goes through ExecBox exactly like a live dispatch — remote
+// when a live worker registers the box, otherwise via run, the caller's
+// local fallback (it receives the box name and input and returns the
+// emissions; required because box bodies live with the application, not
+// the transport). Each completed call is acknowledged in the journal
+// and handed to deliver with its emissions and box error — matching
+// local call semantics, emissions before a failure still flow, and the
+// error lets the caller route the record into its retry/dead-letter
+// policy. deliver owns the emissions. RedriveOrphans consumes the
+// orphan set: a second call is a no-op returning 0.
+func (c *Cluster) RedriveOrphans(
+	run func(box string, input *record.Record) ([]*record.Record, error),
+	deliver func(box string, outs []*record.Record, err error),
+) (int, error) {
+	if c.jnl == nil {
+		return 0, errors.New("wire: no exec journal (CoordinatorConfig.JournalDir unset)")
+	}
+	c.orphanMu.Lock()
+	orphans := c.orphans
+	c.orphans = nil
+	c.orphanMu.Unlock()
+	if len(orphans) == 0 {
+		return 0, nil
+	}
+	ids := make([]uint64, 0, len(orphans))
+	for i, e := range orphans {
+		node := 1 + i%len(c.peers)
+		var louts []*record.Record
+		var lerr error
+		box, input := e.Meta, e.Rec
+		outs, remote, granted, err := c.ExecBox(node, nil, box, input, false, func() {
+			if run != nil {
+				louts, lerr = run(box, input)
+			}
+		})
+		if !granted {
+			// Unreachable with a nil cancel channel, but refuse to ack
+			// work that did not run.
+			break
+		}
+		if !remote {
+			outs, err = louts, lerr
+		}
+		if deliver != nil {
+			deliver(box, outs, err)
+		}
+		ids = append(ids, e.ID)
+	}
+	if err := c.jnl.Ack(ids); err != nil {
+		return len(ids), fmt.Errorf("wire: exec journal ack after redrive: %w", err)
+	}
+	return len(ids), nil
 }
 
 // roundTrip ships one box call, waiting for its RESULT within the call
@@ -1028,5 +1167,15 @@ func (c *Cluster) Close() error {
 		}
 	})
 	c.wg.Wait()
-	return nil
+	// Executions are drained (Close's contract), so no dispatch can race
+	// the journal close; a close error surfaces — it can mean the final
+	// acks did not reach disk and the next coordinator will re-drive
+	// already-completed calls.
+	var jerr error
+	c.jnlClose.Do(func() {
+		if c.jnl != nil {
+			jerr = c.jnl.Close()
+		}
+	})
+	return jerr
 }

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snet/internal/core"
+	"snet/internal/journal"
+	"snet/internal/leakcheck"
+	"snet/internal/record"
+	"snet/internal/rtype"
+)
+
+// startJournalFleet is startFleet with an exec journal, and with shutdown
+// under the test's control — the orphan tests care about the order in
+// which coordinators die.
+func startJournalFleet(t *testing.T, dir string, boxes map[string]core.BoxFunc) (*Cluster, func()) {
+	t.Helper()
+	cl, err := Listen("127.0.0.1:0", CoordinatorConfig{
+		Workers: 1, CPUsPerNode: 1, JoinTimeout: 10 * time.Second, JournalDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(WorkerConfig{})
+	for name, fn := range boxes {
+		w.Register(name, fn)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(cl.Addr().String())
+	}()
+	if err := cl.WaitReady(); err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cl.Close()
+			wg.Wait()
+		})
+	}
+	t.Cleanup(stop)
+	return cl, stop
+}
+
+// A completed round trip leaves nothing in the exec journal: the
+// dispatch was journaled before the EXEC shipped and acked when the
+// RESULT landed.
+func TestExecJournalCompletedCallLeavesNoOrphan(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	cl, stop := startJournalFleet(t, dir, map[string]core.BoxFunc{"double": doubler})
+	outs, remote, ok, err := cl.ExecBox(1, nil, "double", record.Build().F("x", 21).Rec(), false,
+		func() { t.Error("local fallback ran") })
+	if err != nil || !ok || !remote || len(outs) != 1 {
+		t.Fatalf("remote=%v ok=%v outs=%v err=%v", remote, ok, outs, err)
+	}
+	if got := cl.Orphans(); len(got) != 0 {
+		t.Fatalf("fresh journal reports orphans: %v", got)
+	}
+	stop()
+	j, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if got := j.Recovered(); len(got) != 0 {
+		t.Fatalf("completed call left unacked entries: %v", got)
+	}
+}
+
+// A coordinator that dies mid-call leaves the dispatched EXEC in its
+// journal; the next coordinator on the same directory sees it as an
+// orphan and re-drives it through the normal dispatch path — remotely,
+// on its own fleet — with the input record intact.
+func TestExecJournalOrphanRedrive(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	hang := func(c *core.BoxCall) error {
+		started <- struct{}{}
+		<-release
+		c.Emit(c.NewRecord().SetField("x", c.Field("x").(int)+1))
+		return nil
+	}
+	clA, stopA := startJournalFleet(t, dir, map[string]core.BoxFunc{"hang": hang})
+	var callWG sync.WaitGroup
+	callWG.Add(1)
+	go func() {
+		defer callWG.Done()
+		clA.ExecBox(1, nil, "hang", record.Build().F("x", 1).T("seq", 4).Rec(), false,
+			func() { t.Error("local fallback ran on coordinator A") })
+	}()
+	<-started // the EXEC is journaled (append precedes the frame) and executing
+
+	// "Crash": coordinator B opens the same journal directory while A's
+	// call is still in flight, exactly what a restarted coordinator sees.
+	live := func(c *core.BoxCall) error {
+		c.Emit(c.NewRecord().SetField("x", c.Field("x").(int)+1))
+		return nil
+	}
+	clB, stopB := startJournalFleet(t, dir, map[string]core.BoxFunc{"hang": live})
+	orphans := clB.Orphans()
+	if len(orphans) != 1 {
+		t.Fatalf("orphans = %v, want exactly the in-flight call", orphans)
+	}
+	if orphans[0].Meta != "hang" {
+		t.Fatalf("orphan box = %q", orphans[0].Meta)
+	}
+	if v, _ := orphans[0].Rec.Field("x"); v != 1 {
+		t.Fatalf("orphan input x = %v, want the dispatched 1", v)
+	}
+	if v, ok := orphans[0].Rec.Tag("seq"); !ok || v != 4 {
+		t.Fatalf("orphan input lost tag <seq>: %s", orphans[0].Rec)
+	}
+
+	var got []*record.Record
+	var gotErr error
+	n, err := clB.RedriveOrphans(nil, func(box string, outs []*record.Record, err error) {
+		got, gotErr = outs, err
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("redriven = %d, err = %v", n, err)
+	}
+	if gotErr != nil {
+		t.Fatalf("redriven call failed: %v", gotErr)
+	}
+	if len(got) != 1 {
+		t.Fatalf("redriven outs = %v", got)
+	}
+	if v, _ := got[0].Field("x"); v != 2 {
+		t.Fatalf("redriven x = %v, want 2", v)
+	}
+	if ws := clB.WireStats(); ws.RemoteExecs != 1 {
+		t.Fatalf("redrive did not cross the wire: %+v", ws)
+	}
+	if again, err := clB.RedriveOrphans(nil, nil); err != nil || again != 0 {
+		t.Fatalf("second redrive = %d, %v; the orphan set must be consumed", again, err)
+	}
+
+	// Let A's call finish and both fleets shut down cleanly, then check
+	// the directory's final word: nothing left to re-drive.
+	close(release)
+	callWG.Wait()
+	stopB()
+	stopA()
+	j, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if left := j.Recovered(); len(left) != 0 {
+		t.Fatalf("unacked entries remain after redrive: %v", left)
+	}
+}
+
+// A worker-side panic crosses the wire as a RESULT error and feeds the
+// dispatching runtime's retry policy like a local panic would: the box
+// re-dispatches per BoxRetry and the exact input record — fields and
+// inherited tags untouched — lands in the dead-letter queue.
+func TestRemotePanicRetriesIntoDeadLetters(t *testing.T) {
+	leakcheck.Check(t)
+	var remoteCalls atomic.Int32
+	boxes := map[string]core.BoxFunc{
+		"fragile": func(c *core.BoxCall) error {
+			remoteCalls.Add(1)
+			panic("kaboom")
+		},
+	}
+	f := startFleet(t, 1, 1, nil, boxes)
+	sig := core.MustSig([]rtype.Label{rtype.F("x")}, []rtype.Label{rtype.F("x")})
+	ent := core.At(core.NewBox("fragile", sig, func(c *core.BoxCall) error {
+		t.Error("box body ran locally; the panic should come from the worker")
+		return nil
+	}), 1)
+	inst := core.NewNetwork(ent, core.Options{
+		Platform: f.cl,
+		BoxRetry: core.BoxRetry{Attempts: 3, Backoff: time.Microsecond},
+	}).Start()
+	if !inst.Send(record.Build().F("x", 7).T("evidence", 9).Rec()) {
+		t.Fatal("send refused")
+	}
+	inst.Close()
+
+	if got := remoteCalls.Load(); got != 3 {
+		t.Fatalf("remote executions = %d, want one per retry attempt", got)
+	}
+	letters, dropped := inst.DeadLetters()
+	if len(letters) != 1 || dropped != 0 {
+		t.Fatalf("dead letters = %v (dropped %d), want exactly the poison record", letters, dropped)
+	}
+	dl := letters[0]
+	if dl.Entity != "fragile" || dl.Attempts != 3 {
+		t.Fatalf("dead letter = %+v", dl)
+	}
+	if err := dl.Err; err == nil || !strings.Contains(err.Error(), "box panicked: kaboom") {
+		t.Fatalf("dead letter err = %v, want the worker's panic text", dl.Err)
+	}
+	if v, _ := dl.Record.Field("x"); v != 7 {
+		t.Fatalf("dead letter record x = %v", v)
+	}
+	if v, ok := dl.Record.Tag("evidence"); !ok || v != 9 {
+		t.Fatalf("dead letter record lost tag <evidence>: %s", dl.Record)
+	}
+	report := inst.Errs()
+	var panics int
+	for _, e := range report.Retained {
+		if e.Category == core.ErrCatPanic {
+			panics++
+		}
+	}
+	if panics == 0 {
+		t.Fatalf("no ErrCatPanic in structured errors: %+v", report)
+	}
+}

@@ -32,6 +32,11 @@
 #                  spawned entity count — recorded as entities_op):
 #                    BENCH_OUT=BENCH_fuse.json \
 #                    BENCH_PATTERN='BenchmarkLiveFuse' scripts/bench.sh
+#                  and the JOURNAL trajectory (ingress-journal durability
+#                  off vs on with fsync never/batch, on a record-throughput
+#                  pipeline — the per-record cost of at-least-once delivery):
+#                    BENCH_OUT=BENCH_journal.json \
+#                    BENCH_PATTERN='BenchmarkLiveJournal' scripts/bench.sh
 #
 # The JSON layout is line-oriented on purpose (one benchmark per line) so
 # this script can re-read its own baseline with awk and CI can diff it

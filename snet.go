@@ -47,6 +47,7 @@ import (
 	"snet/internal/compile"
 	"snet/internal/core"
 	"snet/internal/dist"
+	"snet/internal/journal"
 	"snet/internal/lang"
 	"snet/internal/record"
 	"snet/internal/rtype"
@@ -133,8 +134,9 @@ type (
 	// FlushInterval — see docs/performance.md), the placement policy
 	// (Placer) and work stealing (WorkStealing — see docs/performance.md
 	// "Scheduling & placement"), the instantiation-time optimizer
-	// (Optimize — see OptimizeLevel), runtime type checking and
-	// synchrocell flushing.
+	// (Optimize — see OptimizeLevel), runtime type checking, synchrocell
+	// flushing, and the delivery guarantees (Durability, BoxRetry — see
+	// docs/architecture.md "Durability & delivery guarantees").
 	Options = core.Options
 	// Network is an instantiable S-Net. Beyond Run, it offers
 	// RunContext (Run bounded by a context: cancellation stops the
@@ -142,11 +144,14 @@ type (
 	// Instance for streaming use.
 	Network = core.Network
 	// Instance is one running network instantiation. Orderly shutdown:
-	// close In (or call Close) and drain Out. Abort: call Stop — every
-	// runtime goroutine, including those blocked on an unread Out or
-	// queued for a platform CPU slot, is reclaimed before Stop returns,
-	// and in-flight records are discarded. LinkStats snapshots the
-	// per-link depth and throughput counters of the batched transport.
+	// close In (or call CloseIn or Close) and drain Out. Abort: call Stop
+	// — every runtime goroutine, including those blocked on an unread Out
+	// or queued for a platform CPU slot, is reclaimed before Stop
+	// returns, and in-flight records are discarded. LinkStats snapshots
+	// the per-link depth and throughput counters of the batched
+	// transport; Errs the structured error report; DeadLetters the
+	// retry-exhausted records; Recover replays a crashed instance's
+	// journal (Options.Durability).
 	Instance = core.Instance
 	// LinkStats is a snapshot of one stream link's traffic counters —
 	// records and batches sent, current queued depth, and the flush-cause
@@ -207,6 +212,65 @@ type (
 	FilterOutput = core.FilterOutput
 	// TagAssign sets a tag from an expression in a filter output.
 	TagAssign = core.TagAssign
+)
+
+// Durability and error-handling types re-exported from the core (see
+// docs/architecture.md "Durability & delivery guarantees").
+type (
+	// Durability configures at-least-once delivery (Options.Durability):
+	// every record accepted on Instance.In is journaled to Dir before it
+	// enters the network and acknowledged only when its whole derivation
+	// tree has completed; Instance.Recover replays a crashed instance's
+	// unacknowledged records.
+	Durability = core.Durability
+	// BoxRetry configures box failure handling (Options.BoxRetry): with
+	// Attempts >= 1 a failed execution's partial emissions are discarded
+	// and the box re-runs against the unchanged input, exhaustion landing
+	// the exact record in Instance.DeadLetters.
+	BoxRetry = core.BoxRetry
+	// DeadLetter is one record a box gave up on: the unmodified input,
+	// the entity name, the attempt count and the final error.
+	DeadLetter = core.DeadLetter
+	// RuntimeError is one structured runtime error: the reporting entity,
+	// a category, the offending record's shape, and the wrapped error.
+	RuntimeError = core.RuntimeError
+	// ErrorCategory classifies a RuntimeError (ErrCatNoMatch, ErrCatBox,
+	// ErrCatPanic, ErrCatTypeCheck, ErrCatJournal, ErrCatOther).
+	ErrorCategory = core.ErrorCategory
+	// ErrorReport is Instance.Errs's snapshot: retained errors plus
+	// per-category counts of everything beyond the retention cap.
+	ErrorReport = core.ErrorReport
+	// FsyncPolicy selects when journal appends are forced to stable
+	// storage (Durability.Fsync).
+	FsyncPolicy = journal.FsyncPolicy
+)
+
+// Runtime error categories for ErrorCategory.
+const (
+	// ErrCatOther covers errors with no more specific category.
+	ErrCatOther = core.ErrCatOther
+	// ErrCatNoMatch is a record matching no input variant, filter rule,
+	// or choice branch.
+	ErrCatNoMatch = core.ErrCatNoMatch
+	// ErrCatBox is a box body returning an error.
+	ErrCatBox = core.ErrCatBox
+	// ErrCatPanic is a box body panicking (recovered by the runtime).
+	ErrCatPanic = core.ErrCatPanic
+	// ErrCatTypeCheck is a CheckTypes violation.
+	ErrCatTypeCheck = core.ErrCatTypeCheck
+	// ErrCatJournal is a durability failure: the ingress journal refusing
+	// an append or acknowledgement.
+	ErrCatJournal = core.ErrCatJournal
+)
+
+// Journal fsync policies for Durability.Fsync.
+const (
+	// FsyncNever leaves flushing to the OS page cache (and Close).
+	FsyncNever = journal.FsyncNever
+	// FsyncBatch syncs at most once per Durability.FsyncInterval.
+	FsyncBatch = journal.FsyncBatch
+	// FsyncAlways syncs every append before it is acknowledged.
+	FsyncAlways = journal.FsyncAlways
 )
 
 // ErrStopped is reported by instances aborted with Instance.Stop or a
